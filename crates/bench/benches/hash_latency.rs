@@ -1,0 +1,40 @@
+//! Software-throughput counterpart of Table I(a): fingerprinting a 256 B
+//! line with CRC-32 / CRC-32C / MD5 / SHA-1, plus AES-128 counter-mode
+//! encryption of a full line. (Simulated *hardware* latencies are the
+//! constants in `dewrite_hashes::HashCost`; these benches document the cost
+//! of the functional implementations driving the simulator.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dewrite_crypto::{CounterModeEngine, LineCounter};
+use dewrite_hashes::HashAlgorithm;
+
+fn bench_fingerprints(c: &mut Criterion) {
+    let line: Vec<u8> = (0..256).map(|i| (i * 31 % 251) as u8).collect();
+    let mut group = c.benchmark_group("fingerprint_256B");
+    group.throughput(Throughput::Bytes(256));
+    for alg in HashAlgorithm::ALL {
+        let hasher = alg.hasher();
+        group.bench_with_input(BenchmarkId::from_parameter(alg), &line, |b, line| {
+            b.iter(|| hasher.digest(std::hint::black_box(line)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_aes_line(c: &mut Criterion) {
+    let engine = CounterModeEngine::new(b"benchmark key 16");
+    let line = vec![0xA5u8; 256];
+    let ctr = LineCounter::from_value(7);
+    let mut group = c.benchmark_group("aes_ctr_256B");
+    group.throughput(Throughput::Bytes(256));
+    group.bench_function("encrypt_line", |b| {
+        b.iter(|| engine.encrypt_line(std::hint::black_box(&line), 0x1000, ctr));
+    });
+    group.bench_function("one_time_pad", |b| {
+        b.iter(|| engine.one_time_pad(std::hint::black_box(0x1000), ctr, 256));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fingerprints, bench_aes_line);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Hot data-structure microbenchmarks: the dedup index, the history
+//! predictor, the metadata cache, and trace generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dewrite_core::{DedupIndex, HistoryPredictor};
+use dewrite_mem::{CacheConfig, MetadataCache};
+use dewrite_nvm::LineAddr;
+use dewrite_trace::{app_by_name, TraceGenerator};
+
+fn bench_dedup_index(c: &mut Criterion) {
+    c.bench_function("dedup_index_store_and_lookup", |b| {
+        let mut idx = DedupIndex::new(1 << 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            let digest = (i % 4096) as u32;
+            let addr = LineAddr::new(i % (1 << 16));
+            let hit = idx
+                .candidates(digest)
+                .first()
+                .map(|e| e.real)
+                .filter(|_| i.is_multiple_of(2));
+            match hit {
+                Some(real) if idx.reference_of(real).is_some_and(|r| r < 255) => {
+                    idx.apply_duplicate(addr, real);
+                }
+                _ => {
+                    if idx.resolve(addr).is_none() || idx.reference_of(idx.resolve(addr).expect("written")).is_some() {
+                        idx.apply_store(addr, digest);
+                    }
+                }
+            }
+            i += 1;
+        });
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("history_predictor_record", |b| {
+        let mut p = HistoryPredictor::new(3);
+        let mut i = 0u64;
+        b.iter(|| {
+            p.record(i % 13 < 7);
+            i += 1;
+            p.predict_duplicate()
+        });
+    });
+}
+
+fn bench_metadata_cache(c: &mut Criterion) {
+    c.bench_function("metadata_cache_access", |b| {
+        let mut cache = MetadataCache::new(CacheConfig::with_capacity(64 * 1024));
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = (i * 2_654_435_761) % 100_000;
+            if !cache.access(key, i.is_multiple_of(3)) {
+                cache.insert(key, i.is_multiple_of(3));
+            }
+            i += 1;
+        });
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("trace_generation_per_record", |b| {
+        let profile = app_by_name("mcf").expect("known app");
+        let mut gen = TraceGenerator::new(profile, 256, 1);
+        b.iter(|| gen.next().expect("infinite generator"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dedup_index,
+    bench_predictor,
+    bench_metadata_cache,
+    bench_trace_generation
+);
+criterion_main!(benches);

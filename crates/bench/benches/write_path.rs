@@ -1,0 +1,92 @@
+//! Controller write/read path throughput: how fast the simulator itself
+//! processes operations under each scheme (simulation speed, not modeled
+//! NVM latency). One bench per headline path so regressions in the hot
+//! loops (dedup lookup, metadata caches, encryption) show up immediately.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dewrite_core::{CmeBaseline, DeWrite, DeWriteConfig, SecureMemory, SystemConfig};
+use dewrite_nvm::LineAddr;
+
+const KEY: &[u8; 16] = b"bench write path";
+
+fn config() -> SystemConfig {
+    SystemConfig::for_lines(1 << 14)
+}
+
+fn bench_baseline_write(c: &mut Criterion) {
+    let mut mem = CmeBaseline::new(config(), KEY);
+    let line = vec![0x3Cu8; 256];
+    let mut i = 0u64;
+    let mut t = 0u64;
+    c.bench_function("baseline_write", |b| {
+        b.iter(|| {
+            let w = mem.write(LineAddr::new(i % (1 << 14)), &line, t).expect("write");
+            i += 1;
+            t += w.total_ns + 1;
+        });
+    });
+}
+
+fn bench_dewrite_duplicate_write(c: &mut Criterion) {
+    let mut mem = DeWrite::new(config(), DeWriteConfig::paper(), KEY);
+    // Rotate through enough contents that no reference count saturates
+    // (saturated lines can never be freed; see DedupIndex::apply_store).
+    let pool: Vec<Vec<u8>> = (0..256u32)
+        .map(|k| {
+            let mut line = vec![0x77u8; 256];
+            line[0..4].copy_from_slice(&k.to_le_bytes());
+            line
+        })
+        .collect();
+    let mut t = 0u64;
+    for (k, line) in pool.iter().enumerate() {
+        let w = mem.write(LineAddr::new(k as u64), line, t).expect("seed");
+        t += w.total_ns + 1;
+    }
+    let mut i = 0u64;
+    c.bench_function("dewrite_duplicate_write", |b| {
+        b.iter(|| {
+            let line = &pool[(i % 256) as usize];
+            let w = mem
+                .write(LineAddr::new(256 + i % (1 << 13)), line, t)
+                .expect("write");
+            i += 1;
+            t += w.total_ns + 1;
+        });
+    });
+}
+
+fn bench_dewrite_unique_write(c: &mut Criterion) {
+    let mut mem = DeWrite::new(config(), DeWriteConfig::paper(), KEY);
+    let mut line = vec![0u8; 256];
+    let mut i = 0u64;
+    let mut t = 0u64;
+    c.bench_function("dewrite_unique_write", |b| {
+        b.iter(|| {
+            line[0..8].copy_from_slice(&i.to_le_bytes());
+            let w = mem.write(LineAddr::new(i % (1 << 14)), &line, t).expect("write");
+            i += 1;
+            t += w.total_ns + 1;
+        });
+    });
+}
+
+fn bench_dewrite_read(c: &mut Criterion) {
+    let mut mem = DeWrite::new(config(), DeWriteConfig::paper(), KEY);
+    let line = vec![0x1Fu8; 256];
+    for i in 0..256u64 {
+        mem.write(LineAddr::new(i), &line, i * 1_000).expect("seed");
+    }
+    let mut i = 0u64;
+    let mut t = 1_000_000u64;
+    c.bench_function("dewrite_read", |b| {
+        b.iter(|| {
+            let r = mem.read(LineAddr::new(i % 256), t).expect("read");
+            i += 1;
+            t += r.latency_ns + 1;
+        });
+    });
+}
+
+criterion_group!(benches, bench_baseline_write, bench_dewrite_duplicate_write, bench_dewrite_unique_write, bench_dewrite_read);
+criterion_main!(benches);

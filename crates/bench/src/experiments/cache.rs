@@ -1,0 +1,81 @@
+//! Fig. 21: metadata-cache capacity and prefetch-granularity sweeps.
+//!
+//! The paper sweeps each partition's capacity (and, for the sequential
+//! tables, the prefetch granularity) and picks 512 KB × 3 + 128 KB with
+//! 256-entry prefetch. Our workload footprints are scaled down relative to
+//! the paper's 4-billion-instruction runs, so the *absolute* capacities at
+//! which the curves saturate are smaller; the shape — rising hit rate that
+//! saturates, and a prefetch sweet spot — is the reproduced result.
+
+use dewrite_core::{DeWrite, DeWriteConfig, MetaCacheConfig, Simulator};
+use dewrite_trace::app_by_name;
+
+use crate::experiments::{mean, Ctx};
+use crate::runner::{par_map_apps, Workload, KEY};
+use crate::table::{pct, Table};
+
+/// Representative applications for the sweep (mixed duplication levels).
+const SWEEP_APPS: [&str; 4] = ["mcf", "cactusADM", "vips", "streamcluster"];
+
+fn hit_rates_for(meta: MetaCacheConfig, scale: crate::runner::Scale) -> [f64; 4] {
+    let profiles: Vec<_> = SWEEP_APPS
+        .iter()
+        .map(|n| app_by_name(n).expect("known app"))
+        .collect();
+    let rates = par_map_apps(&profiles, |profile, seed| {
+        let w = Workload::generate(profile, scale, seed);
+        let config = w.system_config();
+        let mut dw = DeWriteConfig::paper();
+        dw.meta_cache = meta;
+        let mut mem = DeWrite::new(config.clone(), dw, KEY);
+        Simulator::new(&config)
+            .run(&mut mem, profile.name, &w.warmup, w.trace.iter().cloned())
+            .expect("trace fits");
+        let s = mem.cache_stats();
+        [
+            s.hash.hit_rate(),
+            s.addr_map.hit_rate(),
+            s.inverted.hit_rate(),
+            s.fsm.hit_rate(),
+        ]
+    });
+    let mut avg = [0.0; 4];
+    for i in 0..4 {
+        avg[i] = mean(rates.iter().map(|r| r[i]));
+    }
+    avg
+}
+
+/// Fig. 21(a–d): hit rate vs per-partition capacity.
+pub fn fig21(ctx: &mut Ctx) {
+    let sizes_kb = [4usize, 16, 64, 256, 1024];
+    let mut t = Table::new(
+        "Fig. 21 — metadata cache hit rate vs capacity (paper shape: saturates; 512KB/128KB chosen)",
+        &["size (KB each)", "hash", "addr-map", "inverted", "FSM"],
+    );
+    for kb in sizes_kb {
+        let meta = MetaCacheConfig::scaled(kb, 256);
+        let r = hit_rates_for(meta, ctx.scale);
+        t.row(vec![
+            kb.to_string(),
+            pct(r[0]),
+            pct(r[1]),
+            pct(r[2]),
+            pct(r[3]),
+        ]);
+    }
+    ctx.emit(&t, "fig21_capacity");
+
+    // Prefetch-granularity sweep at a mid capacity.
+    let prefetches = [16usize, 64, 256, 1024];
+    let mut p = Table::new(
+        "Fig. 21 — hit rate vs prefetch granularity (sequential tables; paper picks 256)",
+        &["prefetch entries", "addr-map", "inverted"],
+    );
+    for pf in prefetches {
+        let meta = MetaCacheConfig::scaled(64, pf);
+        let r = hit_rates_for(meta, ctx.scale);
+        p.row(vec![pf.to_string(), pct(r[1]), pct(r[2])]);
+    }
+    ctx.emit(&p, "fig21_prefetch");
+}

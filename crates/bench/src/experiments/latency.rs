@@ -1,0 +1,189 @@
+//! Latency experiments: Table I, Fig. 14 (write speedup), Fig. 15 (write
+//! latency by mode), Fig. 16 (read speedup), Fig. 18 (worst case).
+
+use dewrite_core::WriteMode;
+use dewrite_hashes::HashAlgorithm;
+use dewrite_trace::{all_apps, app_by_name, worst_case};
+
+use crate::experiments::{mean, Ctx};
+use crate::runner::{par_map_apps, run_scheme, SchemeKind, Workload};
+use crate::table::{bar, f3, Table};
+
+/// Table I: hash costs and duplication-detection latency, traditional
+/// (SHA-1, trusted fingerprint) vs DeWrite (CRC-32 + confirm read).
+pub fn tab1(ctx: &mut Ctx) {
+    let mut a = Table::new(
+        "Table I(a) — hash computation latency and digest size",
+        &["hash", "latency (ns)", "size (bits)"],
+    );
+    for alg in [HashAlgorithm::Sha1, HashAlgorithm::Md5, HashAlgorithm::Crc32] {
+        let c = alg.cost();
+        a.row(vec![
+            alg.to_string(),
+            c.latency_ns.to_string(),
+            c.digest_bits.to_string(),
+        ]);
+    }
+    ctx.emit(&a, "tab1a");
+
+    // Measure detection latencies on a duplicate-heavy workload so both
+    // schemes face warm caches and real dup/non-dup mixes.
+    let profile = app_by_name("mcf").expect("known app");
+    let w = Workload::generate(&profile, ctx.scale, 42);
+
+    let dewrite = run_scheme(SchemeKind::DeWrite, &w);
+    let traditional = run_scheme(SchemeKind::Traditional(HashAlgorithm::Sha1), &w);
+
+    // Duplicate-path latency ≈ mean critical latency of eliminated writes,
+    // non-duplicate ≈ detection part of stored writes. We report the mean
+    // critical-path latency for each scheme as measured.
+    let mut b = Table::new(
+        "Table I(b) — detection/critical latency (measured; paper: trad ≥312+tQ, DeWrite 91/15+tQ')",
+        &["scheme", "mean critical (ns)", "mean write latency (ns)", "write reduction"],
+    );
+    for (name, r) in [("traditional SHA-1 dedup", &traditional), ("DeWrite", &dewrite)] {
+        b.row(vec![
+            name.into(),
+            f3(r.write_critical.mean_ns()),
+            f3(r.write_latency.mean_ns()),
+            crate::table::pct(r.write_reduction()),
+        ]);
+    }
+    ctx.emit(&b, "tab1b");
+}
+
+/// Fig. 14: memory-write speedup of DeWrite over the traditional secure
+/// NVM (paper: avg 4.2×, up to 8× for cactusADM/lbm).
+pub fn fig14(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Fig. 14 — write speedup vs traditional secure NVM (paper: avg 4.2x)",
+        &["app", "baseline write (ns)", "dewrite write (ns)", "speedup", ""],
+    );
+    let comparisons = ctx.comparisons().to_vec();
+    let max = comparisons
+        .iter()
+        .map(|c| c.dewrite.write_speedup_vs(&c.baseline))
+        .fold(1.0f64, f64::max);
+    let mut speedups = Vec::new();
+    for c in comparisons {
+        let s = c.dewrite.write_speedup_vs(&c.baseline);
+        speedups.push(s);
+        t.row(vec![
+            c.app.clone(),
+            f3(c.baseline.write_latency.mean_ns()),
+            f3(c.dewrite.write_latency.mean_ns()),
+            format!("{s:.2}x"),
+            bar(s, max, 25),
+        ]);
+    }
+    t.row(vec![
+        "AVERAGE".into(),
+        String::new(),
+        String::new(),
+        format!("{:.2}x", mean(speedups)),
+        String::new(),
+    ]);
+    ctx.emit(&t, "fig14");
+}
+
+/// Fig. 15: write latency of the direct way, the parallel way, and DeWrite
+/// (predictive), normalized to direct (paper: DeWrite ≈ parallel, −27% vs
+/// direct on average).
+pub fn fig15(ctx: &mut Ctx) {
+    let apps = all_apps();
+    let scale = ctx.scale;
+    let rows = par_map_apps(&apps, |profile, seed| {
+        let w = Workload::generate(profile, scale, seed);
+        let direct = run_scheme(SchemeKind::DeWriteMode(WriteMode::Direct), &w);
+        let parallel = run_scheme(SchemeKind::DeWriteMode(WriteMode::Parallel), &w);
+        let predictive = run_scheme(SchemeKind::DeWrite, &w);
+        let d = direct.write_critical.mean_ns();
+        (
+            profile.name.to_string(),
+            1.0,
+            parallel.write_critical.mean_ns() / d,
+            predictive.write_critical.mean_ns() / d,
+        )
+    });
+
+    let mut t = Table::new(
+        "Fig. 15 — write (critical) latency normalized to the direct way (paper: DeWrite ≈ parallel, −27% vs direct)",
+        &["app", "direct", "parallel", "DeWrite"],
+    );
+    for (name, d, p, dw) in &rows {
+        t.row(vec![name.clone(), f3(*d), f3(*p), f3(*dw)]);
+    }
+    t.row(vec![
+        "AVERAGE".into(),
+        f3(1.0),
+        f3(mean(rows.iter().map(|r| r.2))),
+        f3(mean(rows.iter().map(|r| r.3))),
+    ]);
+    ctx.emit(&t, "fig15");
+}
+
+/// Fig. 16: memory-read speedup (paper: avg 3.1×).
+pub fn fig16(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Fig. 16 — read speedup vs traditional secure NVM (paper: avg 3.1x)",
+        &["app", "baseline read (ns)", "dewrite read (ns)", "speedup"],
+    );
+    let mut speedups = Vec::new();
+    for c in ctx.comparisons().to_vec() {
+        let s = c.dewrite.read_speedup_vs(&c.baseline);
+        speedups.push(s);
+        t.row(vec![
+            c.app.clone(),
+            f3(c.baseline.read_latency.mean_ns()),
+            f3(c.dewrite.read_latency.mean_ns()),
+            format!("{s:.2}x"),
+        ]);
+    }
+    t.row(vec![
+        "AVERAGE".into(),
+        String::new(),
+        String::new(),
+        format!("{:.2}x", mean(speedups)),
+    ]);
+    ctx.emit(&t, "fig16");
+}
+
+/// Fig. 18: the worst case — a benchmark with zero duplicate writes
+/// (paper: <3% IPC degradation, slight write/read latency increase).
+pub fn fig18(ctx: &mut Ctx) {
+    let profile = worst_case();
+    let w = Workload::generate(&profile, ctx.scale, 7);
+    let dewrite = run_scheme(SchemeKind::DeWrite, &w);
+    let baseline = run_scheme(SchemeKind::Baseline, &w);
+
+    let mut t = Table::new(
+        "Fig. 18 — worst case (no duplicates), DeWrite normalized to traditional secure NVM (paper: <3% IPC loss)",
+        &["metric", "baseline", "DeWrite", "normalized"],
+    );
+    t.row(vec![
+        "write latency (ns)".into(),
+        f3(baseline.write_latency.mean_ns()),
+        f3(dewrite.write_latency.mean_ns()),
+        f3(dewrite.write_latency.mean_ns() / baseline.write_latency.mean_ns()),
+    ]);
+    t.row(vec![
+        "read latency (ns)".into(),
+        f3(baseline.read_latency.mean_ns()),
+        f3(dewrite.read_latency.mean_ns()),
+        f3(dewrite.read_latency.mean_ns() / baseline.read_latency.mean_ns()),
+    ]);
+    t.row(vec![
+        "IPC".into(),
+        f3(baseline.ipc),
+        f3(dewrite.ipc),
+        f3(dewrite.ipc / baseline.ipc),
+    ]);
+    let dm = dewrite.dewrite.expect("dewrite metrics");
+    t.row(vec![
+        "write reduction".into(),
+        crate::table::pct(baseline.write_reduction()),
+        crate::table::pct(dewrite.write_reduction()),
+        format!("pna skips: {}", dm.pna_skips),
+    ]);
+    ctx.emit(&t, "fig18");
+}

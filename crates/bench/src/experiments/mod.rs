@@ -1,0 +1,118 @@
+//! One module per group of paper artifacts. Every experiment returns
+//! [`Table`]s that the `repro` binary prints and exports as CSV.
+
+pub mod cache;
+pub mod endurance;
+pub mod extensions;
+pub mod latency;
+pub mod motivation;
+pub mod system;
+
+use std::path::PathBuf;
+
+use dewrite_core::RunReport;
+use dewrite_trace::{all_apps, AppProfile};
+
+use crate::runner::{par_map_apps, run_scheme, Scale, SchemeKind, Workload};
+use crate::table::Table;
+
+/// Per-application DeWrite-vs-baseline run pair, shared by Figs. 12, 14,
+/// 16, 17, 19.
+#[derive(Debug, Clone)]
+pub struct AppComparison {
+    /// Application name.
+    pub app: String,
+    /// DeWrite run.
+    pub dewrite: RunReport,
+    /// Traditional-secure-NVM run on the identical trace.
+    pub baseline: RunReport,
+}
+
+/// Experiment context: scale, output directory, and cached shared runs.
+#[derive(Debug)]
+pub struct Ctx {
+    /// Workload scale.
+    pub scale: Scale,
+    /// CSV output directory.
+    pub out_dir: PathBuf,
+    comparisons: Option<Vec<AppComparison>>,
+}
+
+impl Ctx {
+    /// Create a context.
+    pub fn new(scale: Scale, out_dir: PathBuf) -> Self {
+        Ctx {
+            scale,
+            out_dir,
+            comparisons: None,
+        }
+    }
+
+    /// The 20-application DeWrite/baseline comparison runs (computed once,
+    /// in parallel across applications).
+    pub fn comparisons(&mut self) -> &[AppComparison] {
+        if self.comparisons.is_none() {
+            let apps = all_apps();
+            let scale = self.scale;
+            let results = par_map_apps(&apps, |profile: &AppProfile, seed| {
+                let workload = Workload::generate(profile, scale, seed);
+                AppComparison {
+                    app: profile.name.to_string(),
+                    dewrite: run_scheme(SchemeKind::DeWrite, &workload),
+                    baseline: run_scheme(SchemeKind::Baseline, &workload),
+                }
+            });
+            self.comparisons = Some(results);
+        }
+        self.comparisons.as_deref().expect("just filled")
+    }
+
+    /// Print and export a table.
+    pub fn emit(&self, table: &Table, csv_name: &str) {
+        println!("{}", table.render());
+        if let Err(e) = table.write_csv(&self.out_dir, csv_name) {
+            eprintln!("warning: failed to write {csv_name}.csv: {e}");
+        }
+    }
+}
+
+/// Geometric mean of positive values (the paper averages ratios).
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (sum, n) = xs
+        .into_iter()
+        .filter(|x| *x > 0.0)
+        .fold((0.0, 0u32), |(s, n), x| (s + x.ln(), n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        (sum / f64::from(n)).exp()
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (sum, n) = xs.into_iter().fold((0.0, 0u32), |(s, n), x| (s + x, n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        sum / f64::from(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values() {
+        assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! System-level experiments: Fig. 17 (IPC), Fig. 19 (energy vs baseline),
+//! Fig. 20 (energy by write mode), Table II (configuration).
+
+use dewrite_core::{SystemConfig, WriteMode};
+use dewrite_nvm::Timing;
+use dewrite_trace::all_apps;
+
+use crate::experiments::{mean, Ctx};
+use crate::runner::{par_map_apps, run_scheme, SchemeKind, Workload};
+use crate::table::{f3, pct, Table};
+
+/// Fig. 17: relative IPC of DeWrite normalized to the traditional secure
+/// NVM (paper: avg +82%).
+pub fn fig17(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Fig. 17 — IPC normalized to traditional secure NVM (paper: avg 1.82)",
+        &["app", "baseline IPC", "dewrite IPC", "relative"],
+    );
+    let mut rels = Vec::new();
+    for c in ctx.comparisons().to_vec() {
+        let rel = c.dewrite.relative_ipc_vs(&c.baseline);
+        rels.push(rel);
+        t.row(vec![
+            c.app.clone(),
+            f3(c.baseline.ipc),
+            f3(c.dewrite.ipc),
+            f3(rel),
+        ]);
+    }
+    t.row(vec![
+        "AVERAGE".into(),
+        String::new(),
+        String::new(),
+        f3(mean(rels)),
+    ]);
+    ctx.emit(&t, "fig17");
+}
+
+/// Fig. 19: total energy of DeWrite normalized to the traditional secure
+/// NVM, with the consumer breakdown (paper: −40% on average).
+pub fn fig19(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Fig. 19 — energy normalized to traditional secure NVM (paper: avg 0.60)",
+        &["app", "normalized energy", "nvm-write share", "aes share", "dedup share"],
+    );
+    let mut rels = Vec::new();
+    for c in ctx.comparisons().to_vec() {
+        let rel = c.dewrite.relative_energy_vs(&c.baseline);
+        rels.push(rel);
+        let total = c.dewrite.energy.total_pj().max(1) as f64;
+        t.row(vec![
+            c.app.clone(),
+            f3(rel),
+            pct(c.dewrite.energy.nvm_write_pj as f64 / total),
+            pct(c.dewrite.energy.aes_pj as f64 / total),
+            pct(c.dewrite.energy.dedup_pj as f64 / total),
+        ]);
+    }
+    t.row(vec![
+        "AVERAGE".into(),
+        f3(mean(rels)),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    ctx.emit(&t, "fig19");
+}
+
+/// Fig. 20: energy of the direct way, DeWrite, and the parallel way,
+/// normalized to the parallel way (paper: DeWrite ≈ direct, −32% vs
+/// parallel).
+pub fn fig20(ctx: &mut Ctx) {
+    let apps = all_apps();
+    let scale = ctx.scale;
+    let rows = par_map_apps(&apps, |profile, seed| {
+        let w = Workload::generate(profile, scale, seed);
+        let direct = run_scheme(SchemeKind::DeWriteMode(WriteMode::Direct), &w);
+        let parallel = run_scheme(SchemeKind::DeWriteMode(WriteMode::Parallel), &w);
+        let predictive = run_scheme(SchemeKind::DeWrite, &w);
+        let p = parallel.energy.total_pj().max(1) as f64;
+        (
+            profile.name.to_string(),
+            direct.energy.total_pj() as f64 / p,
+            predictive.energy.total_pj() as f64 / p,
+            1.0,
+        )
+    });
+
+    let mut t = Table::new(
+        "Fig. 20 — energy normalized to the parallel way (paper: DeWrite ≈ direct, −32% vs parallel)",
+        &["app", "direct", "DeWrite", "parallel"],
+    );
+    for (name, d, dw, p) in &rows {
+        t.row(vec![name.clone(), f3(*d), f3(*dw), f3(*p)]);
+    }
+    t.row(vec![
+        "AVERAGE".into(),
+        f3(mean(rows.iter().map(|r| r.1))),
+        f3(mean(rows.iter().map(|r| r.2))),
+        f3(1.0),
+    ]);
+    ctx.emit(&t, "fig20");
+}
+
+/// Table II: the evaluated system configuration.
+pub fn tab2(ctx: &mut Ctx) {
+    let s = SystemConfig::for_lines(1 << 16);
+    let timing = Timing::PCM;
+    let mut t = Table::new("Table II — system configuration", &["parameter", "value"]);
+    t.row(vec!["NVM technology".into(), "PCM (modeled)".into()]);
+    t.row(vec!["capacity (paper)".into(), "16 GB".into()]);
+    t.row(vec!["line size".into(), format!("{} B", s.nvm.line_size)]);
+    t.row(vec!["banks".into(), s.nvm.banks.to_string()]);
+    t.row(vec!["read latency".into(), format!("{} ns", timing.read_ns)]);
+    t.row(vec!["write latency".into(), format!("{} ns", timing.write_ns)]);
+    t.row(vec!["AES latency".into(), "96 ns / line".into()]);
+    t.row(vec!["AES energy".into(), "5.9 nJ / 128-bit block".into()]);
+    t.row(vec!["CRC-32 latency".into(), "15 ns".into()]);
+    t.row(vec!["metadata cache".into(), "2 MB (512K x3 + 128K)".into()]);
+    t.row(vec!["history window".into(), "3 bits".into()]);
+    t.row(vec!["core".into(), format!("{} GHz in-order, CPI {}", s.core.freq_ghz, s.core.base_cpi)]);
+    t.row(vec!["write queue depth".into(), s.write_queue_depth.to_string()]);
+    t.row(vec![
+        "persist barrier".into(),
+        match s.persist_every {
+            Some(n) => format!("every {n} writes"),
+            None => "none".into(),
+        },
+    ]);
+    ctx.emit(&t, "tab2");
+}

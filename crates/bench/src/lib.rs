@@ -1,0 +1,22 @@
+//! Experiment harness reproducing every table and figure of the DeWrite
+//! paper (MICRO'18), plus ablations.
+//!
+//! The `repro` binary drives the experiments:
+//!
+//! ```text
+//! cargo run --release -p dewrite-bench --bin repro -- all
+//! cargo run --release -p dewrite-bench --bin repro -- fig12 fig14
+//! cargo run --release -p dewrite-bench --bin repro -- --quick fig2
+//! ```
+//!
+//! Results print as aligned tables and are exported as CSV under
+//! `results/` (configurable with `--out`).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use experiments::Ctx;
+pub use runner::{Scale, SchemeKind, Workload};

@@ -1,0 +1,269 @@
+//! Shared experiment machinery: workload construction, scheme construction,
+//! and parallel per-application runs.
+
+use dewrite_core::{
+    BitEncoding, CmeBaseline, DeWrite, DeWriteConfig, RunReport, SilentShredder, Simulator,
+    SystemConfig, TraditionalDedup, WriteMode,
+};
+use dewrite_hashes::HashAlgorithm;
+use dewrite_trace::{AppProfile, TraceGenerator, TraceRecord};
+
+/// Encryption key used by every experiment (value irrelevant; fixed for
+/// determinism).
+pub const KEY: &[u8; 16] = b"dewrite-repro-16";
+
+/// Base RNG seed for trace generation.
+pub const SEED: u64 = 0xDE_17_17_E5;
+
+/// Experiment scale: how many writes each per-app trace contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Writes per application trace.
+    pub writes: usize,
+    /// Working-set lines per application (overrides the profile).
+    pub working_set_lines: u64,
+    /// Content-pool size per application (overrides the profile).
+    pub content_pool: usize,
+}
+
+impl Scale {
+    /// Quick smoke-test scale.
+    pub fn quick() -> Self {
+        Scale {
+            writes: 4_000,
+            working_set_lines: 1 << 12,
+            content_pool: 512,
+        }
+    }
+
+    /// Default reporting scale.
+    pub fn default_scale() -> Self {
+        Scale {
+            writes: 20_000,
+            working_set_lines: 1 << 14,
+            content_pool: 1024,
+        }
+    }
+
+    /// Full scale (slow; closest to the paper's footprints).
+    pub fn full() -> Self {
+        Scale {
+            writes: 80_000,
+            working_set_lines: 1 << 16,
+            content_pool: 2048,
+        }
+    }
+
+    /// Apply the scale overrides to a profile.
+    pub fn shape(&self, mut profile: AppProfile) -> AppProfile {
+        profile.working_set_lines = self.working_set_lines;
+        profile.content_pool_size = self.content_pool;
+        profile
+    }
+}
+
+/// A generated, reusable workload for one application.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The (scaled) profile.
+    pub profile: AppProfile,
+    /// Warmup records (pool seeding).
+    pub warmup: Vec<TraceRecord>,
+    /// The measured trace.
+    pub trace: Vec<TraceRecord>,
+}
+
+impl Workload {
+    /// Generate the workload for `profile` at `scale` with a per-app seed.
+    pub fn generate(profile: &AppProfile, scale: Scale, seed: u64) -> Self {
+        let shaped = scale.shape(profile.clone());
+        let mut gen = TraceGenerator::new(shaped.clone(), 256, seed);
+        let warmup = gen.warmup_records();
+        let target_writes = scale.writes;
+        let mut trace = Vec::new();
+        let mut writes = 0usize;
+        while writes < target_writes {
+            match gen.next() {
+                Some(rec) => {
+                    if rec.op.is_write() {
+                        writes += 1;
+                    }
+                    trace.push(rec);
+                }
+                None => break,
+            }
+        }
+        Workload {
+            profile: shaped,
+            warmup,
+            trace,
+        }
+    }
+
+    /// The system configuration sized for this workload.
+    pub fn system_config(&self) -> SystemConfig {
+        let lines = self.profile.working_set_lines + self.profile.content_pool_size as u64 + 64;
+        SystemConfig::for_lines(lines)
+    }
+}
+
+/// Which scheme to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// Traditional secure NVM (CME only).
+    Baseline,
+    /// DeWrite with the paper configuration.
+    DeWrite,
+    /// DeWrite forced into a specific write mode (Fig. 15/20).
+    DeWriteMode(WriteMode),
+    /// DeWrite with PNA disabled (ablation).
+    DeWriteNoPna,
+    /// DeWrite with a custom hasher (ablation).
+    DeWriteHasher(HashAlgorithm),
+    /// Traditional crypto-fingerprint dedup (Table I).
+    Traditional(HashAlgorithm),
+    /// Silent Shredder: zero-line elimination only (§V).
+    SilentShredder,
+}
+
+impl SchemeKind {
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            SchemeKind::Baseline => "baseline".into(),
+            SchemeKind::DeWrite => "dewrite".into(),
+            SchemeKind::DeWriteMode(m) => format!("dewrite-{m}"),
+            SchemeKind::DeWriteNoPna => "dewrite-nopna".into(),
+            SchemeKind::DeWriteHasher(h) => format!("dewrite-{h}"),
+            SchemeKind::Traditional(h) => format!("traditional-{h}"),
+            SchemeKind::SilentShredder => "silent-shredder".into(),
+        }
+    }
+}
+
+/// Run one (scheme × workload) simulation, returning the report with
+/// DeWrite metrics attached when applicable.
+pub fn run_scheme(kind: SchemeKind, workload: &Workload) -> RunReport {
+    run_scheme_encoded(kind, workload, BitEncoding::Dcw)
+}
+
+/// Like [`run_scheme`] with an explicit cell-level write encoding.
+pub fn run_scheme_encoded(kind: SchemeKind, workload: &Workload, encoding: BitEncoding) -> RunReport {
+    let mut config = workload.system_config();
+    config.bit_encoding = encoding;
+    let sim = Simulator::new(&config);
+    let app = workload.profile.name;
+    match kind {
+        SchemeKind::Baseline => {
+            let mut mem = CmeBaseline::new(config, KEY);
+            sim.run(&mut mem, app, &workload.warmup, workload.trace.iter().cloned())
+                .expect("trace fits configuration")
+        }
+        SchemeKind::DeWrite
+        | SchemeKind::DeWriteMode(_)
+        | SchemeKind::DeWriteNoPna
+        | SchemeKind::DeWriteHasher(_) => {
+            let mut dw = DeWriteConfig::paper();
+            match kind {
+                // The mode variants isolate the encryption-ordering axis of
+                // Fig. 3 — everything else (incl. PNA) stays as in DeWrite.
+                SchemeKind::DeWriteMode(m) => dw.mode = m,
+                SchemeKind::DeWriteNoPna => dw.pna = false,
+                SchemeKind::DeWriteHasher(h) => dw.hasher = h,
+                _ => {}
+            }
+            let mut mem = DeWrite::new(config, dw, KEY);
+            let mut report = sim
+                .run(&mut mem, app, &workload.warmup, workload.trace.iter().cloned())
+                .expect("trace fits configuration");
+            report.dewrite = Some(mem.dewrite_metrics());
+            report
+        }
+        SchemeKind::Traditional(h) => {
+            let mut mem = TraditionalDedup::new(config, h, KEY);
+            sim.run(&mut mem, app, &workload.warmup, workload.trace.iter().cloned())
+                .expect("trace fits configuration")
+        }
+        SchemeKind::SilentShredder => {
+            let mut mem = SilentShredder::new(config, KEY);
+            sim.run(&mut mem, app, &workload.warmup, workload.trace.iter().cloned())
+                .expect("trace fits configuration")
+        }
+    }
+}
+
+/// Run `f` for every profile in parallel, preserving input order.
+pub fn par_map_apps<T, F>(profiles: &[AppProfile], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&AppProfile, u64) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(profiles.len().max(1));
+    let results: Vec<std::sync::Mutex<Option<T>>> =
+        profiles.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= profiles.len() {
+                    break;
+                }
+                let out = f(&profiles[i], SEED.wrapping_add(i as u64));
+                *results[i].lock().expect("no poisoned locks") = Some(out);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("lock").expect("filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dewrite_trace::app_by_name;
+
+    #[test]
+    fn workload_generation_is_deterministic() {
+        let p = app_by_name("mcf").unwrap();
+        let a = Workload::generate(&p, Scale::quick(), 1);
+        let b = Workload::generate(&p, Scale::quick(), 1);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.warmup, b.warmup);
+        let writes = a.trace.iter().filter(|r| r.op.is_write()).count();
+        assert_eq!(writes, Scale::quick().writes);
+    }
+
+    #[test]
+    fn run_scheme_produces_populated_reports() {
+        let p = app_by_name("lbm").unwrap();
+        let w = Workload::generate(&p, Scale { writes: 1_000, working_set_lines: 1 << 10, content_pool: 128 }, 2);
+        let dw = run_scheme(SchemeKind::DeWrite, &w);
+        assert!(dw.dewrite.is_some());
+        assert!(dw.write_reduction() > 0.5);
+        let base = run_scheme(SchemeKind::Baseline, &w);
+        assert_eq!(base.write_reduction(), 0.0);
+        assert!(dw.write_speedup_vs(&base) > 1.0);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let apps: Vec<_> = dewrite_trace::all_apps().into_iter().take(6).collect();
+        let names = par_map_apps(&apps, |p, _| p.name.to_string());
+        let expect: Vec<_> = apps.iter().map(|p| p.name.to_string()).collect();
+        assert_eq!(names, expect);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(SchemeKind::Baseline.label(), "baseline");
+        assert_eq!(SchemeKind::DeWriteMode(WriteMode::Direct).label(), "dewrite-direct");
+        assert_eq!(
+            SchemeKind::Traditional(HashAlgorithm::Sha1).label(),
+            "traditional-SHA-1"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Minimal aligned-column table rendering + CSV export for experiment
+//! output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple experiment-results table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, (c, w)) in cells.iter().zip(widths.iter()).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{c:<w$}");
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the table as CSV under `dir/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut csv = String::new();
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        csv.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        csv.push('\n');
+        for row in &self.rows {
+            csv.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            csv.push('\n');
+        }
+        fs::write(dir.join(format!("{name}.csv")), csv)
+    }
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// A proportional ASCII bar for figure-like table output.
+///
+/// ```
+/// use dewrite_bench::table::bar;
+/// assert_eq!(bar(0.5, 1.0, 8), "####");
+/// assert_eq!(bar(2.0, 1.0, 8), "########"); // clamped
+/// ```
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || !value.is_finite() {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "#".repeat(filled)
+}
+
+/// Format a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["app", "value"]);
+        t.row(vec!["lbm".into(), "0.95".into()]);
+        t.row(vec!["blackscholes".into(), "0.984".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("blackscholes"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("dewrite_table_test");
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        t.write_csv(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert!(content.contains("\"x,y\""));
+        assert!(content.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.5412), "54.1%");
+    }
+}

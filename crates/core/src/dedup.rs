@@ -1,0 +1,635 @@
+//! The deduplication index: the four tables composed with their invariants.
+//!
+//! This is the functional heart of DeWrite's dedup logic. It answers "is
+//! this content resident?" and applies the metadata transitions of duplicate
+//! and non-duplicate writes, maintaining the invariants:
+//!
+//! 1. a physical line is *resident* iff the inverted table knows its digest
+//!    iff the free-space table marks it occupied;
+//! 2. every resident line has a hash-table entry with reference ≥ 1;
+//! 3. every written initial address resolves to exactly one resident line,
+//!    and (unless saturated) a resident line's reference equals the number
+//!    of initial addresses resolving to it.
+//!
+//! Timing is *not* modeled here — the scheme layer mirrors each table touch
+//! with metadata-cache traffic.
+
+use dewrite_nvm::LineAddr;
+
+use crate::tables::{AddrMapTable, FreeSpaceTable, HashTable, InvertedTable, MAX_REFERENCE};
+
+/// Outcome of applying a write to the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The content was already resident; the NVM write is eliminated.
+    Duplicate {
+        /// The line holding the content.
+        real: LineAddr,
+        /// `true` when the address already mapped to this content (a silent
+        /// store) — no metadata changed.
+        silent: bool,
+        /// A line released because its last reference moved to `real`.
+        freed: Option<LineAddr>,
+    },
+    /// The content is new and must be written to `target`.
+    Stored {
+        /// The physical line to write.
+        target: LineAddr,
+        /// A line released by this write (its last reference went away).
+        freed: Option<LineAddr>,
+        /// Whether the write reused the address's current line in place.
+        in_place: bool,
+    },
+}
+
+/// Result of a duplicate lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DupLookup {
+    /// The matching resident line, if content-identical and not saturated.
+    pub matched: Option<LineAddr>,
+    /// How many candidate lines were byte-compared (collision accounting).
+    pub comparisons: u32,
+}
+
+/// The composed deduplication index.
+#[derive(Debug, Clone)]
+pub struct DedupIndex {
+    hash_table: HashTable,
+    addr_map: AddrMapTable,
+    inverted: InvertedTable,
+    fsm: FreeSpaceTable,
+    written: Vec<bool>,
+    domains: u64,
+    dup_writes: u64,
+    stored_writes: u64,
+    false_matches: u64,
+}
+
+impl DedupIndex {
+    /// An index over `lines` physical lines, all initially free.
+    pub fn new(lines: u64) -> Self {
+        Self::with_domains(lines, 1)
+    }
+
+    /// An index partitioned into `domains` contiguous, equal dedup domains:
+    /// content never deduplicates across a domain boundary, and relocated
+    /// lines stay inside their domain — the standard mitigation for
+    /// cross-tenant dedup side channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains` is zero or exceeds `lines`.
+    pub fn with_domains(lines: u64, domains: u64) -> Self {
+        assert!(domains >= 1 && domains <= lines.max(1), "bad domain count");
+        DedupIndex {
+            hash_table: HashTable::new(),
+            addr_map: AddrMapTable::new(),
+            inverted: InvertedTable::new(),
+            fsm: FreeSpaceTable::new(lines),
+            written: vec![false; lines as usize],
+            domains,
+            dup_writes: 0,
+            stored_writes: 0,
+            false_matches: 0,
+        }
+    }
+
+    /// The dedup domain of a line.
+    pub fn domain_of(&self, line: LineAddr) -> u64 {
+        line.index() * self.domains / self.lines().max(1)
+    }
+
+    fn domain_range(&self, domain: u64) -> (u64, u64) {
+        let lines = self.lines();
+        (
+            domain * lines / self.domains,
+            (domain + 1) * lines / self.domains,
+        )
+    }
+
+    /// Number of physical lines managed.
+    pub fn lines(&self) -> u64 {
+        self.fsm.lines()
+    }
+
+    /// Whether `init` has ever been written.
+    pub fn is_written(&self, init: LineAddr) -> bool {
+        self.written[init.index() as usize]
+    }
+
+    /// The physical line holding `init`'s data, or `None` if never written.
+    pub fn resolve(&self, init: LineAddr) -> Option<LineAddr> {
+        if self.is_written(init) {
+            Some(self.addr_map.resolve(init))
+        } else {
+            None
+        }
+    }
+
+    /// Search for a resident line with content equal to `data` under
+    /// `digest`. `content_of` supplies the (decrypted) bytes of a candidate
+    /// line; the scheme layer charges one NVM read per invocation.
+    ///
+    /// Saturated entries are skipped (§III-B2: a line at reference 255 is
+    /// "highly referenced" and further duplicates are not deduplicated).
+    pub fn lookup(
+        &mut self,
+        digest: u32,
+        data: &[u8],
+        mut content_of: impl FnMut(LineAddr) -> Vec<u8>,
+    ) -> DupLookup {
+        let mut comparisons = 0;
+        let candidates: Vec<_> = self.hash_table.candidates(digest).to_vec();
+        for entry in candidates {
+            if entry.reference == MAX_REFERENCE {
+                // Saturated: visible in the entry itself, skipped without a
+                // comparison (§III-B2).
+                self.hash_table.note_saturated_hit();
+                continue;
+            }
+            comparisons += 1;
+            if content_of(entry.real) == data {
+                return DupLookup {
+                    matched: Some(entry.real),
+                    comparisons,
+                };
+            }
+            self.false_matches += 1;
+        }
+        DupLookup {
+            matched: None,
+            comparisons,
+        }
+    }
+
+    /// Resident candidate entries for `digest`, for callers that drive the
+    /// byte comparison themselves (the scheme layer, which must charge a
+    /// timed NVM read per comparison).
+    pub fn candidates(&self, digest: u32) -> Vec<crate::tables::HashEntry> {
+        self.hash_table.candidates(digest).to_vec()
+    }
+
+    /// Like [`candidates`](Self::candidates), filtered to `init`'s dedup
+    /// domain — with multiple domains, content never matches across a
+    /// boundary.
+    pub fn candidates_for(&self, digest: u32, init: LineAddr) -> Vec<crate::tables::HashEntry> {
+        let domain = self.domain_of(init);
+        self.hash_table
+            .candidates(digest)
+            .iter()
+            .filter(|e| self.domain_of(e.real) == domain)
+            .copied()
+            .collect()
+    }
+
+    /// Like [`lookup`](Self::lookup) but without mutating any statistics —
+    /// used for ground-truth accounting (e.g. counting duplicates missed by
+    /// PNA skips).
+    pub fn lookup_readonly(
+        &self,
+        digest: u32,
+        data: &[u8],
+        mut content_of: impl FnMut(LineAddr) -> Vec<u8>,
+    ) -> Option<LineAddr> {
+        self.hash_table
+            .candidates(digest)
+            .iter()
+            .find(|e| e.reference != MAX_REFERENCE && content_of(e.real) == data)
+            .map(|e| e.real)
+    }
+
+    /// Record a digest match whose byte comparison failed (scheme-driven
+    /// candidate loops).
+    pub(crate) fn note_false_match(&mut self) {
+        self.false_matches += 1;
+    }
+
+    /// Record a duplicate declined due to reference saturation
+    /// (scheme-driven candidate loops).
+    pub(crate) fn note_saturated_skip(&mut self) {
+        self.hash_table.note_saturated_hit();
+    }
+
+    /// Digest of the content resident at `real`, if resident.
+    pub fn digest_of(&self, real: LineAddr) -> Option<u32> {
+        self.inverted.digest_of(real)
+    }
+
+    /// Reference count of the resident line `real`.
+    pub fn reference_of(&self, real: LineAddr) -> Option<u8> {
+        let digest = self.inverted.digest_of(real)?;
+        self.hash_table.reference(digest, real)
+    }
+
+    /// Recovery: install a resident line with reference 0; references are
+    /// re-added as mappings are restored via
+    /// [`restore_mapping`](Self::restore_mapping).
+    pub(crate) fn restore_resident(&mut self, real: LineAddr, digest: u32) {
+        self.fsm.occupy(real);
+        self.inverted.set(real, digest);
+        self.hash_table.insert_with_reference(digest, real, 0);
+    }
+
+    /// Recovery: re-link a written address to its resident line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real` is not resident (callers validate first).
+    pub(crate) fn restore_mapping(&mut self, init: LineAddr, real: LineAddr) {
+        self.written[init.index() as usize] = true;
+        if real != init {
+            self.addr_map.map_to(init, real);
+        }
+        let digest = self
+            .inverted
+            .digest_of(real)
+            .expect("restore_mapping target must be resident");
+        let _ = self.hash_table.add_reference(digest, real);
+    }
+
+    fn unlink(&mut self, old: LineAddr) -> Option<LineAddr> {
+        let digest = self
+            .inverted
+            .digest_of(old)
+            .expect("unlink target must be resident");
+        let remaining = self.hash_table.release_reference(digest, old);
+        if remaining == 0 {
+            self.inverted.clear(old);
+            self.fsm.release(old);
+            Some(old)
+        } else {
+            None
+        }
+    }
+
+    /// Apply a *duplicate* write of `init` to the content at `real`
+    /// (as returned by [`lookup`](Self::lookup)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real` is not resident or its reference is saturated —
+    /// callers must pass a fresh `lookup` match.
+    pub fn apply_duplicate(&mut self, init: LineAddr, real: LineAddr) -> WriteOutcome {
+        let digest = self
+            .inverted
+            .digest_of(real)
+            .expect("duplicate target must be resident");
+        let old = self.resolve(init);
+        if old == Some(real) {
+            self.dup_writes += 1;
+            return WriteOutcome::Duplicate { real, silent: true, freed: None };
+        }
+        let added = self.hash_table.add_reference(digest, real);
+        assert!(added, "apply_duplicate on a saturated entry");
+        let mut freed = None;
+        if let Some(o) = old {
+            freed = self.unlink(o);
+        }
+        if real == init {
+            self.addr_map.unmap(init);
+        } else {
+            self.addr_map.map_to(init, real);
+        }
+        self.written[init.index() as usize] = true;
+        self.dup_writes += 1;
+        WriteOutcome::Duplicate { real, silent: false, freed }
+    }
+
+    /// Apply a *non-duplicate* write of `init` with content `digest`.
+    /// Chooses the target line (in place when `init`'s current line is
+    /// solely owned, else a free line near `init`'s home) and installs all
+    /// metadata. The caller then writes the encrypted data to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if memory is exhausted (cannot happen while every initial
+    /// address holds at most one reference, which the index guarantees).
+    pub fn apply_store(&mut self, init: LineAddr, digest: u32) -> WriteOutcome {
+        let old = self.resolve(init);
+        let mut freed = None;
+        let (target, in_place) = match old {
+            Some(o) if self.reference_of(o) == Some(1) => {
+                // Sole owner: overwrite in place after cleaning the stale
+                // hash entry.
+                let stale = self.inverted.digest_of(o).expect("resident");
+                self.hash_table.remove(stale, o);
+                self.inverted.clear(o);
+                (o, true)
+            }
+            other => {
+                if let Some(o) = other {
+                    freed = self.unlink(o);
+                }
+                // Note: lines referenced by *saturated* entries can never be
+                // freed (their true count is unknown, §III-B2), so a
+                // pathological workload that saturates many contents can
+                // exhaust free space — real deployments provision spare
+                // capacity or garbage-collect saturated lines offline.
+                let (lo, hi) = self.domain_range(self.domain_of(init));
+                let target = self
+                    .fsm
+                    .allocate_within(init, lo, hi)
+                    .expect("free space exhausted (saturated-entry leak)");
+                (target, false)
+            }
+        };
+        self.fsm.occupy(target);
+        self.hash_table.insert(digest, target);
+        self.inverted.set(target, digest);
+        if target == init {
+            self.addr_map.unmap(init);
+        } else {
+            self.addr_map.map_to(init, target);
+        }
+        self.written[init.index() as usize] = true;
+        self.stored_writes += 1;
+        WriteOutcome::Stored {
+            target,
+            freed,
+            in_place,
+        }
+    }
+
+    /// Duplicate writes applied.
+    pub fn dup_writes(&self) -> u64 {
+        self.dup_writes
+    }
+
+    /// Non-duplicate writes applied.
+    pub fn stored_writes(&self) -> u64 {
+        self.stored_writes
+    }
+
+    /// Digest matches whose byte comparison failed (true CRC collisions,
+    /// Fig. 6).
+    pub fn false_matches(&self) -> u64 {
+        self.false_matches
+    }
+
+    /// Duplicates skipped due to reference saturation.
+    pub fn saturated_skips(&self) -> u64 {
+        self.hash_table.saturated_hits()
+    }
+
+    /// Number of deduplicated (remapped) addresses.
+    pub fn mapped_addresses(&self) -> usize {
+        self.addr_map.len()
+    }
+
+    /// Number of resident physical lines.
+    pub fn resident_lines(&self) -> usize {
+        self.inverted.len()
+    }
+
+    /// Free physical lines remaining.
+    pub fn free_lines(&self) -> u64 {
+        self.fsm.free_lines()
+    }
+
+    /// Iterate over resident lines' reference counts (Fig. 7).
+    pub fn reference_counts(&self) -> impl Iterator<Item = u8> + '_ {
+        self.hash_table.iter().map(|(_, e)| e.reference)
+    }
+
+    /// Exhaustively check the index invariants (test/debug aid; O(lines)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Residency bitmaps agree.
+        for i in 0..self.lines() {
+            let line = LineAddr::new(i);
+            let resident = self.inverted.digest_of(line).is_some();
+            let occupied = !self.fsm.is_free(line);
+            if resident != occupied {
+                return Err(format!("line {line}: resident={resident} occupied={occupied}"));
+            }
+            if resident {
+                let digest = self.inverted.digest_of(line).expect("checked");
+                if self.hash_table.reference(digest, line).is_none() {
+                    return Err(format!("line {line}: resident but not hash-indexed"));
+                }
+            }
+        }
+        // Reference counts match resolution counts (excluding saturated).
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..self.lines() {
+            let init = LineAddr::new(i);
+            if let Some(real) = self.resolve(init) {
+                *counts.entry(real.index()).or_insert(0u64) += 1;
+            }
+        }
+        for (digest, entry) in self.hash_table.iter() {
+            let actual = counts.get(&entry.real.index()).copied().unwrap_or(0);
+            if entry.reference != MAX_REFERENCE && u64::from(entry.reference) != actual {
+                return Err(format!(
+                    "line {} (digest {digest:#x}): reference {} but {} resolvers",
+                    entry.real, entry.reference, actual
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn l(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    /// A tiny plaintext shadow memory standing in for decryption.
+    #[derive(Default)]
+    struct Shadow {
+        lines: HashMap<u64, Vec<u8>>,
+    }
+
+    impl Shadow {
+        fn content(&self, real: LineAddr) -> Vec<u8> {
+            self.lines.get(&real.index()).cloned().unwrap_or_default()
+        }
+        fn store(&mut self, real: LineAddr, data: &[u8]) {
+            self.lines.insert(real.index(), data.to_vec());
+        }
+    }
+
+    /// Drive a full write through lookup + apply, like a scheme would.
+    fn write(idx: &mut DedupIndex, shadow: &mut Shadow, init: u64, data: &[u8], digest: u32) -> WriteOutcome {
+        let lookup = idx.lookup(digest, data, |real| shadow.content(real));
+        let outcome = match lookup.matched {
+            Some(real) => idx.apply_duplicate(l(init), real),
+            None => idx.apply_store(l(init), digest),
+        };
+        if let WriteOutcome::Stored { target, .. } = outcome {
+            shadow.store(target, data);
+        }
+        idx.check_invariants().unwrap();
+        outcome
+    }
+
+    #[test]
+    fn first_write_goes_to_home() {
+        let mut idx = DedupIndex::new(16);
+        let mut sh = Shadow::default();
+        let out = write(&mut idx, &mut sh, 3, b"aaaa", 1);
+        assert_eq!(
+            out,
+            WriteOutcome::Stored { target: l(3), freed: None, in_place: false }
+        );
+        assert_eq!(idx.resolve(l(3)), Some(l(3)));
+        assert_eq!(idx.reference_of(l(3)), Some(1));
+    }
+
+    #[test]
+    fn duplicate_is_eliminated_and_remapped() {
+        let mut idx = DedupIndex::new(16);
+        let mut sh = Shadow::default();
+        write(&mut idx, &mut sh, 0, b"same", 9);
+        let out = write(&mut idx, &mut sh, 5, b"same", 9);
+        assert_eq!(out, WriteOutcome::Duplicate { real: l(0), silent: false, freed: None });
+        assert_eq!(idx.resolve(l(5)), Some(l(0)));
+        assert_eq!(idx.reference_of(l(0)), Some(2));
+        assert_eq!(idx.mapped_addresses(), 1);
+        // Line 5's home is still free — never used.
+        assert_eq!(idx.free_lines(), 15);
+    }
+
+    #[test]
+    fn silent_store_changes_nothing() {
+        let mut idx = DedupIndex::new(16);
+        let mut sh = Shadow::default();
+        write(&mut idx, &mut sh, 0, b"data", 7);
+        let out = write(&mut idx, &mut sh, 0, b"data", 7);
+        assert_eq!(out, WriteOutcome::Duplicate { real: l(0), silent: true, freed: None });
+        assert_eq!(idx.reference_of(l(0)), Some(1));
+    }
+
+    #[test]
+    fn sole_owner_overwrites_in_place() {
+        let mut idx = DedupIndex::new(16);
+        let mut sh = Shadow::default();
+        write(&mut idx, &mut sh, 2, b"old!", 1);
+        let out = write(&mut idx, &mut sh, 2, b"new!", 2);
+        assert_eq!(
+            out,
+            WriteOutcome::Stored { target: l(2), freed: None, in_place: true }
+        );
+        // Stale hash was cleaned: old content no longer matches anywhere.
+        let lookup = idx.lookup(1, b"old!", |r| sh.content(r));
+        assert_eq!(lookup.matched, None);
+    }
+
+    #[test]
+    fn shared_line_cannot_be_overwritten_in_place() {
+        let mut idx = DedupIndex::new(16);
+        let mut sh = Shadow::default();
+        write(&mut idx, &mut sh, 0, b"shared", 5);
+        write(&mut idx, &mut sh, 1, b"shared", 5); // 1 → line 0, ref 2
+        // Address 0 overwrites: content at line 0 still referenced by 1.
+        let out = write(&mut idx, &mut sh, 0, b"fresh!", 6);
+        match out {
+            WriteOutcome::Stored { target, freed, in_place } => {
+                assert_ne!(target, l(0), "must not clobber shared line");
+                assert_eq!(freed, None);
+                assert!(!in_place);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Address 1 still reads the shared content's line.
+        assert_eq!(idx.resolve(l(1)), Some(l(0)));
+        assert_eq!(idx.reference_of(l(0)), Some(1));
+    }
+
+    #[test]
+    fn last_dereference_frees_the_line() {
+        let mut idx = DedupIndex::new(16);
+        let mut sh = Shadow::default();
+        write(&mut idx, &mut sh, 0, b"a", 1);
+        write(&mut idx, &mut sh, 1, b"b", 2); // line 1
+        write(&mut idx, &mut sh, 1, b"a", 1); // 1 remaps to line 0; line 1 freed in-place? no:
+        // address 1 was sole owner of line 1, but this is a *duplicate*
+        // write, so line 1 is unlinked and freed.
+        assert_eq!(idx.resolve(l(1)), Some(l(0)));
+        assert_eq!(idx.digest_of(l(1)), None);
+        assert_eq!(idx.free_lines(), 15);
+        assert_eq!(idx.reference_of(l(0)), Some(2));
+    }
+
+    #[test]
+    fn collision_candidates_are_byte_checked() {
+        let mut idx = DedupIndex::new(16);
+        let mut sh = Shadow::default();
+        // Two different contents forced under the same digest.
+        write(&mut idx, &mut sh, 0, b"aaaa", 42);
+        let lookup = idx.lookup(42, b"bbbb", |r| sh.content(r));
+        assert_eq!(lookup.matched, None);
+        assert_eq!(lookup.comparisons, 1);
+        assert_eq!(idx.false_matches(), 1);
+        // Storing the colliding content keeps both in one bucket.
+        idx.apply_store(l(1), 42);
+        sh.store(l(1), b"bbbb");
+        let hit = idx.lookup(42, b"bbbb", |r| sh.content(r));
+        assert_eq!(hit.matched, Some(l(1)));
+        idx.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn saturation_blocks_further_dedup() {
+        let mut idx = DedupIndex::new(400);
+        let mut sh = Shadow::default();
+        write(&mut idx, &mut sh, 0, b"hot", 3);
+        for i in 1..255 {
+            let out = write(&mut idx, &mut sh, i, b"hot", 3);
+            assert!(matches!(out, WriteOutcome::Duplicate { .. }), "i={i}");
+        }
+        assert_eq!(idx.reference_of(l(0)), Some(255));
+        // The 256th writer is NOT deduplicated (reference would overflow).
+        let out = write(&mut idx, &mut sh, 300, b"hot", 3);
+        assert!(matches!(out, WriteOutcome::Stored { .. }));
+        assert!(idx.saturated_skips() >= 1);
+    }
+
+    #[test]
+    fn unwritten_addresses_resolve_to_none() {
+        let idx = DedupIndex::new(4);
+        assert_eq!(idx.resolve(l(2)), None);
+        assert!(!idx.is_written(l(2)));
+    }
+
+    #[test]
+    fn dedup_to_own_home_held_by_others() {
+        let mut idx = DedupIndex::new(16);
+        let mut sh = Shadow::default();
+        // Address 0 writes content; address 1 dedups to line 0; address 0
+        // overwrites (moves to a free line); now address 0 writes the shared
+        // content again — matching line 0, its own home.
+        write(&mut idx, &mut sh, 0, b"shared", 5);
+        write(&mut idx, &mut sh, 1, b"shared", 5);
+        write(&mut idx, &mut sh, 0, b"other!", 6);
+        let out = write(&mut idx, &mut sh, 0, b"shared", 5);
+        // Address 0's interim line (its sole-owned "other!" line) is freed
+        // as its reference moves back to line 0.
+        assert_eq!(out, WriteOutcome::Duplicate { real: l(0), silent: false, freed: Some(l(1)) });
+        assert_eq!(idx.resolve(l(0)), Some(l(0)));
+        assert_eq!(idx.reference_of(l(0)), Some(2));
+    }
+
+    #[test]
+    fn write_counters_accumulate() {
+        let mut idx = DedupIndex::new(8);
+        let mut sh = Shadow::default();
+        write(&mut idx, &mut sh, 0, b"x", 1);
+        write(&mut idx, &mut sh, 1, b"x", 1);
+        write(&mut idx, &mut sh, 2, b"y", 2);
+        assert_eq!(idx.dup_writes(), 1);
+        assert_eq!(idx.stored_writes(), 2);
+        assert_eq!(idx.resident_lines(), 2);
+        let refs: Vec<u8> = idx.reference_counts().collect();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs.iter().map(|&r| u64::from(r)).sum::<u64>(), 3);
+    }
+}

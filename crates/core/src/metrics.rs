@@ -1,0 +1,123 @@
+//! Per-run experiment reports.
+
+use dewrite_mem::LatencyStats;
+use dewrite_nvm::EnergyBreakdown;
+
+use crate::schemes::{BaseMetrics, DeWriteMetrics};
+
+/// Everything one (scheme × workload) simulation produces, in the units the
+/// paper's figures use.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Workload/application name.
+    pub app: String,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Elapsed core cycles.
+    pub cycles: f64,
+    /// Instructions per cycle (Fig. 17's metric).
+    pub ipc: f64,
+    /// Full write latencies, issue → durable (Fig. 14).
+    pub write_latency: LatencyStats,
+    /// Write latencies of eliminated (duplicate) writes only.
+    pub write_latency_eliminated: LatencyStats,
+    /// Write latencies of writes that reached the NVM array.
+    pub write_latency_stored: LatencyStats,
+    /// Read latencies (Fig. 16).
+    pub read_latency: LatencyStats,
+    /// Controller critical-path write latencies (Fig. 15's metric).
+    pub write_critical: LatencyStats,
+    /// Scheme counters (writes, eliminations, metadata traffic …).
+    pub base: BaseMetrics,
+    /// Energy consumed during the measured window.
+    pub energy: EnergyBreakdown,
+    /// NVM data-line writes that reached the array.
+    pub nvm_data_writes: u64,
+    /// Average fraction of line bits programmed per array write.
+    pub bit_flip_ratio: f64,
+    /// DeWrite-specific metrics, when the scheme is DeWrite.
+    pub dewrite: Option<DeWriteMetrics>,
+}
+
+impl RunReport {
+    /// Fraction of writes whose NVM write was eliminated (Fig. 12).
+    pub fn write_reduction(&self) -> f64 {
+        if self.base.writes == 0 {
+            0.0
+        } else {
+            self.base.writes_eliminated as f64 / self.base.writes as f64
+        }
+    }
+
+    /// Write speedup of this run versus `baseline` (mean write latency
+    /// ratio, Fig. 14).
+    pub fn write_speedup_vs(&self, baseline: &RunReport) -> f64 {
+        ratio(baseline.write_latency.mean_ns(), self.write_latency.mean_ns())
+    }
+
+    /// Read speedup versus `baseline` (Fig. 16).
+    pub fn read_speedup_vs(&self, baseline: &RunReport) -> f64 {
+        ratio(baseline.read_latency.mean_ns(), self.read_latency.mean_ns())
+    }
+
+    /// Relative IPC versus `baseline` (Fig. 17).
+    pub fn relative_ipc_vs(&self, baseline: &RunReport) -> f64 {
+        ratio(self.ipc, baseline.ipc)
+    }
+
+    /// Relative total energy versus `baseline` (Fig. 19).
+    pub fn relative_energy_vs(&self, baseline: &RunReport) -> f64 {
+        ratio(self.energy.total_pj() as f64, baseline.energy.total_pj() as f64)
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(write_mean: u64, read_mean: u64, ipc: f64) -> RunReport {
+        let mut r = RunReport {
+            ipc,
+            ..RunReport::default()
+        };
+        r.write_latency.record(write_mean);
+        r.read_latency.record(read_mean);
+        r.base.writes = 100;
+        r.base.writes_eliminated = 54;
+        r
+    }
+
+    #[test]
+    fn write_reduction_is_eliminated_over_total() {
+        let r = report(100, 100, 1.0);
+        assert!((r.write_reduction() - 0.54).abs() < 1e-12);
+        assert_eq!(RunReport::default().write_reduction(), 0.0);
+    }
+
+    #[test]
+    fn speedups_are_baseline_over_self() {
+        let dewrite = report(100, 50, 1.8);
+        let baseline = report(400, 150, 1.0);
+        assert!((dewrite.write_speedup_vs(&baseline) - 4.0).abs() < 1e-12);
+        assert!((dewrite.read_speedup_vs(&baseline) - 3.0).abs() < 1e-12);
+        assert!((dewrite.relative_ipc_vs(&baseline) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_yield_zero() {
+        let a = report(0, 0, 0.0);
+        let b = RunReport::default();
+        assert_eq!(a.relative_ipc_vs(&b), 0.0);
+        assert_eq!(a.relative_energy_vs(&b), 0.0);
+    }
+}

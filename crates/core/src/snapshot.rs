@@ -1,0 +1,273 @@
+//! Controller-state snapshot: serialize the durable metadata (dedup tables
+//! and per-line counters) so a DeWrite memory can power-cycle.
+//!
+//! In hardware, this state lives in the encrypted NVM metadata region and
+//! survives power loss by construction (given one of the §V persistence
+//! schemes for the *cached* portion). In the simulator, the authoritative
+//! copies are in-controller structures, so a restart needs an explicit
+//! snapshot: [`DeWrite::snapshot`](crate::DeWrite::snapshot) captures it,
+//! [`DeWrite::restore`](crate::DeWrite::restore) rebuilds a controller over
+//! the same device, and [`DeWrite::scrub`](crate::DeWrite::scrub) verifies
+//! the result.
+//!
+//! The format is a small length-checked binary codec (magic `DWSS`,
+//! version, then the mapping/residency/counter records).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+use dewrite_crypto::LineCounter;
+use dewrite_nvm::LineAddr;
+
+use crate::dedup::DedupIndex;
+
+/// Magic bytes of a snapshot stream.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"DWSS";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// The durable controller state of a DeWrite memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Number of data lines the index covers.
+    pub lines: u64,
+    /// `initAddr → realAddr` for every written address (identity entries
+    /// included, so residency can be rebuilt).
+    pub mappings: Vec<(u64, u64)>,
+    /// `realAddr → digest` for every resident line.
+    pub residents: Vec<(u64, u32)>,
+    /// `line → counter` for every line ever encrypted.
+    pub counters: Vec<(u64, u32)>,
+}
+
+impl Snapshot {
+    /// Capture the durable state from an index and counter map.
+    pub fn capture(index: &DedupIndex, counters: &HashMap<u64, LineCounter>) -> Self {
+        let mut mappings = Vec::new();
+        let mut residents = Vec::new();
+        for i in 0..index.lines() {
+            let init = LineAddr::new(i);
+            if let Some(real) = index.resolve(init) {
+                mappings.push((i, real.index()));
+            }
+            if let Some(digest) = index.digest_of(init) {
+                residents.push((i, digest));
+            }
+        }
+        let mut counters: Vec<(u64, u32)> =
+            counters.iter().map(|(&l, c)| (l, c.value())).collect();
+        counters.sort_unstable();
+        mappings.sort_unstable();
+        residents.sort_unstable();
+        Snapshot {
+            lines: index.lines(),
+            mappings,
+            residents,
+            counters,
+        }
+    }
+
+    /// Rebuild the dedup index and counter map.
+    ///
+    /// The hash table is reconstructed from the resident set: one entry per
+    /// resident line, with reference counts recomputed from the mappings —
+    /// exactly what a recovery scan of the inverted table would produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency (mapping to a
+    /// non-resident line, out-of-range address).
+    pub fn rebuild(&self) -> Result<(DedupIndex, HashMap<u64, LineCounter>), String> {
+        let mut index = DedupIndex::new(self.lines);
+        let resident: HashMap<u64, u32> = self.residents.iter().copied().collect();
+
+        // Install every resident line first (owner stores)…
+        for &(line, digest) in &self.residents {
+            if line >= self.lines {
+                return Err(format!("resident line {line} out of range"));
+            }
+            index.restore_resident(LineAddr::new(line), digest);
+        }
+        // …then re-link every written address.
+        for &(init, real) in &self.mappings {
+            if init >= self.lines || real >= self.lines {
+                return Err(format!("mapping {init}->{real} out of range"));
+            }
+            if !resident.contains_key(&real) {
+                return Err(format!("mapping {init}->{real} targets a non-resident line"));
+            }
+            index.restore_mapping(LineAddr::new(init), LineAddr::new(real));
+        }
+        index
+            .check_invariants()
+            .map_err(|e| format!("rebuilt index is inconsistent: {e}"))?;
+
+        let mut counters = HashMap::new();
+        for &(line, value) in &self.counters {
+            counters.insert(line, LineCounter::from_value(value));
+        }
+        Ok((index, counters))
+    }
+
+    /// Serialize to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(&SNAPSHOT_MAGIC)?;
+        w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        w.write_all(&self.lines.to_le_bytes())?;
+        let write_u64_pairs = |w: &mut W, items: &[(u64, u64)]| -> io::Result<()> {
+            w.write_all(&(items.len() as u64).to_le_bytes())?;
+            for &(a, b) in items {
+                w.write_all(&a.to_le_bytes())?;
+                w.write_all(&b.to_le_bytes())?;
+            }
+            Ok(())
+        };
+        write_u64_pairs(&mut w, &self.mappings)?;
+        w.write_all(&(self.residents.len() as u64).to_le_bytes())?;
+        for &(line, digest) in &self.residents {
+            w.write_all(&line.to_le_bytes())?;
+            w.write_all(&digest.to_le_bytes())?;
+        }
+        w.write_all(&(self.counters.len() as u64).to_le_bytes())?;
+        for &(line, ctr) in &self.counters {
+            w.write_all(&line.to_le_bytes())?;
+            w.write_all(&ctr.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on bad magic/version or a
+    /// truncated stream.
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a DeWrite snapshot"));
+        }
+        let mut ver = [0u8; 2];
+        r.read_exact(&mut ver)?;
+        if u16::from_le_bytes(ver) != SNAPSHOT_VERSION {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported snapshot version"));
+        }
+        let mut u64buf = [0u8; 8];
+        let mut read_u64 = |r: &mut R| -> io::Result<u64> {
+            r.read_exact(&mut u64buf)?;
+            Ok(u64::from_le_bytes(u64buf))
+        };
+        let lines = read_u64(&mut r)?;
+        let n = read_u64(&mut r)? as usize;
+        let mut mappings = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let a = read_u64(&mut r)?;
+            let b = read_u64(&mut r)?;
+            mappings.push((a, b));
+        }
+        let n = read_u64(&mut r)? as usize;
+        let mut residents = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let line = read_u64(&mut r)?;
+            let mut d = [0u8; 4];
+            r.read_exact(&mut d)?;
+            residents.push((line, u32::from_le_bytes(d)));
+        }
+        let n = read_u64(&mut r)? as usize;
+        let mut counters = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let line = read_u64(&mut r)?;
+            let mut c = [0u8; 4];
+            r.read_exact(&mut c)?;
+            counters.push((line, u32::from_le_bytes(c)));
+        }
+        Ok(Snapshot {
+            lines,
+            mappings,
+            residents,
+            counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> (DedupIndex, HashMap<u64, LineCounter>) {
+        let mut idx = DedupIndex::new(16);
+        // line 0 stores content A (digest 10), lines 1 and 2 dedup to it;
+        // line 3 stores content B (digest 20).
+        idx.apply_store(LineAddr::new(0), 10);
+        idx.apply_duplicate(LineAddr::new(1), LineAddr::new(0));
+        idx.apply_duplicate(LineAddr::new(2), LineAddr::new(0));
+        idx.apply_store(LineAddr::new(3), 20);
+        let mut counters = HashMap::new();
+        counters.insert(0u64, LineCounter::from_value(5));
+        counters.insert(3u64, LineCounter::from_value(2));
+        (idx, counters)
+    }
+
+    #[test]
+    fn capture_rebuild_roundtrip() {
+        let (idx, counters) = sample_index();
+        let snap = Snapshot::capture(&idx, &counters);
+        let (rebuilt, rcounters) = snap.rebuild().expect("rebuild");
+        assert_eq!(rebuilt.resolve(LineAddr::new(1)), Some(LineAddr::new(0)));
+        assert_eq!(rebuilt.resolve(LineAddr::new(2)), Some(LineAddr::new(0)));
+        assert_eq!(rebuilt.resolve(LineAddr::new(3)), Some(LineAddr::new(3)));
+        assert_eq!(rebuilt.reference_of(LineAddr::new(0)), Some(3));
+        assert_eq!(rebuilt.digest_of(LineAddr::new(3)), Some(20));
+        assert_eq!(rcounters[&0].value(), 5);
+        rebuilt.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let (idx, counters) = sample_index();
+        let snap = Snapshot::capture(&idx, &counters);
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).expect("encode");
+        let decoded = Snapshot::read_from(buf.as_slice()).expect("decode");
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(Snapshot::read_from(&b"NOPE"[..]).is_err());
+        let (idx, counters) = sample_index();
+        let snap = Snapshot::capture(&idx, &counters);
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).expect("encode");
+        buf.truncate(buf.len() - 3);
+        assert!(Snapshot::read_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rebuild_rejects_dangling_mapping() {
+        let snap = Snapshot {
+            lines: 8,
+            mappings: vec![(1, 5)],
+            residents: vec![], // line 5 is not resident
+            counters: vec![],
+        };
+        let err = snap.rebuild().expect_err("dangling mapping");
+        assert!(err.contains("non-resident"), "{err}");
+    }
+
+    #[test]
+    fn rebuild_rejects_out_of_range() {
+        let snap = Snapshot {
+            lines: 4,
+            mappings: vec![],
+            residents: vec![(9, 1)],
+            counters: vec![],
+        };
+        assert!(snap.rebuild().is_err());
+    }
+}

@@ -1,0 +1,585 @@
+//! The four deduplication data structures (§III-B2).
+//!
+//! This module implements the *functional* layer of the tables — exact
+//! contents and invariants. Timing (metadata-cache hits, NVM accesses,
+//! prefetch) is layered on top by the scheme implementations, which mirror
+//! every table operation with a cache access keyed by the entry index.
+//!
+//! * [`HashTable`] — digest → {realAddr, reference}; multiple entries per
+//!   digest are possible (CRC-32 collisions) and references saturate at 255.
+//! * [`AddrMapTable`] — initAddr → realAddr for deduplicated lines.
+//! * [`InvertedTable`] — realAddr → digest, for cleaning stale hashes when a
+//!   resident line is overwritten or freed.
+//! * [`FreeSpaceTable`] — one bit per line; allocation prefers a caller-
+//!   provided home line for locality.
+
+use std::collections::HashMap;
+
+use dewrite_nvm::LineAddr;
+
+/// Saturation limit of the 8-bit reference field. Lines that reach it are
+/// "highly referenced": further duplicates of their content are *not*
+/// deduplicated, preventing overflow (§III-B2).
+pub const MAX_REFERENCE: u8 = 255;
+
+/// One hash-table entry: a resident line and its reference count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashEntry {
+    /// The physical line holding the content.
+    pub real: LineAddr,
+    /// Number of initial addresses mapped to `real`.
+    pub reference: u8,
+}
+
+/// The digest-indexed duplicate-lookup table.
+#[derive(Debug, Clone, Default)]
+pub struct HashTable {
+    buckets: HashMap<u32, Vec<HashEntry>>,
+    entries: usize,
+    collision_buckets: u64,
+    saturated_hits: u64,
+}
+
+impl HashTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All entries whose content hashes to `digest` (collision candidates).
+    pub fn candidates(&self, digest: u32) -> &[HashEntry] {
+        self.buckets.get(&digest).map_or(&[], Vec::as_slice)
+    }
+
+    /// Insert a new resident line with reference count 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real` is already present under `digest` — the caller must
+    /// clean stale entries first (that is what the inverted table is for).
+    pub fn insert(&mut self, digest: u32, real: LineAddr) {
+        let bucket = self.buckets.entry(digest).or_default();
+        assert!(
+            !bucket.iter().any(|e| e.real == real),
+            "line {real} already indexed under digest {digest:#x}"
+        );
+        bucket.push(HashEntry { real, reference: 1 });
+        if bucket.len() == 2 {
+            self.collision_buckets += 1;
+        }
+        self.entries += 1;
+    }
+
+    /// Recovery-path insert with an explicit starting reference (0 is
+    /// allowed transiently while mappings are being re-linked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real` is already present under `digest`.
+    pub(crate) fn insert_with_reference(&mut self, digest: u32, real: LineAddr, reference: u8) {
+        let bucket = self.buckets.entry(digest).or_default();
+        assert!(
+            !bucket.iter().any(|e| e.real == real),
+            "line {real} already indexed under digest {digest:#x}"
+        );
+        bucket.push(HashEntry { real, reference });
+        if bucket.len() == 2 {
+            self.collision_buckets += 1;
+        }
+        self.entries += 1;
+    }
+
+    /// Increment the reference of `real` under `digest`. Returns `false`
+    /// (and changes nothing) if the reference is saturated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry does not exist.
+    pub fn add_reference(&mut self, digest: u32, real: LineAddr) -> bool {
+        let entry = self
+            .buckets
+            .get_mut(&digest)
+            .and_then(|b| b.iter_mut().find(|e| e.real == real))
+            .expect("add_reference on missing hash entry");
+        if entry.reference == MAX_REFERENCE {
+            self.saturated_hits += 1;
+            return false;
+        }
+        entry.reference += 1;
+        true
+    }
+
+    /// Decrement the reference of `real` under `digest`. Returns the new
+    /// count; at zero the entry is removed and the line can be freed.
+    /// Saturated entries stay saturated (their true count is unknown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry does not exist.
+    pub fn release_reference(&mut self, digest: u32, real: LineAddr) -> u8 {
+        let bucket = self
+            .buckets
+            .get_mut(&digest)
+            .expect("release_reference on missing digest");
+        let idx = bucket
+            .iter()
+            .position(|e| e.real == real)
+            .expect("release_reference on missing hash entry");
+        let entry = &mut bucket[idx];
+        if entry.reference == MAX_REFERENCE {
+            return MAX_REFERENCE;
+        }
+        entry.reference -= 1;
+        let remaining = entry.reference;
+        if remaining == 0 {
+            bucket.swap_remove(idx);
+            self.entries -= 1;
+            if bucket.is_empty() {
+                self.buckets.remove(&digest);
+            }
+        }
+        remaining
+    }
+
+    /// Remove the entry for `real` under `digest` regardless of references
+    /// (used when the owner's content is overwritten and nobody references
+    /// it anymore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry does not exist.
+    pub fn remove(&mut self, digest: u32, real: LineAddr) {
+        let bucket = self.buckets.get_mut(&digest).expect("remove on missing digest");
+        let idx = bucket
+            .iter()
+            .position(|e| e.real == real)
+            .expect("remove on missing hash entry");
+        bucket.swap_remove(idx);
+        self.entries -= 1;
+        if bucket.is_empty() {
+            self.buckets.remove(&digest);
+        }
+    }
+
+    /// The reference count of `real` under `digest`, if present.
+    pub fn reference(&self, digest: u32, real: LineAddr) -> Option<u8> {
+        self.buckets
+            .get(&digest)?
+            .iter()
+            .find(|e| e.real == real)
+            .map(|e| e.reference)
+    }
+
+    /// Total entries across all buckets.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Buckets that ever held ≥2 entries (digest collisions, Fig. 6).
+    pub fn collision_buckets(&self) -> u64 {
+        self.collision_buckets
+    }
+
+    /// Duplicate detections skipped because the entry was saturated.
+    pub fn saturated_hits(&self) -> u64 {
+        self.saturated_hits
+    }
+
+    /// Record that a duplicate of a saturated entry was declined without
+    /// going through [`add_reference`](Self::add_reference).
+    pub(crate) fn note_saturated_hit(&mut self) {
+        self.saturated_hits += 1;
+    }
+
+    /// Iterate over `(digest, entry)` pairs (reference-count distribution,
+    /// Fig. 7).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &HashEntry)> {
+        self.buckets
+            .iter()
+            .flat_map(|(&d, bucket)| bucket.iter().map(move |e| (d, e)))
+    }
+}
+
+/// The initAddr → realAddr mapping for deduplicated lines.
+///
+/// A line absent from the table is *not deduplicated*: its data lives in its
+/// home location (realAddr = initAddr). This matches the paper's colocation
+/// observation — absent/"null" slots hold the encryption counter instead.
+#[derive(Debug, Clone, Default)]
+pub struct AddrMapTable {
+    map: HashMap<u64, LineAddr>,
+}
+
+impl AddrMapTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve `init` to the physical line holding its data.
+    pub fn resolve(&self, init: LineAddr) -> LineAddr {
+        self.map.get(&init.index()).copied().unwrap_or(init)
+    }
+
+    /// Whether `init` is deduplicated (mapped away from home).
+    pub fn is_mapped(&self, init: LineAddr) -> bool {
+        self.map.contains_key(&init.index())
+    }
+
+    /// Map `init` to `real`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real == init` — identity mappings are represented by
+    /// absence.
+    pub fn map_to(&mut self, init: LineAddr, real: LineAddr) {
+        assert_ne!(init, real, "identity mappings are implicit");
+        self.map.insert(init.index(), real);
+    }
+
+    /// Remove `init`'s mapping (its data is back in its home line).
+    pub fn unmap(&mut self, init: LineAddr) {
+        self.map.remove(&init.index());
+    }
+
+    /// Number of deduplicated (mapped) lines.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no lines are deduplicated.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The realAddr → digest table for stale-hash cleaning.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedTable {
+    map: HashMap<u64, u32>,
+}
+
+impl InvertedTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The digest of the content resident at `real`, if any.
+    pub fn digest_of(&self, real: LineAddr) -> Option<u32> {
+        self.map.get(&real.index()).copied()
+    }
+
+    /// Record that `real` now holds content with `digest`.
+    pub fn set(&mut self, real: LineAddr, digest: u32) {
+        self.map.insert(real.index(), digest);
+    }
+
+    /// Clear the record for `real` (line freed). Returns the stale digest.
+    pub fn clear(&mut self, real: LineAddr) -> Option<u32> {
+        self.map.remove(&real.index())
+    }
+
+    /// Number of resident (hash-indexed) lines.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no lines are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The free-space bitmap (1 bit per line).
+#[derive(Debug, Clone)]
+pub struct FreeSpaceTable {
+    // true = free
+    free: Vec<bool>,
+    free_count: u64,
+}
+
+impl FreeSpaceTable {
+    /// All `lines` start free.
+    pub fn new(lines: u64) -> Self {
+        FreeSpaceTable {
+            free: vec![true; lines as usize],
+            free_count: lines,
+        }
+    }
+
+    /// Number of lines tracked.
+    pub fn lines(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Number of free lines.
+    pub fn free_lines(&self) -> u64 {
+        self.free_count
+    }
+
+    /// Whether `line` is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn is_free(&self, line: LineAddr) -> bool {
+        self.free[line.index() as usize]
+    }
+
+    /// Mark `line` occupied.
+    pub fn occupy(&mut self, line: LineAddr) {
+        let slot = &mut self.free[line.index() as usize];
+        if *slot {
+            *slot = false;
+            self.free_count -= 1;
+        }
+    }
+
+    /// Mark `line` free.
+    pub fn release(&mut self, line: LineAddr) {
+        let slot = &mut self.free[line.index() as usize];
+        if !*slot {
+            *slot = true;
+            self.free_count += 1;
+        }
+    }
+
+    /// Allocate a line, preferring `home` if free, otherwise scanning
+    /// outward from it (preserves locality as the sequential tables assume).
+    /// Returns `None` when memory is exhausted.
+    pub fn allocate(&mut self, home: LineAddr) -> Option<LineAddr> {
+        self.allocate_within(home, 0, self.free.len() as u64)
+    }
+
+    /// Allocate within the half-open range `[lo, hi)` only, preferring
+    /// `home` (which must lie in the range). Used by per-tenant dedup
+    /// domains so relocated lines never leave their domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, out of bounds, or excludes `home`.
+    pub fn allocate_within(&mut self, home: LineAddr, lo: u64, hi: u64) -> Option<LineAddr> {
+        assert!(lo < hi && hi <= self.free.len() as u64, "bad range {lo}..{hi}");
+        assert!(
+            (lo..hi).contains(&home.index()),
+            "home {home} outside range {lo}..{hi}"
+        );
+        let span = hi - lo;
+        let start = home.index();
+        for offset in 0..span {
+            let idx = lo + ((start - lo) + offset) % span;
+            if self.free[idx as usize] {
+                self.occupy(LineAddr::new(idx));
+                return Some(LineAddr::new(idx));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn l(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    // ---- HashTable ----
+
+    #[test]
+    fn hash_insert_and_candidates() {
+        let mut t = HashTable::new();
+        assert!(t.candidates(0xAB).is_empty());
+        t.insert(0xAB, l(3));
+        assert_eq!(t.candidates(0xAB), &[HashEntry { real: l(3), reference: 1 }]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn hash_collisions_share_a_bucket() {
+        let mut t = HashTable::new();
+        t.insert(0xAB, l(1));
+        t.insert(0xAB, l(2)); // different content, same digest
+        assert_eq!(t.candidates(0xAB).len(), 2);
+        assert_eq!(t.collision_buckets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already indexed")]
+    fn hash_double_insert_rejected() {
+        let mut t = HashTable::new();
+        t.insert(0xAB, l(1));
+        t.insert(0xAB, l(1));
+    }
+
+    #[test]
+    fn references_count_up_and_down() {
+        let mut t = HashTable::new();
+        t.insert(7, l(9));
+        assert!(t.add_reference(7, l(9)));
+        assert_eq!(t.reference(7, l(9)), Some(2));
+        assert_eq!(t.release_reference(7, l(9)), 1);
+        assert_eq!(t.release_reference(7, l(9)), 0);
+        assert!(t.candidates(7).is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn references_saturate_at_255() {
+        let mut t = HashTable::new();
+        t.insert(1, l(0));
+        for _ in 0..(MAX_REFERENCE as usize - 1) {
+            assert!(t.add_reference(1, l(0)));
+        }
+        assert_eq!(t.reference(1, l(0)), Some(MAX_REFERENCE));
+        // Saturated: further duplicates are rejected and counted.
+        assert!(!t.add_reference(1, l(0)));
+        assert_eq!(t.saturated_hits(), 1);
+        // Saturated entries never decrement (true count unknown).
+        assert_eq!(t.release_reference(1, l(0)), MAX_REFERENCE);
+        assert_eq!(t.reference(1, l(0)), Some(MAX_REFERENCE));
+    }
+
+    #[test]
+    fn remove_deletes_regardless_of_reference() {
+        let mut t = HashTable::new();
+        t.insert(5, l(2));
+        t.add_reference(5, l(2));
+        t.remove(5, l(2));
+        assert!(t.candidates(5).is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let mut t = HashTable::new();
+        t.insert(1, l(10));
+        t.insert(2, l(20));
+        t.insert(2, l(21));
+        let mut seen: Vec<(u32, u64)> = t.iter().map(|(d, e)| (d, e.real.index())).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(1, 10), (2, 20), (2, 21)]);
+    }
+
+    // ---- AddrMapTable ----
+
+    #[test]
+    fn addr_map_defaults_to_identity() {
+        let m = AddrMapTable::new();
+        assert_eq!(m.resolve(l(4)), l(4));
+        assert!(!m.is_mapped(l(4)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn addr_map_roundtrip() {
+        let mut m = AddrMapTable::new();
+        m.map_to(l(4), l(9));
+        assert_eq!(m.resolve(l(4)), l(9));
+        assert!(m.is_mapped(l(4)));
+        assert_eq!(m.len(), 1);
+        m.unmap(l(4));
+        assert_eq!(m.resolve(l(4)), l(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "identity mappings")]
+    fn addr_map_rejects_identity() {
+        let mut m = AddrMapTable::new();
+        m.map_to(l(4), l(4));
+    }
+
+    // ---- InvertedTable ----
+
+    #[test]
+    fn inverted_set_get_clear() {
+        let mut t = InvertedTable::new();
+        assert_eq!(t.digest_of(l(1)), None);
+        t.set(l(1), 0xDEAD);
+        assert_eq!(t.digest_of(l(1)), Some(0xDEAD));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.clear(l(1)), Some(0xDEAD));
+        assert!(t.is_empty());
+        assert_eq!(t.clear(l(1)), None);
+    }
+
+    // ---- FreeSpaceTable ----
+
+    #[test]
+    fn fsm_allocates_home_first() {
+        let mut f = FreeSpaceTable::new(8);
+        assert_eq!(f.free_lines(), 8);
+        assert_eq!(f.allocate(l(3)), Some(l(3)));
+        assert!(!f.is_free(l(3)));
+        assert_eq!(f.free_lines(), 7);
+    }
+
+    #[test]
+    fn fsm_scans_outward_when_home_taken() {
+        let mut f = FreeSpaceTable::new(4);
+        f.occupy(l(1));
+        assert_eq!(f.allocate(l(1)), Some(l(2)));
+    }
+
+    #[test]
+    fn fsm_wraps_around() {
+        let mut f = FreeSpaceTable::new(4);
+        f.occupy(l(3));
+        f.occupy(l(0));
+        assert_eq!(f.allocate(l(3)), Some(l(1)));
+    }
+
+    #[test]
+    fn fsm_exhaustion_returns_none() {
+        let mut f = FreeSpaceTable::new(2);
+        assert!(f.allocate(l(0)).is_some());
+        assert!(f.allocate(l(0)).is_some());
+        assert_eq!(f.allocate(l(0)), None);
+        assert_eq!(f.free_lines(), 0);
+    }
+
+    #[test]
+    fn fsm_release_and_idempotence() {
+        let mut f = FreeSpaceTable::new(2);
+        f.occupy(l(0));
+        f.occupy(l(0)); // idempotent
+        assert_eq!(f.free_lines(), 1);
+        f.release(l(0));
+        f.release(l(0)); // idempotent
+        assert_eq!(f.free_lines(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn fsm_free_count_is_consistent(ops in proptest::collection::vec((0u64..32, any::<bool>()), 0..200)) {
+            let mut f = FreeSpaceTable::new(32);
+            for (line, occupy) in ops {
+                if occupy { f.occupy(l(line)); } else { f.release(l(line)); }
+                let actual = (0..32).filter(|&i| f.is_free(l(i))).count() as u64;
+                prop_assert_eq!(actual, f.free_lines());
+            }
+        }
+
+        #[test]
+        fn hash_len_matches_iter(inserts in proptest::collection::vec((0u32..8, 0u64..64), 0..64)) {
+            let mut t = HashTable::new();
+            let mut present = std::collections::HashSet::new();
+            for (digest, real) in inserts {
+                if present.insert((digest, real)) {
+                    t.insert(digest, l(real));
+                }
+            }
+            prop_assert_eq!(t.len(), t.iter().count());
+            prop_assert_eq!(t.len(), present.len());
+        }
+    }
+}

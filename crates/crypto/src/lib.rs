@@ -1,0 +1,50 @@
+//! Memory encryption for non-volatile main memory (NVMM).
+//!
+//! Implements the two CPU-side encryption models described in §II-B of the
+//! DeWrite paper:
+//!
+//! * **Counter-mode encryption** ([`CounterModeEngine`]) — the data path.
+//!   A one-time pad is derived from the secret key, the line address, and a
+//!   per-line counter ([`LineCounter`]); pad generation overlaps the NVM read
+//!   so only an XOR sits on the read critical path.
+//! * **Direct encryption** ([`DirectEngine`]) — the metadata path. Blocks are
+//!   passed through the cipher directly; decryption serializes with the
+//!   memory access, which is acceptable because metadata-cache hit rates are
+//!   high.
+//!
+//! The block cipher is a from-scratch AES-128 ([`Aes128`], FIPS-197 test
+//! vectors in the test suite). Real ciphertext is produced so that diffusion
+//! effects — the reason bit-level write-reduction schemes fail on encrypted
+//! NVM — are *measured* rather than assumed by downstream experiments.
+//!
+//! Hardware costs follow §IV-A: 96 ns AES latency per 256 B line
+//! ([`AES_LINE_LATENCY_NS`]) and 5.9 nJ per 128-bit block
+//! ([`AES_BLOCK_ENERGY_PJ`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dewrite_crypto::{CounterModeEngine, LineCounter};
+//!
+//! let engine = CounterModeEngine::new(b"an example key!!");
+//! let mut counter = LineCounter::new();
+//! assert!(counter.increment()); // every write bumps the counter
+//!
+//! let plaintext = vec![42u8; 256];
+//! let ciphertext = engine.encrypt_line(&plaintext, 0x8000, counter);
+//! assert_eq!(engine.decrypt_line(&ciphertext, 0x8000, counter), plaintext);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aes;
+mod counter;
+mod engine;
+
+pub use aes::Aes128;
+pub use counter::{LineCounter, COUNTER_BITS, COUNTER_MAX};
+pub use engine::{
+    aes_line_energy_pj, CounterModeEngine, DirectEngine, AES_BLOCK_ENERGY_PJ,
+    AES_LINE_LATENCY_NS, OTP_XOR_LATENCY_NS,
+};

@@ -1,0 +1,225 @@
+//! Table-driven CRC-32 (IEEE 802.3) and CRC-32C (Castagnoli).
+//!
+//! Both are reflected CRCs with initial value `0xFFFF_FFFF` and final XOR
+//! `0xFFFF_FFFF`. The lookup tables are built at construction time from the
+//! reflected polynomial; a bitwise reference implementation is kept in the
+//! test module to cross-check the tables.
+
+use crate::traits::{HashAlgorithm, LineHasher};
+
+/// Reflected polynomial for CRC-32 (IEEE 802.3 / zlib / PNG).
+const POLY_IEEE: u32 = 0xEDB8_8320;
+/// Reflected polynomial for CRC-32C (Castagnoli / iSCSI / SSE4.2).
+const POLY_CASTAGNOLI: u32 = 0x82F6_3B78;
+
+/// Shared table-driven engine for reflected 32-bit CRCs.
+#[derive(Clone)]
+struct CrcEngine {
+    table: [u32; 256],
+}
+
+impl CrcEngine {
+    fn new(reflected_poly: u32) -> Self {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ reflected_poly
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        CrcEngine { table }
+    }
+
+    fn checksum(&self, data: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in data {
+            let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+            crc = (crc >> 8) ^ self.table[idx];
+        }
+        crc ^ 0xFFFF_FFFF
+    }
+}
+
+impl std::fmt::Debug for CrcEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrcEngine")
+            .field("table[1]", &format_args!("{:#010x}", self.table[1]))
+            .finish()
+    }
+}
+
+/// CRC-32 (IEEE 802.3) — the light-weight fingerprint used by DeWrite.
+///
+/// ```
+/// use dewrite_hashes::Crc32;
+/// let crc = Crc32::new();
+/// // The canonical "123456789" check value.
+/// assert_eq!(crc.checksum(b"123456789"), 0xCBF4_3926);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    engine: CrcEngine,
+}
+
+impl Crc32 {
+    /// Create a CRC-32 hasher (builds the 256-entry lookup table).
+    pub fn new() -> Self {
+        Crc32 {
+            engine: CrcEngine::new(POLY_IEEE),
+        }
+    }
+
+    /// Compute the CRC-32 checksum of `data`.
+    pub fn checksum(&self, data: &[u8]) -> u32 {
+        self.engine.checksum(data)
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LineHasher for Crc32 {
+    fn algorithm(&self) -> HashAlgorithm {
+        HashAlgorithm::Crc32
+    }
+
+    fn digest(&self, data: &[u8]) -> u64 {
+        u64::from(self.checksum(data))
+    }
+}
+
+/// CRC-32C (Castagnoli) — same circuit cost, different polynomial; used in
+/// the hash-function ablation experiment.
+///
+/// ```
+/// use dewrite_hashes::Crc32c;
+/// let crc = Crc32c::new();
+/// assert_eq!(crc.checksum(b"123456789"), 0xE306_9283);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32c {
+    engine: CrcEngine,
+}
+
+impl Crc32c {
+    /// Create a CRC-32C hasher (builds the 256-entry lookup table).
+    pub fn new() -> Self {
+        Crc32c {
+            engine: CrcEngine::new(POLY_CASTAGNOLI),
+        }
+    }
+
+    /// Compute the CRC-32C checksum of `data`.
+    pub fn checksum(&self, data: &[u8]) -> u32 {
+        self.engine.checksum(data)
+    }
+}
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LineHasher for Crc32c {
+    fn algorithm(&self) -> HashAlgorithm {
+        HashAlgorithm::Crc32c
+    }
+
+    fn digest(&self, data: &[u8]) -> u64 {
+        u64::from(self.checksum(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Bitwise (table-free) reference implementation.
+    fn crc32_bitwise(poly: u32, data: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in data {
+            crc ^= u32::from(b);
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ poly } else { crc >> 1 };
+            }
+        }
+        crc ^ 0xFFFF_FFFF
+    }
+
+    #[test]
+    fn ieee_check_vectors() {
+        let crc = Crc32::new();
+        assert_eq!(crc.checksum(b""), 0x0000_0000);
+        assert_eq!(crc.checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc.checksum(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc.checksum(b"abc"), 0x3524_41C2);
+        assert_eq!(
+            crc.checksum(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn castagnoli_check_vectors() {
+        let crc = Crc32c::new();
+        assert_eq!(crc.checksum(b""), 0x0000_0000);
+        assert_eq!(crc.checksum(b"123456789"), 0xE306_9283);
+        // RFC 3720 B.4: 32 bytes of zeros.
+        assert_eq!(crc.checksum(&[0u8; 32]), 0x8A91_36AA);
+        // RFC 3720 B.4: 32 bytes of 0xFF.
+        assert_eq!(crc.checksum(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn digest_matches_checksum() {
+        let crc = Crc32::new();
+        assert_eq!(crc.digest(b"xyz"), u64::from(crc.checksum(b"xyz")));
+    }
+
+    #[test]
+    fn zero_line_has_stable_digest() {
+        // The hash table keys zero lines like any other content; make sure
+        // the digest of a 256 B zero line is fixed across instances.
+        let a = Crc32::new().digest(&[0u8; 256]);
+        let b = Crc32::new().digest(&[0u8; 256]);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn table_matches_bitwise_ieee(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let crc = Crc32::new();
+            prop_assert_eq!(crc.checksum(&data), crc32_bitwise(POLY_IEEE, &data));
+        }
+
+        #[test]
+        fn table_matches_bitwise_castagnoli(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let crc = Crc32c::new();
+            prop_assert_eq!(crc.checksum(&data), crc32_bitwise(POLY_CASTAGNOLI, &data));
+        }
+
+        #[test]
+        fn single_bit_flip_changes_checksum(
+            mut data in proptest::collection::vec(any::<u8>(), 1..256),
+            idx in any::<usize>(),
+            bit in 0u8..8,
+        ) {
+            let crc = Crc32::new();
+            let before = crc.checksum(&data);
+            let i = idx % data.len();
+            data[i] ^= 1 << bit;
+            // CRC-32 detects all single-bit errors.
+            prop_assert_ne!(crc.checksum(&data), before);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! MD5 (RFC 1321), the second traditional-deduplication fingerprint.
+
+use crate::traits::{HashAlgorithm, LineHasher};
+
+/// Per-round left-rotation amounts.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Binary integer parts of abs(sin(i+1)) * 2^32.
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+/// One-shot MD5 digest of `data` (16 bytes).
+///
+/// ```
+/// use dewrite_hashes::md5_digest;
+/// let d = md5_digest(b"abc");
+/// assert_eq!(d[0], 0x90);
+/// ```
+pub fn md5_digest(data: &[u8]) -> [u8; 16] {
+    let mut a0: u32 = 0x6745_2301;
+    let mut b0: u32 = 0xefcd_ab89;
+    let mut c0: u32 = 0x98ba_dcfe;
+    let mut d0: u32 = 0x1032_5476;
+
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_le_bytes());
+
+    for block in msg.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for (j, word) in block.chunks_exact(4).enumerate() {
+            m[j] = u32::from_le_bytes([word[0], word[1], word[2], word[3]]);
+        }
+
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let (f, g) = match i {
+                0..=15 => ((b & c) | ((!b) & d), i),
+                16..=31 => ((d & b) | ((!d) & c), (5 * i + 1) % 16),
+                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+
+        a0 = a0.wrapping_add(a);
+        b0 = b0.wrapping_add(b);
+        c0 = c0.wrapping_add(c);
+        d0 = d0.wrapping_add(d);
+    }
+
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&a0.to_le_bytes());
+    out[4..8].copy_from_slice(&b0.to_le_bytes());
+    out[8..12].copy_from_slice(&c0.to_le_bytes());
+    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    out
+}
+
+/// MD5 hasher with the Table I(a) cost model (312 ns, 128-bit digest).
+///
+/// ```
+/// use dewrite_hashes::{LineHasher, Md5};
+/// let h = Md5::new();
+/// assert_eq!(h.cost().latency_ns, 312);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Md5;
+
+impl Md5 {
+    /// Create an MD5 hasher.
+    pub fn new() -> Self {
+        Md5
+    }
+
+    /// Compute the full 128-bit digest of `data`.
+    pub fn full_digest(&self, data: &[u8]) -> [u8; 16] {
+        md5_digest(data)
+    }
+}
+
+impl LineHasher for Md5 {
+    fn algorithm(&self) -> HashAlgorithm {
+        HashAlgorithm::Md5
+    }
+
+    fn digest(&self, data: &[u8]) -> u64 {
+        let d = md5_digest(data);
+        u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc1321_vectors() {
+        assert_eq!(hex(&md5_digest(b"")), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(hex(&md5_digest(b"a")), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(hex(&md5_digest(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(
+            hex(&md5_digest(b"message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
+        assert_eq!(
+            hex(&md5_digest(b"abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+        assert_eq!(
+            hex(&md5_digest(
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+            )),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+        assert_eq!(
+            hex(&md5_digest(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            )),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        for len in [55usize, 56, 63, 64, 65, 119, 120, 128] {
+            let msg = vec![0xA7u8; len];
+            assert_eq!(md5_digest(&msg), md5_digest(&msg), "len {len}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn deterministic(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+            prop_assert_eq!(md5_digest(&data), md5_digest(&data));
+        }
+
+        #[test]
+        fn avalanche_on_one_bit(
+            mut data in proptest::collection::vec(any::<u8>(), 1..128),
+            idx in any::<usize>(),
+        ) {
+            let before = md5_digest(&data);
+            let i = idx % data.len();
+            data[i] ^= 0x80;
+            let after = md5_digest(&data);
+            let flipped: u32 = before.iter().zip(after.iter())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            prop_assert!(flipped > 30 && flipped < 100, "flipped {flipped}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! SHA-1 (FIPS 180-1), the fingerprint of traditional storage deduplication.
+//!
+//! SHA-1 is cryptographically broken for collision resistance, but that is
+//! irrelevant here: the paper uses it purely as the representative
+//! *expensive* fingerprint (321 ns in hardware) against which CRC-32 + byte
+//! compare is contrasted.
+
+use crate::traits::{HashAlgorithm, LineHasher};
+
+/// One-shot SHA-1 digest of `data` (20 bytes).
+///
+/// ```
+/// use dewrite_hashes::sha1_digest;
+/// let d = sha1_digest(b"abc");
+/// assert_eq!(d[0], 0xA9);
+/// ```
+pub fn sha1_digest(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [
+        0x6745_2301,
+        0xEFCD_AB89,
+        0x98BA_DCFE,
+        0x1032_5476,
+        0xC3D2_E1F0,
+    ];
+
+    // Message padding: 0x80, zeros, then the 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for block in msg.chunks_exact(64) {
+        for (t, word) in block.chunks_exact(4).enumerate() {
+            w[t] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wt);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// SHA-1 hasher with the Table I(a) cost model (321 ns, 160-bit digest).
+///
+/// ```
+/// use dewrite_hashes::{LineHasher, Sha1};
+/// let h = Sha1::new();
+/// assert_eq!(h.cost().latency_ns, 321);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sha1;
+
+impl Sha1 {
+    /// Create a SHA-1 hasher.
+    pub fn new() -> Self {
+        Sha1
+    }
+
+    /// Compute the full 160-bit digest of `data`.
+    pub fn full_digest(&self, data: &[u8]) -> [u8; 20] {
+        sha1_digest(data)
+    }
+}
+
+impl LineHasher for Sha1 {
+    fn algorithm(&self) -> HashAlgorithm {
+        HashAlgorithm::Sha1
+    }
+
+    fn digest(&self, data: &[u8]) -> u64 {
+        let d = sha1_digest(data);
+        u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(
+            hex(&sha1_digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&sha1_digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+        assert_eq!(
+            hex(&sha1_digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let msg = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha1_digest(&msg)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn exact_block_boundary_lengths() {
+        // Padding edge cases: 55, 56, 63, 64, 65 bytes.
+        for len in [55usize, 56, 63, 64, 65] {
+            let msg = vec![0x5Au8; len];
+            let d1 = sha1_digest(&msg);
+            let d2 = sha1_digest(&msg);
+            assert_eq!(d1, d2, "len {len}");
+        }
+    }
+
+    #[test]
+    fn digest_is_leading_bits_of_full() {
+        let h = Sha1::new();
+        let full = h.full_digest(b"hello");
+        let lead = u64::from_be_bytes(full[..8].try_into().unwrap());
+        assert_eq!(h.digest(b"hello"), lead);
+    }
+
+    proptest! {
+        #[test]
+        fn deterministic(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+            prop_assert_eq!(sha1_digest(&data), sha1_digest(&data));
+        }
+
+        #[test]
+        fn avalanche_on_one_bit(
+            mut data in proptest::collection::vec(any::<u8>(), 1..128),
+            idx in any::<usize>(),
+        ) {
+            let before = sha1_digest(&data);
+            let i = idx % data.len();
+            data[i] ^= 0x01;
+            let after = sha1_digest(&data);
+            let flipped: u32 = before.iter().zip(after.iter())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            // Diffusion: expect roughly half of 160 bits to flip; accept a
+            // generous window to keep the test robust.
+            prop_assert!(flipped > 40 && flipped < 120, "flipped {flipped}");
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! The on-chip metadata cache.
+//!
+//! Secure-NVMM proposals keep a write-back cache of per-line counters in the
+//! memory controller; DeWrite reuses it for all deduplication metadata
+//! (§III-B). This is a set-associative, write-back cache over abstract
+//! 64-bit entry keys — callers namespace keys per table — with LRU or FIFO
+//! replacement and support for the sequential-prefetch insertions the
+//! address-mapping / inverted-hash / FSM tables rely on (Fig. 21 sweeps both
+//! capacity and prefetch granularity).
+
+/// Replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// Least-recently-used (the paper's choice).
+    #[default]
+    Lru,
+    /// First-in-first-out (ablation alternative).
+    Fifo,
+}
+
+/// Cache geometry and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in entries.
+    pub capacity: usize,
+    /// Ways per set.
+    pub associativity: usize,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// A capacity-`n` cache with 8-way sets and LRU replacement.
+    pub fn with_capacity(n: usize) -> Self {
+        CacheConfig {
+            capacity: n,
+            associativity: 8,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// Number of sets.
+    fn num_sets(&self) -> usize {
+        (self.capacity / self.associativity).max(1)
+    }
+}
+
+/// Hit/miss accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand lookups that hit.
+    pub hits: u64,
+    /// Demand lookups that missed.
+    pub misses: u64,
+    /// Entries inserted on demand.
+    pub demand_inserts: u64,
+    /// Entries inserted by prefetch.
+    pub prefetch_inserts: u64,
+    /// Dirty entries evicted (these become NVM metadata writes).
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Demand hit rate in `[0, 1]`; zero if no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way {
+    key: u64,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// An entry evicted from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted key.
+    pub key: u64,
+    /// Whether it was dirty (must be written back to NVM).
+    pub dirty: bool,
+}
+
+/// Set-associative write-back metadata cache.
+///
+/// ```
+/// use dewrite_mem::{CacheConfig, MetadataCache};
+///
+/// let mut cache = MetadataCache::new(CacheConfig::with_capacity(64));
+/// assert!(!cache.access(7, false));      // cold miss
+/// cache.insert(7, false);
+/// assert!(cache.access(7, true));        // hit, now dirty
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetadataCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl MetadataCache {
+    /// Create an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity or associativity is zero.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.capacity > 0, "cache capacity must be nonzero");
+        assert!(config.associativity > 0, "associativity must be nonzero");
+        let sets = vec![Vec::with_capacity(config.associativity); config.num_sets()];
+        MetadataCache {
+            config,
+            sets,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        // Multiplicative hashing spreads sequential keys across sets while
+        // staying deterministic.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.sets.len()
+    }
+
+    /// Demand lookup. On a hit, refreshes recency (LRU) and ORs in the
+    /// `write` dirty bit. Returns whether it hit.
+    pub fn access(&mut self, key: u64, write: bool) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let is_lru = self.config.replacement == Replacement::Lru;
+        let set = self.set_of(key);
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.key == key) {
+            if is_lru {
+                way.stamp = clock;
+            }
+            way.dirty |= write;
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Whether `key` is resident (no statistics side effects).
+    pub fn contains(&self, key: u64) -> bool {
+        let set = self.set_of(key);
+        self.sets[set].iter().any(|w| w.key == key)
+    }
+
+    /// Insert `key` (demand fill). Returns the victim if one was evicted.
+    pub fn insert(&mut self, key: u64, dirty: bool) -> Option<Evicted> {
+        self.stats.demand_inserts += 1;
+        self.insert_inner(key, dirty)
+    }
+
+    /// Insert a run of `count` sequential keys starting at `start`
+    /// (prefetch fill; entries arrive clean). Returns the number of dirty
+    /// victims evicted.
+    pub fn prefetch_run(&mut self, start: u64, count: usize) -> u64 {
+        let mut dirty_victims = 0;
+        for k in 0..count as u64 {
+            let key = start + k;
+            if !self.contains(key) {
+                self.stats.prefetch_inserts += 1;
+                if let Some(ev) = self.insert_inner(key, false) {
+                    if ev.dirty {
+                        dirty_victims += 1;
+                    }
+                }
+            }
+        }
+        dirty_victims
+    }
+
+    fn insert_inner(&mut self, key: u64, dirty: bool) -> Option<Evicted> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.set_of(key);
+        let assoc = self.config.associativity;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.iter_mut().find(|w| w.key == key) {
+            way.dirty |= dirty;
+            way.stamp = clock;
+            return None;
+        }
+
+        let victim = if set.len() >= assoc {
+            // Evict the way with the smallest stamp (LRU: last touch;
+            // FIFO: insertion time — stamps are only refreshed under LRU).
+            let idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .expect("set is nonempty");
+            let w = set.swap_remove(idx);
+            if w.dirty {
+                self.stats.dirty_evictions += 1;
+            }
+            Some(Evicted {
+                key: w.key,
+                dirty: w.dirty,
+            })
+        } else {
+            None
+        };
+
+        set.push(Way {
+            key,
+            dirty,
+            stamp: clock,
+        });
+        victim
+    }
+
+    /// Clear every dirty bit, returning how many entries were dirty —
+    /// the write-backs a flush (epoch persistence) must perform.
+    pub fn flush_dirty(&mut self) -> u64 {
+        let mut flushed = 0;
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                if way.dirty {
+                    way.dirty = false;
+                    flushed += 1;
+                }
+            }
+        }
+        flushed
+    }
+
+    /// Number of currently dirty entries.
+    pub fn dirty_count(&self) -> u64 {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|w| w.dirty)
+            .count() as u64
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small(assoc: usize, capacity: usize) -> MetadataCache {
+        MetadataCache::new(CacheConfig {
+            capacity,
+            associativity: assoc,
+            replacement: Replacement::Lru,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small(2, 4);
+        assert!(!c.access(1, false));
+        c.insert(1, false);
+        assert!(c.access(1, false));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_access_marks_dirty_and_eviction_reports_it() {
+        // Fully-associative single set of 2.
+        let mut c = small(2, 2);
+        c.insert(1, false);
+        assert!(c.access(1, true)); // dirtied by write hit
+        c.insert(2, false);
+        // Force eviction of 1 (LRU: 1 was touched before 2's insert).
+        let mut victims = Vec::new();
+        for k in 3..100 {
+            if let Some(v) = c.insert(k, false) {
+                victims.push(v);
+            }
+        }
+        assert!(victims.iter().any(|v| v.key == 1 && v.dirty));
+        assert!(c.stats().dirty_evictions >= 1);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut c = small(2, 2); // one set, two ways
+        c.insert(1, false);
+        c.insert(2, false);
+        assert!(c.access(1, false)); // 1 is now MRU
+        let v = c.insert(3, false).expect("full set evicts");
+        assert_eq!(v.key, 2);
+        assert!(c.contains(1));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut c = MetadataCache::new(CacheConfig {
+            capacity: 2,
+            associativity: 2,
+            replacement: Replacement::Fifo,
+        });
+        c.insert(1, false);
+        c.insert(2, false);
+        assert!(c.access(1, false)); // touch does not refresh under FIFO
+        let v = c.insert(3, false).expect("full set evicts");
+        assert_eq!(v.key, 1, "FIFO evicts the oldest insertion");
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = small(2, 2);
+        c.insert(1, false);
+        assert!(c.insert(1, true).is_none());
+        assert_eq!(c.len(), 1);
+        // The single entry must now be dirty: evict it and check.
+        c.insert(2, false);
+        let v = c.insert(3, false).unwrap();
+        assert!(v.key == 1 && v.dirty);
+    }
+
+    #[test]
+    fn prefetch_inserts_clean_and_counts() {
+        let mut c = small(4, 64);
+        let dirty = c.prefetch_run(100, 16);
+        assert_eq!(dirty, 0);
+        assert_eq!(c.stats().prefetch_inserts, 16);
+        assert!(c.access(100, false));
+        assert!(c.access(115, false));
+    }
+
+    #[test]
+    fn prefetch_skips_resident_keys() {
+        let mut c = small(4, 64);
+        c.insert(100, true);
+        c.prefetch_run(100, 4);
+        assert_eq!(c.stats().prefetch_inserts, 3);
+        // Resident dirty entry must keep its dirty bit.
+        assert!(c.contains(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = MetadataCache::new(CacheConfig::with_capacity(0));
+    }
+
+    #[test]
+    fn flush_clears_all_dirty_bits() {
+        let mut c = small(4, 32);
+        c.insert(1, true);
+        c.insert(2, false);
+        c.insert(3, true);
+        assert_eq!(c.dirty_count(), 2);
+        assert_eq!(c.flush_dirty(), 2);
+        assert_eq!(c.dirty_count(), 0);
+        assert_eq!(c.flush_dirty(), 0);
+        // Entries remain resident after a flush.
+        assert!(c.contains(1) && c.contains(2) && c.contains(3));
+        // A flushed entry evicts clean.
+        for k in 10..200 {
+            c.insert(k, false);
+        }
+        assert_eq!(c.stats().dirty_evictions, 0);
+    }
+
+    #[test]
+    fn bigger_cache_hits_more_on_looping_scan() {
+        // Scan a 512-entry loop through a 128-entry and a 1024-entry cache.
+        let run = |capacity: usize| {
+            let mut c = MetadataCache::new(CacheConfig::with_capacity(capacity));
+            for round in 0..4 {
+                for k in 0..512u64 {
+                    if !c.access(k, false) {
+                        c.insert(k, false);
+                    }
+                    let _ = round;
+                }
+            }
+            c.stats().hit_rate()
+        };
+        assert!(run(1024) > run(128));
+        assert!(run(1024) > 0.7, "loop fits: expect high hit rate");
+    }
+
+    proptest! {
+        #[test]
+        fn len_never_exceeds_capacity(keys in proptest::collection::vec(any::<u64>(), 0..500)) {
+            let mut c = small(4, 32);
+            for k in keys {
+                if !c.access(k, k % 2 == 0) {
+                    c.insert(k, k % 2 == 0);
+                }
+            }
+            prop_assert!(c.len() <= 32 + 4); // sets may round capacity up slightly
+        }
+
+        #[test]
+        fn inserted_key_is_resident(key in any::<u64>()) {
+            let mut c = small(4, 32);
+            c.insert(key, false);
+            prop_assert!(c.contains(key));
+            prop_assert!(c.access(key, false));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! A simple in-order core model for IPC accounting.
+//!
+//! The paper's premise (§III) is that in *persistent* memory, writes sit on
+//! the critical path: ordering is enforced with cache-line flushes and
+//! fences, so the processor stalls until each memory write completes, and
+//! reads stall the pipeline as demand misses always have. This model charges
+//! one base cycle per instruction plus the full memory latency (converted to
+//! cycles) for every stalling access, which is exactly the mechanism that
+//! turns DeWrite's latency savings into the IPC gains of Fig. 17.
+
+/// Core clock and pipeline parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Core frequency in GHz (cycles per nanosecond).
+    pub freq_ghz: f64,
+    /// Base cycles per instruction when not stalled on memory.
+    pub base_cpi: f64,
+}
+
+impl CoreConfig {
+    /// The paper-style configuration: 2 GHz, CPI 1.
+    pub fn paper() -> Self {
+        CoreConfig {
+            freq_ghz: 2.0,
+            base_cpi: 1.0,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::paper()
+    }
+}
+
+/// Running instruction/cycle totals for one simulated core.
+///
+/// ```
+/// use dewrite_mem::{CoreConfig, CoreModel};
+///
+/// let mut core = CoreModel::new(CoreConfig::paper());
+/// core.execute(1_000);
+/// core.stall_ns(500); // a persist-ordered write completing in 500 ns
+/// assert!(core.ipc() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreModel {
+    config: CoreConfig,
+    instructions: u64,
+    cycles: f64,
+    stall_cycles: f64,
+}
+
+impl CoreModel {
+    /// A fresh core at cycle zero.
+    pub fn new(config: CoreConfig) -> Self {
+        assert!(config.freq_ghz > 0.0, "frequency must be positive");
+        assert!(config.base_cpi > 0.0, "base CPI must be positive");
+        CoreModel {
+            config,
+            instructions: 0,
+            cycles: 0.0,
+            stall_cycles: 0.0,
+        }
+    }
+
+    /// Retire `n` instructions at the base CPI.
+    pub fn execute(&mut self, n: u32) {
+        self.instructions += u64::from(n);
+        self.cycles += f64::from(n) * self.config.base_cpi;
+    }
+
+    /// Stall the pipeline for a memory access taking `ns` nanoseconds.
+    pub fn stall_ns(&mut self, ns: u64) {
+        let cycles = ns as f64 * self.config.freq_ghz;
+        self.cycles += cycles;
+        self.stall_cycles += cycles;
+    }
+
+    /// Total retired instructions.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Total elapsed cycles.
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Cycles spent stalled on memory.
+    pub fn stall_cycles(&self) -> f64 {
+        self.stall_cycles
+    }
+
+    /// Elapsed wall-clock time in nanoseconds.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.cycles / self.config.freq_ghz
+    }
+
+    /// Instructions per cycle; zero before any work.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_compute_hits_base_ipc() {
+        let mut c = CoreModel::new(CoreConfig::paper());
+        c.execute(10_000);
+        assert!((c.ipc() - 1.0).abs() < 1e-12);
+        assert_eq!(c.instructions(), 10_000);
+        assert_eq!(c.stall_cycles(), 0.0);
+    }
+
+    #[test]
+    fn stalls_reduce_ipc() {
+        let mut c = CoreModel::new(CoreConfig::paper());
+        c.execute(1_000);
+        let ipc_before = c.ipc();
+        c.stall_ns(300);
+        assert!(c.ipc() < ipc_before);
+        // 300 ns at 2 GHz = 600 cycles.
+        assert!((c.stall_cycles() - 600.0).abs() < 1e-9);
+        assert!((c.cycles() - 1_600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elapsed_time_follows_frequency() {
+        let mut c = CoreModel::new(CoreConfig {
+            freq_ghz: 4.0,
+            base_cpi: 1.0,
+        });
+        c.execute(4_000);
+        assert!((c.elapsed_ns() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_core_reports_zero_ipc() {
+        let c = CoreModel::new(CoreConfig::paper());
+        assert_eq!(c.ipc(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn zero_frequency_rejected() {
+        let _ = CoreModel::new(CoreConfig {
+            freq_ghz: 0.0,
+            base_cpi: 1.0,
+        });
+    }
+
+    #[test]
+    fn lower_memory_latency_means_higher_ipc() {
+        // The Fig. 17 mechanism in miniature.
+        let run = |write_ns: u64| {
+            let mut c = CoreModel::new(CoreConfig::paper());
+            for _ in 0..100 {
+                c.execute(50);
+                c.stall_ns(write_ns);
+            }
+            c.ipc()
+        };
+        let dedup = run(75); // duplicate writes cost ~a read
+        let baseline = run(300 + 96); // encrypt + write serially
+        assert!(dedup > baseline * 2.0, "dedup {dedup} baseline {baseline}");
+    }
+}

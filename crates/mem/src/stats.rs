@@ -1,0 +1,162 @@
+//! Latency statistics accumulation.
+
+/// Streaming latency summary (count / total / min / max).
+///
+/// ```
+/// use dewrite_mem::LatencyStats;
+///
+/// let mut s = LatencyStats::new();
+/// s.record(100);
+/// s.record(300);
+/// assert_eq!(s.mean_ns(), 200.0);
+/// assert_eq!(s.max_ns(), 300);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencyStats {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns += ns;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Mean latency; zero when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Minimum observation; zero when empty.
+    pub fn min_ns(&self) -> u64 {
+        self.min_ns
+    }
+
+    /// Maximum observation; zero when empty.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}ns min={}ns max={}ns",
+            self.count,
+            self.mean_ns(),
+            self.min_ns,
+            self.max_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean_ns(), 0.0);
+        assert_eq!(s.min_ns(), 0);
+        assert_eq!(s.max_ns(), 0);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = LatencyStats::new();
+        s.record(42);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean_ns(), 42.0);
+        assert_eq!(s.min_ns(), 42);
+        assert_eq!(s.max_ns(), 42);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = LatencyStats::new();
+        s.record(10);
+        let snapshot = s;
+        s.merge(&LatencyStats::new());
+        assert_eq!(s, snapshot);
+
+        let mut empty = LatencyStats::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(xs in proptest::collection::vec(0u64..10_000, 0..50),
+                                   ys in proptest::collection::vec(0u64..10_000, 0..50)) {
+            let mut a = LatencyStats::new();
+            for &x in &xs { a.record(x); }
+            let mut b = LatencyStats::new();
+            for &y in &ys { b.record(y); }
+            a.merge(&b);
+
+            let mut c = LatencyStats::new();
+            for &v in xs.iter().chain(ys.iter()) { c.record(v); }
+            prop_assert_eq!(a, c);
+        }
+
+        #[test]
+        fn invariants(xs in proptest::collection::vec(0u64..10_000, 1..100)) {
+            let mut s = LatencyStats::new();
+            for &x in &xs { s.record(x); }
+            prop_assert!(s.min_ns() <= s.max_ns());
+            prop_assert!(s.mean_ns() >= s.min_ns() as f64);
+            prop_assert!(s.mean_ns() <= s.max_ns() as f64);
+            prop_assert_eq!(s.count(), xs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Bank-level contention model.
+//!
+//! The performance mechanism behind DeWrite's read/write speedups is
+//! queueing: "when a write request is served by an NVM bank, the following
+//! read/write requests to the same bank are blocked and wait until the
+//! current write request is completed" (§I). Each bank therefore tracks the
+//! time until which it is busy; a request arriving earlier waits.
+
+/// One NVM bank with first-come-first-served occupancy and a single open
+/// row buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bank {
+    busy_until_ns: u64,
+    busy_time_ns: u64,
+    accesses: u64,
+    open_row: Option<u64>,
+    row_hits: u64,
+}
+
+/// Outcome of scheduling one access on a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankSlot {
+    /// When the access actually starts service (≥ arrival).
+    pub start_ns: u64,
+    /// When the access completes.
+    pub finish_ns: u64,
+    /// Queueing delay suffered before service (`start - arrival`).
+    pub wait_ns: u64,
+}
+
+impl Bank {
+    /// A fresh, idle bank.
+    pub fn new() -> Self {
+        Bank::default()
+    }
+
+    /// Schedule an access arriving at `now_ns` that occupies the bank for
+    /// `service_ns`. Returns the slot; the bank becomes busy until
+    /// `finish_ns`.
+    pub fn schedule(&mut self, now_ns: u64, service_ns: u64) -> BankSlot {
+        let start = now_ns.max(self.busy_until_ns);
+        let finish = start + service_ns;
+        self.busy_until_ns = finish;
+        self.busy_time_ns += service_ns;
+        self.accesses += 1;
+        BankSlot {
+            start_ns: start,
+            finish_ns: finish,
+            wait_ns: start - now_ns,
+        }
+    }
+
+    /// When the bank next becomes idle.
+    pub fn busy_until_ns(&self) -> u64 {
+        self.busy_until_ns
+    }
+
+    /// Total service time accumulated on this bank.
+    pub fn busy_time_ns(&self) -> u64 {
+        self.busy_time_ns
+    }
+
+    /// Number of accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Accesses served from the open row buffer.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Schedule an access to `row`, taking `hit_service_ns` if the row
+    /// buffer already holds it and `miss_service_ns` otherwise (which opens
+    /// the row). Returns the slot and whether it was a row hit.
+    pub fn schedule_row(
+        &mut self,
+        now_ns: u64,
+        row: u64,
+        hit_service_ns: u64,
+        miss_service_ns: u64,
+    ) -> (BankSlot, bool) {
+        let hit = self.open_row == Some(row);
+        let service = if hit { hit_service_ns } else { miss_service_ns };
+        let slot = self.schedule(now_ns, service);
+        if hit {
+            self.row_hits += 1;
+        } else {
+            self.open_row = Some(row);
+        }
+        (slot, hit)
+    }
+}
+
+/// A group of banks with line-interleaved address mapping.
+///
+/// ```
+/// use dewrite_nvm::BankSet;
+/// let mut banks = BankSet::new(8);
+/// let slot = banks.schedule(0, 0, 300);
+/// assert_eq!(slot.wait_ns, 0);
+/// // A second access to the same line (bank 0) queues behind the first…
+/// let slot2 = banks.schedule(0, 10, 75);
+/// assert_eq!(slot2.wait_ns, 290);
+/// // …but an access to bank 1 proceeds immediately.
+/// let slot3 = banks.schedule(1, 10, 75);
+/// assert_eq!(slot3.wait_ns, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BankSet {
+    banks: Vec<Bank>,
+}
+
+impl BankSet {
+    /// Create `n` idle banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a memory needs at least one bank");
+        BankSet {
+            banks: vec![Bank::new(); n],
+        }
+    }
+
+    /// Number of banks.
+    pub fn len(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Whether the set is empty (never true; see [`BankSet::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.banks.is_empty()
+    }
+
+    /// Map a line index to its bank (low-order interleaving).
+    pub fn bank_of(&self, line_index: u64) -> usize {
+        (line_index % self.banks.len() as u64) as usize
+    }
+
+    /// Schedule an access on the bank holding `line_index`.
+    pub fn schedule(&mut self, line_index: u64, now_ns: u64, service_ns: u64) -> BankSlot {
+        let b = self.bank_of(line_index);
+        self.banks[b].schedule(now_ns, service_ns)
+    }
+
+    /// Row of `line_index` within its bank, with `lines_per_row` lines per
+    /// row (bank-interleaved addressing).
+    pub fn row_of(&self, line_index: u64, lines_per_row: u64) -> u64 {
+        (line_index / self.banks.len() as u64) / lines_per_row.max(1)
+    }
+
+    /// Schedule a row-buffer-aware access on the bank holding `line_index`.
+    pub fn schedule_row(
+        &mut self,
+        line_index: u64,
+        lines_per_row: u64,
+        now_ns: u64,
+        hit_service_ns: u64,
+        miss_service_ns: u64,
+    ) -> (BankSlot, bool) {
+        let b = self.bank_of(line_index);
+        let row = self.row_of(line_index, lines_per_row);
+        self.banks[b].schedule_row(now_ns, row, hit_service_ns, miss_service_ns)
+    }
+
+    /// Total row-buffer hits across all banks.
+    pub fn row_hits(&self) -> u64 {
+        self.banks.iter().map(Bank::row_hits).sum()
+    }
+
+    /// Iterate over the banks (for utilization reporting).
+    pub fn iter(&self) -> std::slice::Iter<'_, Bank> {
+        self.banks.iter()
+    }
+
+    /// Aggregate queueing statistics: (total busy ns, total accesses).
+    pub fn totals(&self) -> (u64, u64) {
+        self.banks
+            .iter()
+            .fold((0, 0), |(t, a), b| (t + b.busy_time_ns(), a + b.accesses()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn idle_bank_serves_immediately() {
+        let mut b = Bank::new();
+        let s = b.schedule(100, 300);
+        assert_eq!(s.start_ns, 100);
+        assert_eq!(s.finish_ns, 400);
+        assert_eq!(s.wait_ns, 0);
+    }
+
+    #[test]
+    fn busy_bank_queues() {
+        let mut b = Bank::new();
+        b.schedule(0, 300);
+        let s = b.schedule(50, 75);
+        assert_eq!(s.start_ns, 300);
+        assert_eq!(s.finish_ns, 375);
+        assert_eq!(s.wait_ns, 250);
+    }
+
+    #[test]
+    fn late_arrival_after_idle_does_not_wait() {
+        let mut b = Bank::new();
+        b.schedule(0, 300);
+        let s = b.schedule(1_000, 75);
+        assert_eq!(s.wait_ns, 0);
+        assert_eq!(s.start_ns, 1_000);
+    }
+
+    #[test]
+    fn bank_accounting() {
+        let mut b = Bank::new();
+        b.schedule(0, 300);
+        b.schedule(0, 75);
+        assert_eq!(b.accesses(), 2);
+        assert_eq!(b.busy_time_ns(), 375);
+        assert_eq!(b.busy_until_ns(), 375);
+    }
+
+    #[test]
+    fn interleaving_spreads_consecutive_lines() {
+        let banks = BankSet::new(8);
+        assert_eq!(banks.bank_of(0), 0);
+        assert_eq!(banks.bank_of(7), 7);
+        assert_eq!(banks.bank_of(8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let _ = BankSet::new(0);
+    }
+
+    #[test]
+    fn totals_aggregate_across_banks() {
+        let mut banks = BankSet::new(2);
+        banks.schedule(0, 0, 300);
+        banks.schedule(1, 0, 75);
+        let (busy, accesses) = banks.totals();
+        assert_eq!(busy, 375);
+        assert_eq!(accesses, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn service_order_is_fcfs_per_bank(times in proptest::collection::vec(0u64..10_000, 1..50)) {
+            // Arrivals in nondecreasing time order must finish in order too.
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            let mut b = Bank::new();
+            let mut last_finish = 0;
+            for t in sorted {
+                let s = b.schedule(t, 300);
+                prop_assert!(s.start_ns >= t);
+                prop_assert!(s.finish_ns > last_finish);
+                last_finish = s.finish_ns;
+            }
+        }
+
+        #[test]
+        fn wait_is_zero_iff_idle(now in 0u64..1_000, service in 1u64..1_000) {
+            let mut b = Bank::new();
+            let s1 = b.schedule(now, service);
+            prop_assert_eq!(s1.wait_ns, 0);
+            let s2 = b.schedule(now, service);
+            prop_assert_eq!(s2.wait_ns, service);
+        }
+    }
+}

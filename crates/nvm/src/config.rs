@@ -1,0 +1,135 @@
+//! Device configuration (Table II of the paper).
+
+use crate::energy::EnergyParams;
+use crate::line::DEFAULT_LINE_SIZE;
+use crate::timing::Timing;
+
+/// Configuration of the simulated NVM main memory.
+///
+/// Defaults reproduce the paper's Table II: 16 GB PCM, 256 B lines, with the
+/// PCM timing/energy models. Experiments and unit tests shrink the capacity;
+/// the device stores lines sparsely, so capacity only bounds the address
+/// space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NvmConfig {
+    /// Total capacity, in bytes.
+    pub capacity_bytes: u64,
+    /// Line size, in bytes.
+    pub line_size: usize,
+    /// Number of banks (line-interleaved).
+    pub banks: usize,
+    /// Lines per row buffer within a bank (row size = lines_per_row × line
+    /// size; 16 × 256 B = 4 KB rows by default).
+    pub lines_per_row: u64,
+    /// Timing parameters.
+    pub timing: Timing,
+    /// Energy parameters.
+    pub energy: EnergyParams,
+}
+
+impl NvmConfig {
+    /// The paper's evaluation configuration: 16 GB PCM, 256 B lines,
+    /// 4 effective banks (our bank is coarser than NVMain's rank/bank/bus
+    /// hierarchy, so fewer effective banks stand in for the unmodeled
+    /// channel-level serialization).
+    pub fn paper() -> Self {
+        NvmConfig {
+            capacity_bytes: 16 << 30,
+            line_size: DEFAULT_LINE_SIZE,
+            banks: 4,
+            lines_per_row: 16,
+            timing: Timing::PCM,
+            energy: EnergyParams::PCM,
+        }
+    }
+
+    /// A small configuration for unit tests (1 MB).
+    pub fn small() -> Self {
+        NvmConfig {
+            capacity_bytes: 1 << 20,
+            ..NvmConfig::paper()
+        }
+    }
+
+    /// Number of addressable lines.
+    ///
+    /// ```
+    /// use dewrite_nvm::NvmConfig;
+    /// assert_eq!(NvmConfig::paper().num_lines(), (16u64 << 30) / 256);
+    /// ```
+    pub fn num_lines(&self) -> u64 {
+        self.capacity_bytes / self.line_size as u64
+    }
+
+    /// Number of bits in one line.
+    pub fn line_bits(&self) -> u64 {
+        self.line_size as u64 * 8
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: zero sizes,
+    /// non-power-of-two line size, or capacity not a multiple of line size.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_size == 0 {
+            return Err("line_size must be nonzero".into());
+        }
+        if !self.line_size.is_power_of_two() {
+            return Err(format!("line_size {} must be a power of two", self.line_size));
+        }
+        if self.banks == 0 {
+            return Err("banks must be nonzero".into());
+        }
+        if self.lines_per_row == 0 {
+            return Err("lines_per_row must be nonzero".into());
+        }
+        if self.capacity_bytes == 0 || !self.capacity_bytes.is_multiple_of(self.line_size as u64) {
+            return Err(format!(
+                "capacity {} must be a nonzero multiple of line_size {}",
+                self.capacity_bytes, self.line_size
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for NvmConfig {
+    fn default() -> Self {
+        NvmConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid_and_matches_table2() {
+        let c = NvmConfig::paper();
+        c.validate().unwrap();
+        assert_eq!(c.capacity_bytes, 16 << 30);
+        assert_eq!(c.line_size, 256);
+        assert_eq!(c.line_bits(), 2048);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = NvmConfig::small();
+        c.line_size = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = NvmConfig::small();
+        c.line_size = 100;
+        assert!(c.validate().unwrap_err().contains("power of two"));
+
+        let mut c = NvmConfig::small();
+        c.banks = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = NvmConfig::small();
+        c.capacity_bytes = 300;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Energy parameters and accounting.
+//!
+//! All energies are in picojoules. PCM array energies follow the common
+//! modeling in the literature the paper builds on (Lee et al., Xu et al.):
+//! writes are several times more expensive than reads and scale with the
+//! number of programmed (flipped) bits; reads scale with the line size.
+
+/// Energy parameters of the simulated NVM plus controller logic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Energy to read one line from the array, in pJ.
+    pub read_line_pj: u64,
+    /// Energy of a read served from the open row buffer, in pJ.
+    pub row_hit_read_pj: u64,
+    /// Fixed overhead energy per line write (drivers, decode), in pJ.
+    pub write_base_pj: u64,
+    /// Energy per programmed (flipped) bit on a write, in pJ.
+    pub write_bit_pj: u64,
+    /// Energy of one hardware line comparison, in pJ.
+    pub compare_pj: u64,
+}
+
+impl EnergyParams {
+    /// PCM-like defaults: 2 pJ/bit read (≈4.1 nJ / 256 B line), 13.5 pJ per
+    /// programmed bit plus a fixed write overhead.
+    pub const PCM: EnergyParams = EnergyParams {
+        read_line_pj: 4_100,
+        row_hit_read_pj: 1_000,
+        write_base_pj: 2_000,
+        write_bit_pj: 14,
+        compare_pj: 30,
+    };
+
+    /// Energy of a write that programs `bits_flipped` bits.
+    pub fn write_energy_pj(&self, bits_flipped: u64) -> u64 {
+        self.write_base_pj + self.write_bit_pj * bits_flipped
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams::PCM
+    }
+}
+
+/// Running energy totals, bucketed by consumer so experiments can report the
+/// breakdown in Fig. 19/20 style (NVM array vs AES circuit vs dedup logic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyBreakdown {
+    /// Energy spent in NVM array reads, pJ.
+    pub nvm_read_pj: u64,
+    /// Energy spent in NVM array writes, pJ.
+    pub nvm_write_pj: u64,
+    /// Energy spent in the AES circuit, pJ.
+    pub aes_pj: u64,
+    /// Energy spent in the dedup logic (hashing + comparison), pJ.
+    pub dedup_pj: u64,
+}
+
+impl EnergyBreakdown {
+    /// A zeroed breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total energy across all buckets, pJ.
+    pub fn total_pj(&self) -> u64 {
+        self.nvm_read_pj + self.nvm_write_pj + self.aes_pj + self.dedup_pj
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.nvm_read_pj += other.nvm_read_pj;
+        self.nvm_write_pj += other.nvm_write_pj;
+        self.aes_pj += other.aes_pj;
+        self.dedup_pj += other.dedup_pj;
+    }
+}
+
+impl std::fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "total {:.3} µJ (nvm-read {:.3}, nvm-write {:.3}, aes {:.3}, dedup {:.3})",
+            self.total_pj() as f64 / 1e6,
+            self.nvm_read_pj as f64 / 1e6,
+            self.nvm_write_pj as f64 / 1e6,
+            self.aes_pj as f64 / 1e6,
+            self.dedup_pj as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_energy_scales_with_bits() {
+        let p = EnergyParams::PCM;
+        assert_eq!(p.write_energy_pj(0), p.write_base_pj);
+        assert!(p.write_energy_pj(2048) > p.write_energy_pj(1024));
+        assert_eq!(
+            p.write_energy_pj(100) - p.write_energy_pj(0),
+            100 * p.write_bit_pj
+        );
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads_at_full_flip() {
+        let p = EnergyParams::PCM;
+        // A full 256 B line rewrite with ~50% of 2048 bits flipped must cost
+        // several times a read — the asymmetry the endurance results rely on.
+        assert!(p.write_energy_pj(1024) > 3 * p.read_line_pj);
+    }
+
+    #[test]
+    fn breakdown_merge_and_total() {
+        let mut a = EnergyBreakdown {
+            nvm_read_pj: 1,
+            nvm_write_pj: 2,
+            aes_pj: 3,
+            dedup_pj: 4,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total_pj(), 20);
+        assert_eq!(a.nvm_write_pj, 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!EnergyBreakdown::new().to_string().is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! A non-volatile main memory (NVM) device model.
+//!
+//! This crate is the bottom substrate of the DeWrite reproduction: a
+//! trace-driven PCM-like main memory with
+//!
+//! * **sparse line storage** — 16 GB address space, lines materialized on
+//!   first write, unwritten lines reading as zeros ([`NvmDevice`]);
+//! * **bank-level contention** — each access occupies its (line-interleaved)
+//!   bank for the device service time, and later arrivals queue
+//!   ([`Bank`], [`BankSet`]); this queueing is what duplicate-write
+//!   elimination relieves;
+//! * **asymmetric timing** — 75 ns reads vs 300 ns writes ([`Timing::PCM`]),
+//!   the property that makes "confirm a duplicate by reading it" cheap;
+//! * **wear tracking** — per-line write counts and programmed-bit counts
+//!   ([`WearTracker`]) for the endurance results;
+//! * **energy accounting** — per-flipped-bit write energy and a bucketed
+//!   breakdown across NVM array / AES circuit / dedup logic
+//!   ([`EnergyParams`], [`EnergyBreakdown`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dewrite_nvm::{LineAddr, NvmConfig, NvmDevice};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut nvm = NvmDevice::new(NvmConfig::small())?;
+//! let write = nvm.write_line(LineAddr::new(0), &[0xFF; 256], 0)?;
+//! assert_eq!(write.bits_flipped, 2048); // fresh cells were all zero
+//! assert_eq!(write.slot.finish_ns, 300); // PCM write latency
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod config;
+mod device;
+mod energy;
+mod line;
+mod timing;
+mod wear;
+mod wearlevel;
+
+pub use bank::{Bank, BankSet, BankSlot};
+pub use config::NvmConfig;
+pub use device::{Access, NvmDevice, NvmError};
+pub use energy::{EnergyBreakdown, EnergyParams};
+pub use line::{bit_flips, is_zero_line, LineAddr, DEFAULT_LINE_SIZE};
+pub use timing::Timing;
+pub use wear::WearTracker;
+pub use wearlevel::StartGap;

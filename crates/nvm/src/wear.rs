@@ -1,0 +1,122 @@
+//! Endurance (wear) tracking.
+//!
+//! PCM cells endure 10^7–10^8 programming cycles (§I). The tracker records
+//! per-line write counts and programmed-bit counts so experiments can report
+//! write reduction (Fig. 12), bit-flip rates (Fig. 13), and derived lifetime
+//! estimates.
+
+use std::collections::HashMap;
+
+use crate::line::LineAddr;
+
+/// Per-line and aggregate wear statistics.
+#[derive(Debug, Clone, Default)]
+pub struct WearTracker {
+    line_writes: HashMap<u64, u64>,
+    total_line_writes: u64,
+    total_bits_flipped: u64,
+    total_bits_written: u64,
+}
+
+impl WearTracker {
+    /// A fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a line write that flipped `bits_flipped` of `line_bits` cells.
+    pub fn record_write(&mut self, addr: LineAddr, bits_flipped: u64, line_bits: u64) {
+        *self.line_writes.entry(addr.index()).or_insert(0) += 1;
+        self.total_line_writes += 1;
+        self.total_bits_flipped += bits_flipped;
+        self.total_bits_written += line_bits;
+    }
+
+    /// Total whole-line writes observed.
+    pub fn total_line_writes(&self) -> u64 {
+        self.total_line_writes
+    }
+
+    /// Total programmed (flipped) bits.
+    pub fn total_bits_flipped(&self) -> u64 {
+        self.total_bits_flipped
+    }
+
+    /// Average fraction of bits flipped per write (Fig. 13's y-axis).
+    pub fn bit_flip_ratio(&self) -> f64 {
+        if self.total_bits_written == 0 {
+            0.0
+        } else {
+            self.total_bits_flipped as f64 / self.total_bits_written as f64
+        }
+    }
+
+    /// Write count of the single most-written line (wear hot spot).
+    pub fn max_line_writes(&self) -> u64 {
+        self.line_writes.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of distinct lines ever written.
+    pub fn distinct_lines_written(&self) -> usize {
+        self.line_writes.len()
+    }
+
+    /// Writes observed on one line.
+    pub fn line_writes(&self, addr: LineAddr) -> u64 {
+        self.line_writes.get(&addr.index()).copied().unwrap_or(0)
+    }
+
+    /// Relative lifetime versus a baseline tracker processing the same
+    /// workload: `baseline max-wear / our max-wear` (>1 means we last
+    /// longer). Returns `None` if either tracker saw no writes.
+    pub fn relative_lifetime_vs(&self, baseline: &WearTracker) -> Option<f64> {
+        let ours = self.max_line_writes();
+        let theirs = baseline.max_line_writes();
+        if ours == 0 || theirs == 0 {
+            None
+        } else {
+            Some(theirs as f64 / ours as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut w = WearTracker::new();
+        w.record_write(LineAddr::new(1), 100, 2048);
+        w.record_write(LineAddr::new(1), 50, 2048);
+        w.record_write(LineAddr::new(2), 10, 2048);
+        assert_eq!(w.total_line_writes(), 3);
+        assert_eq!(w.total_bits_flipped(), 160);
+        assert_eq!(w.line_writes(LineAddr::new(1)), 2);
+        assert_eq!(w.line_writes(LineAddr::new(3)), 0);
+        assert_eq!(w.max_line_writes(), 2);
+        assert_eq!(w.distinct_lines_written(), 2);
+    }
+
+    #[test]
+    fn flip_ratio() {
+        let mut w = WearTracker::new();
+        assert_eq!(w.bit_flip_ratio(), 0.0);
+        w.record_write(LineAddr::new(0), 1024, 2048);
+        assert!((w.bit_flip_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_lifetime() {
+        let mut dedup = WearTracker::new();
+        let mut base = WearTracker::new();
+        for _ in 0..10 {
+            base.record_write(LineAddr::new(7), 1024, 2048);
+        }
+        for _ in 0..5 {
+            dedup.record_write(LineAddr::new(7), 1024, 2048);
+        }
+        assert_eq!(dedup.relative_lifetime_vs(&base), Some(2.0));
+        assert_eq!(WearTracker::new().relative_lifetime_vs(&base), None);
+    }
+}

@@ -1,0 +1,311 @@
+//! Offline trace analysis: the duplication oracle behind Fig. 2 and Fig. 4.
+//!
+//! The oracle replays a trace against an idealized content-addressed memory
+//! and reports, for every write, whether an identical line was resident
+//! anywhere in memory at that moment — the paper's definition of a duplicate
+//! line — plus the zero-line share and the duplication-state persistence
+//! that motivates the history-window predictor.
+
+use std::collections::HashMap;
+
+use dewrite_nvm::is_zero_line;
+
+use crate::record::{TraceOp, TraceRecord};
+
+/// Aggregate duplication statistics for one trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DupStats {
+    /// Total reads observed.
+    pub reads: u64,
+    /// Total writes observed.
+    pub writes: u64,
+    /// Writes whose content was already resident (duplicates).
+    pub dup_writes: u64,
+    /// Writes of all-zero lines.
+    pub zero_writes: u64,
+    /// Consecutive write pairs whose duplication states matched.
+    pub same_state_pairs: u64,
+    /// Total instructions covered by the trace.
+    pub instructions: u64,
+}
+
+impl DupStats {
+    /// Fraction of writes that are duplicates (Fig. 2).
+    pub fn dup_ratio(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.dup_writes as f64 / self.writes as f64
+        }
+    }
+
+    /// Fraction of writes that are zero lines (Fig. 2, zero series).
+    pub fn zero_ratio(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.zero_writes as f64 / self.writes as f64
+        }
+    }
+
+    /// Probability that a write's duplication state equals its
+    /// predecessor's (Fig. 4, "previous one" series).
+    pub fn state_persistence(&self) -> f64 {
+        if self.writes <= 1 {
+            0.0
+        } else {
+            self.same_state_pairs as f64 / (self.writes - 1) as f64
+        }
+    }
+}
+
+/// An incremental duplication oracle.
+///
+/// Feed records in trace order with [`observe`](Self::observe); read the
+/// running totals from [`stats`](Self::stats). The oracle keeps an exact
+/// address → content map and a content → residency count multimap, so a
+/// write is classified as duplicate iff its exact bytes are resident
+/// *somewhere* at write time (including being overwritten in place by
+/// identical data).
+#[derive(Debug, Default)]
+pub struct DupOracle {
+    memory: HashMap<u64, Vec<u8>>,
+    residency: HashMap<Vec<u8>, u64>,
+    stats: DupStats,
+    last_state: Option<bool>,
+    /// Per-write duplication outcomes, recorded when enabled.
+    outcomes: Option<Vec<bool>>,
+}
+
+impl DupOracle {
+    /// A fresh oracle over an all-zero memory.
+    ///
+    /// Note: physically, unwritten NVM reads as zeros, but the paper's
+    /// duplication counts concern *written* content, so the oracle starts
+    /// with an empty residency set; run the generator's warmup records
+    /// through it first, via [`observe_warmup`](Self::observe_warmup).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Like `new`, but additionally records each write's duplicate/non-dup
+    /// outcome for predictor experiments (Fig. 4).
+    pub fn recording() -> Self {
+        DupOracle {
+            outcomes: Some(Vec::new()),
+            ..Self::default()
+        }
+    }
+
+    /// Apply a warmup record without counting it in the statistics.
+    pub fn observe_warmup(&mut self, rec: &TraceRecord) {
+        if let TraceOp::Write { addr, data } = &rec.op {
+            self.install(addr.index(), data.clone());
+        }
+    }
+
+    fn install(&mut self, addr: u64, data: Vec<u8>) {
+        if let Some(old) = self.memory.insert(addr, data.clone()) {
+            if let Some(count) = self.residency.get_mut(&old) {
+                *count -= 1;
+                if *count == 0 {
+                    self.residency.remove(&old);
+                }
+            }
+        }
+        *self.residency.entry(data).or_insert(0) += 1;
+    }
+
+    /// Observe one trace record, updating the statistics.
+    pub fn observe(&mut self, rec: &TraceRecord) {
+        self.stats.instructions += u64::from(rec.gap_instructions);
+        match &rec.op {
+            TraceOp::Read { .. } => self.stats.reads += 1,
+            TraceOp::Write { addr, data } => {
+                self.stats.writes += 1;
+                let dup = self.residency.contains_key(data);
+                if dup {
+                    self.stats.dup_writes += 1;
+                }
+                if is_zero_line(data) {
+                    self.stats.zero_writes += 1;
+                }
+                if let Some(last) = self.last_state {
+                    if last == dup {
+                        self.stats.same_state_pairs += 1;
+                    }
+                }
+                self.last_state = Some(dup);
+                if let Some(outcomes) = &mut self.outcomes {
+                    outcomes.push(dup);
+                }
+                self.install(addr.index(), data.clone());
+            }
+        }
+    }
+
+    /// The running statistics.
+    pub fn stats(&self) -> DupStats {
+        self.stats
+    }
+
+    /// Recorded per-write outcomes (empty unless built with
+    /// [`recording`](Self::recording)).
+    pub fn outcomes(&self) -> &[bool] {
+        self.outcomes.as_deref().unwrap_or(&[])
+    }
+}
+
+/// Convenience: run a whole trace (with optional warmup) through an oracle.
+pub fn analyze<'a, W, T>(warmup: W, trace: T) -> DupStats
+where
+    W: IntoIterator<Item = &'a TraceRecord>,
+    T: IntoIterator<Item = &'a TraceRecord>,
+{
+    let mut oracle = DupOracle::new();
+    for rec in warmup {
+        oracle.observe_warmup(rec);
+    }
+    for rec in trace {
+        oracle.observe(rec);
+    }
+    oracle.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dewrite_nvm::LineAddr;
+
+    fn write(addr: u64, data: Vec<u8>) -> TraceRecord {
+        TraceRecord {
+            gap_instructions: 10,
+            op: TraceOp::Write {
+                addr: LineAddr::new(addr),
+                data,
+            },
+        }
+    }
+
+    fn read(addr: u64) -> TraceRecord {
+        TraceRecord {
+            gap_instructions: 10,
+            op: TraceOp::Read {
+                addr: LineAddr::new(addr),
+            },
+        }
+    }
+
+    #[test]
+    fn first_write_of_content_is_not_duplicate() {
+        let stats = analyze([].iter(), [write(0, vec![1u8; 16])].iter());
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.dup_writes, 0);
+    }
+
+    #[test]
+    fn repeat_content_at_other_address_is_duplicate() {
+        let trace = [write(0, vec![1u8; 16]), write(5, vec![1u8; 16])];
+        let stats = analyze([].iter(), trace.iter());
+        assert_eq!(stats.dup_writes, 1);
+        assert_eq!(stats.dup_ratio(), 0.5);
+    }
+
+    #[test]
+    fn silent_store_counts_as_duplicate() {
+        let trace = [write(0, vec![2u8; 16]), write(0, vec![2u8; 16])];
+        let stats = analyze([].iter(), trace.iter());
+        assert_eq!(stats.dup_writes, 1);
+    }
+
+    #[test]
+    fn overwritten_content_stops_being_resident() {
+        let trace = [
+            write(0, vec![3u8; 16]), // 3-line resident
+            write(0, vec![4u8; 16]), // overwrites it
+            write(1, vec![3u8; 16]), // 3-line no longer resident → not dup
+        ];
+        let stats = analyze([].iter(), trace.iter());
+        assert_eq!(stats.dup_writes, 0);
+    }
+
+    #[test]
+    fn residency_counts_multiple_copies() {
+        let trace = [
+            write(0, vec![5u8; 16]),
+            write(1, vec![5u8; 16]), // dup; two copies now
+            write(0, vec![6u8; 16]), // one copy of 5s remains
+            write(2, vec![5u8; 16]), // still dup
+        ];
+        let stats = analyze([].iter(), trace.iter());
+        assert_eq!(stats.dup_writes, 2);
+    }
+
+    #[test]
+    fn zero_lines_counted() {
+        let trace = [write(0, vec![0u8; 16]), write(1, vec![0u8; 16])];
+        let stats = analyze([].iter(), trace.iter());
+        assert_eq!(stats.zero_writes, 2);
+        assert_eq!(stats.dup_writes, 1); // second zero write duplicates the first
+    }
+
+    #[test]
+    fn warmup_precounts_residency_without_stats() {
+        let warm = [write(100, vec![9u8; 16])];
+        let trace = [write(0, vec![9u8; 16])];
+        let stats = analyze(warm.iter(), trace.iter());
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.dup_writes, 1);
+    }
+
+    #[test]
+    fn reads_and_instructions_tallied() {
+        let trace = [read(0), write(0, vec![1u8; 16]), read(0)];
+        let stats = analyze([].iter(), trace.iter());
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.instructions, 30);
+    }
+
+    #[test]
+    fn state_persistence_of_alternating_and_constant_traces() {
+        // Constant: dup dup dup after the seed write.
+        let constant = [
+            write(0, vec![1u8; 16]),
+            write(1, vec![1u8; 16]),
+            write(2, vec![1u8; 16]),
+            write(3, vec![1u8; 16]),
+        ];
+        let s = analyze([].iter(), constant.iter());
+        // states: N D D D → pairs: (N,D) no, (D,D) yes, (D,D) yes = 2/3
+        assert!((s.state_persistence() - 2.0 / 3.0).abs() < 1e-9);
+
+        // Alternating states.
+        let alternating = [
+            write(0, vec![1u8; 16]),  // N
+            write(1, vec![1u8; 16]),  // D
+            write(2, vec![2u8; 16]),  // N
+            write(3, vec![2u8; 16]),  // D
+        ];
+        let s = analyze([].iter(), alternating.iter());
+        assert_eq!(s.same_state_pairs, 0);
+    }
+
+    #[test]
+    fn recording_oracle_keeps_outcomes() {
+        let mut o = DupOracle::recording();
+        o.observe(&write(0, vec![1u8; 16]));
+        o.observe(&write(1, vec![1u8; 16]));
+        assert_eq!(o.outcomes(), &[false, true]);
+        // Non-recording oracle returns empty.
+        assert!(DupOracle::new().outcomes().is_empty());
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = DupStats::default();
+        assert_eq!(s.dup_ratio(), 0.0);
+        assert_eq!(s.zero_ratio(), 0.0);
+        assert_eq!(s.state_persistence(), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! `trace-tool` — generate, inspect, and analyze DeWrite workload traces.
+//!
+//! ```text
+//! trace-tool apps
+//! trace-tool generate <app> <out.trace> [writes] [seed]
+//! trace-tool info <file.trace>
+//! trace-tool analyze <file.trace>
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use dewrite_trace::{all_apps, app_by_name, worst_case, DupOracle, TraceGenerator, TraceReader, TraceWriter};
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  trace-tool apps");
+    eprintln!("  trace-tool generate <app> <out.trace> [writes=20000] [seed=1]");
+    eprintln!("  trace-tool info <file.trace>");
+    eprintln!("  trace-tool analyze <file.trace>");
+    ExitCode::FAILURE
+}
+
+fn cmd_apps() -> ExitCode {
+    println!("{:<14} {:<13} {:>5} {:>6} {:>8} {:>8}", "app", "suite", "dup%", "zero%", "reads/wr", "wr/kinst");
+    for p in all_apps() {
+        println!(
+            "{:<14} {:<13} {:>4.0}% {:>5.0}% {:>8.1} {:>8.1}",
+            p.name,
+            p.suite.to_string(),
+            p.dup_ratio * 100.0,
+            p.zero_share * 100.0,
+            p.reads_per_write,
+            p.writes_per_kilo_instr
+        );
+    }
+    println!("{:<14} {:<13} {:>4.0}% (Fig. 18 benchmark)", "worst-case", "synthetic", 0.0);
+    ExitCode::SUCCESS
+}
+
+fn cmd_generate(app: &str, out: &str, writes: usize, seed: u64) -> ExitCode {
+    let profile = if app == "worst-case" {
+        Some(worst_case())
+    } else {
+        app_by_name(app)
+    };
+    let Some(profile) = profile else {
+        eprintln!("unknown application {app:?}; run `trace-tool apps`");
+        return ExitCode::FAILURE;
+    };
+    let file = match File::create(out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut gen = TraceGenerator::new(profile, 256, seed);
+    let mut w = TraceWriter::new(BufWriter::new(file), 256).expect("header");
+    for rec in gen.warmup_records() {
+        w.write_record(&rec).expect("encode");
+    }
+    let mut emitted = 0usize;
+    while emitted < writes {
+        let rec = gen.next().expect("generator is infinite");
+        emitted += usize::from(rec.op.is_write());
+        w.write_record(&rec).expect("encode");
+    }
+    let records = w.records_written();
+    w.into_inner().expect("flush").into_inner().expect("flush");
+    println!("wrote {records} records ({writes} writes incl. warmup pool seeding) to {out}");
+    ExitCode::SUCCESS
+}
+
+fn open_trace(path: &str) -> Option<TraceReader<BufReader<File>>> {
+    match File::open(path) {
+        Ok(f) => match TraceReader::new(BufReader::new(f)) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            None
+        }
+    }
+}
+
+fn cmd_info(path: &str) -> ExitCode {
+    let Some(mut r) = open_trace(path) else {
+        return ExitCode::FAILURE;
+    };
+    let line_size = r.line_size();
+    let (mut reads, mut writes, mut instructions, mut max_addr) = (0u64, 0u64, 0u64, 0u64);
+    loop {
+        match r.read_record() {
+            Ok(Some(rec)) => {
+                instructions += u64::from(rec.gap_instructions);
+                max_addr = max_addr.max(rec.op.addr().index());
+                if rec.op.is_write() {
+                    writes += 1;
+                } else {
+                    reads += 1;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("decode error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("line size     : {line_size} B");
+    println!("records       : {} ({} writes, {} reads)", reads + writes, writes, reads);
+    println!("instructions  : {instructions}");
+    println!("highest line  : {max_addr} ({} MB footprint)", ((max_addr + 1) * line_size as u64) >> 20);
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(path: &str) -> ExitCode {
+    let Some(mut r) = open_trace(path) else {
+        return ExitCode::FAILURE;
+    };
+    let mut oracle = DupOracle::new();
+    loop {
+        match r.read_record() {
+            Ok(Some(rec)) => oracle.observe(&rec),
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("decode error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let s = oracle.stats();
+    println!("writes            : {}", s.writes);
+    println!("duplicate writes  : {} ({:.1}%)", s.dup_writes, s.dup_ratio() * 100.0);
+    println!("zero-line writes  : {} ({:.1}%)", s.zero_writes, s.zero_ratio() * 100.0);
+    println!("state persistence : {:.1}%", s.state_persistence() * 100.0);
+    println!("reads             : {}", s.reads);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("apps") => cmd_apps(),
+        Some("generate") if args.len() >= 3 => {
+            let writes = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+            let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+            cmd_generate(&args[1], &args[2], writes, seed)
+        }
+        Some("info") if args.len() == 2 => cmd_info(&args[1]),
+        Some("analyze") if args.len() == 2 => cmd_analyze(&args[1]),
+        _ => usage(),
+    }
+}

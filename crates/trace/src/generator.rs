@@ -1,0 +1,388 @@
+//! Synthetic trace generation calibrated to an [`AppProfile`].
+//!
+//! The generator models the statistics the paper's results depend on:
+//!
+//! * a two-state Markov chain over the duplicate/non-duplicate write state,
+//!   parameterized so its stationary distribution matches the app's
+//!   duplication ratio and its persistence matches Fig. 4's ≈92%;
+//! * a Zipf-skewed pool of recurring contents (plus the zero line), so
+//!   reference counts are heavy-tailed as in Fig. 7;
+//! * unique, never-repeating contents for non-duplicate writes;
+//! * a mixture of sequential and uniform address selection over the
+//!   working set, and instruction gaps matching the write density.
+
+use std::collections::VecDeque;
+
+use dewrite_nvm::LineAddr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::AppProfile;
+use crate::record::{TraceOp, TraceRecord};
+use crate::zipf::Zipf;
+
+/// Fraction of write addresses chosen sequentially (vs uniformly).
+const SEQUENTIAL_FRACTION: f64 = 0.7;
+/// Zipf exponent over the duplicate-content pool.
+const POOL_ZIPF_ALPHA: f64 = 1.1;
+
+/// A deterministic, seeded workload generator for one application.
+///
+/// ```
+/// use dewrite_trace::{app_by_name, TraceGenerator};
+///
+/// let profile = app_by_name("cactusADM").expect("known app");
+/// let mut gen = TraceGenerator::new(profile, 256, 42);
+/// let warmup = gen.warmup_records();
+/// assert!(!warmup.is_empty());
+/// let trace: Vec<_> = gen.by_ref().take(100).collect();
+/// assert_eq!(trace.iter().filter(|r| r.op.is_write()).count() +
+///            trace.iter().filter(|r| !r.op.is_write()).count(), 100);
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator {
+    profile: AppProfile,
+    line_size: usize,
+    rng: StdRng,
+    pool: Vec<Vec<u8>>,
+    pool_zipf: Zipf,
+    stay_dup: f64,
+    stay_nondup: f64,
+    noise_rate: f64,
+    phase_dup: bool,
+    last_dup: bool,
+    unique_counter: u64,
+    seed_tag: u64,
+    read_credit: f64,
+    mean_gap: f64,
+    addr_cursor: u64,
+    pending: VecDeque<TraceRecord>,
+    writes_emitted: u64,
+    dup_writes_intended: u64,
+}
+
+impl TraceGenerator {
+    /// Create a generator for `profile` with `line_size`-byte lines and a
+    /// deterministic `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation or `line_size < 16`.
+    pub fn new(profile: AppProfile, line_size: usize, seed: u64) -> Self {
+        profile.validate().expect("invalid profile");
+        assert!(line_size >= 16, "line size too small for unique stamping");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Pool slot 0 is the zero line; the rest are random recurring
+        // contents generated up front.
+        let mut pool = Vec::with_capacity(profile.content_pool_size + 1);
+        pool.push(vec![0u8; line_size]);
+        for _ in 0..profile.content_pool_size {
+            let mut content = vec![0u8; line_size];
+            rng.fill(&mut content[..]);
+            // Avoid the (astronomically unlikely) all-zero draw so the pool
+            // has exactly one zero line.
+            if content.iter().all(|&b| b == 0) {
+                content[0] = 1;
+            }
+            pool.push(content);
+        }
+        let pool_zipf = Zipf::new(profile.content_pool_size.max(1), POOL_ZIPF_ALPHA);
+        let (stay_dup, stay_nondup) = profile.phase_params();
+        let noise_rate = profile.noise_rate();
+
+        let ops_per_write = 1.0 + profile.reads_per_write;
+        let mean_gap = 1000.0 / profile.writes_per_kilo_instr / ops_per_write;
+        let last_dup = rng.gen_bool(profile.dup_ratio.clamp(0.0, 1.0));
+
+        TraceGenerator {
+            profile,
+            line_size,
+            rng,
+            pool,
+            pool_zipf,
+            stay_dup,
+            stay_nondup,
+            noise_rate,
+            phase_dup: last_dup,
+            last_dup,
+            unique_counter: 0,
+            seed_tag: seed,
+            read_credit: 0.0,
+            mean_gap,
+            addr_cursor: 0,
+            pending: VecDeque::new(),
+            writes_emitted: 0,
+            dup_writes_intended: 0,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    /// Total line-address span this generator may touch (working set plus
+    /// the pool-seeding region). Devices must have at least this many lines.
+    pub fn required_lines(&self) -> u64 {
+        self.profile.working_set_lines + self.pool.len() as u64
+    }
+
+    /// Records that seed every pool content into memory (one write each, to
+    /// reserved addresses just above the working set). Running these before
+    /// the main trace makes the generator's *intended* duplicates actual
+    /// duplicates of resident lines.
+    pub fn warmup_records(&self) -> Vec<TraceRecord> {
+        let base = self.profile.working_set_lines;
+        self.pool
+            .iter()
+            .enumerate()
+            .map(|(i, content)| TraceRecord {
+                gap_instructions: 1,
+                op: TraceOp::Write {
+                    addr: LineAddr::new(base + i as u64),
+                    data: content.clone(),
+                },
+            })
+            .collect()
+    }
+
+    /// Writes emitted so far (excluding warmup).
+    pub fn writes_emitted(&self) -> u64 {
+        self.writes_emitted
+    }
+
+    /// Writes the Markov chain *intended* to be duplicates so far — ground
+    /// truth for calibration tests.
+    pub fn dup_writes_intended(&self) -> u64 {
+        self.dup_writes_intended
+    }
+
+    fn sample_gap(&mut self) -> u32 {
+        let jitter = self.rng.gen_range(0.5..1.5);
+        (self.mean_gap * jitter).round().max(1.0) as u32
+    }
+
+    fn sample_addr(&mut self) -> LineAddr {
+        let ws = self.profile.working_set_lines;
+        let idx = if self.rng.gen_bool(SEQUENTIAL_FRACTION) {
+            self.addr_cursor = (self.addr_cursor + 1) % ws;
+            self.addr_cursor
+        } else {
+            self.rng.gen_range(0..ws)
+        };
+        LineAddr::new(idx)
+    }
+
+    fn next_state(&mut self) -> bool {
+        // Degenerate profiles bypass the state process entirely.
+        if self.profile.dup_ratio <= 0.0 {
+            self.last_dup = false;
+            return false;
+        }
+        if self.profile.dup_ratio >= 1.0 {
+            self.last_dup = true;
+            return true;
+        }
+        // Slow phase layer (long runs) plus isolated single-write noise
+        // flips — the structure that makes a 3-bit majority window beat a
+        // 1-bit one (Fig. 4); see `AppProfile::noise_rate`.
+        self.phase_dup = if self.phase_dup {
+            self.rng.gen_bool(self.stay_dup)
+        } else {
+            !self.rng.gen_bool(self.stay_nondup)
+        };
+        let dup = self.phase_dup ^ self.rng.gen_bool(self.noise_rate);
+        self.last_dup = dup;
+        dup
+    }
+
+    fn duplicate_content(&mut self) -> Vec<u8> {
+        // Zero lines are a `zero_share / dup_ratio` fraction of duplicates.
+        let zero_prob = if self.profile.dup_ratio > 0.0 {
+            (self.profile.zero_share / self.profile.dup_ratio).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        if self.rng.gen_bool(zero_prob) {
+            self.pool[0].clone()
+        } else if self.pool.len() > 1 {
+            let k = self.pool_zipf.sample(&mut self.rng);
+            self.pool[1 + k].clone()
+        } else {
+            self.pool[0].clone()
+        }
+    }
+
+    fn unique_content(&mut self) -> Vec<u8> {
+        let mut content = vec![0u8; self.line_size];
+        self.rng.fill(&mut content[..]);
+        // Stamp a monotone counter + seed so the content can never collide
+        // with pool contents or earlier unique lines.
+        content[0..8].copy_from_slice(&self.unique_counter.to_le_bytes());
+        content[8..16].copy_from_slice(&self.seed_tag.to_le_bytes());
+        self.unique_counter += 1;
+        content
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if let Some(rec) = self.pending.pop_front() {
+            return Some(rec);
+        }
+
+        // Emit any reads owed before the next write.
+        self.read_credit += self.profile.reads_per_write;
+        while self.read_credit >= 1.0 {
+            self.read_credit -= 1.0;
+            let gap = self.sample_gap();
+            let addr = self.sample_addr();
+            self.pending.push_back(TraceRecord {
+                gap_instructions: gap,
+                op: TraceOp::Read { addr },
+            });
+        }
+
+        let dup = self.next_state();
+        if dup {
+            self.dup_writes_intended += 1;
+        }
+        let data = if dup {
+            self.duplicate_content()
+        } else {
+            self.unique_content()
+        };
+        let gap = self.sample_gap();
+        let addr = self.sample_addr();
+        self.writes_emitted += 1;
+        self.pending.push_back(TraceRecord {
+            gap_instructions: gap,
+            op: TraceOp::Write { addr, data },
+        });
+
+        self.pending.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{all_apps, app_by_name, worst_case};
+
+    fn take_writes(gen: &mut TraceGenerator, n: usize) -> Vec<TraceRecord> {
+        gen.filter(|r| r.op.is_write()).take(n).collect()
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = app_by_name("mcf").unwrap();
+        let a: Vec<_> = TraceGenerator::new(p.clone(), 256, 7).take(500).collect();
+        let b: Vec<_> = TraceGenerator::new(p, 256, 7).take(500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = app_by_name("mcf").unwrap();
+        let a: Vec<_> = TraceGenerator::new(p.clone(), 256, 1).take(500).collect();
+        let b: Vec<_> = TraceGenerator::new(p, 256, 2).take(500).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn intended_dup_fraction_tracks_profile() {
+        for name in ["vips", "mcf", "lbm"] {
+            let p = app_by_name(name).unwrap();
+            let mut gen = TraceGenerator::new(p.clone(), 256, 11);
+            let _ = take_writes(&mut gen, 20_000);
+            let ratio = gen.dup_writes_intended() as f64 / gen.writes_emitted() as f64;
+            assert!(
+                (ratio - p.dup_ratio).abs() < 0.05,
+                "{name}: intended {ratio} vs target {}",
+                p.dup_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn read_write_mix_tracks_profile() {
+        let p = app_by_name("canneal").unwrap(); // 3.2 reads/write
+        let gen = TraceGenerator::new(p.clone(), 256, 3);
+        let recs: Vec<_> = gen.take(42_000).collect();
+        let writes = recs.iter().filter(|r| r.op.is_write()).count() as f64;
+        let reads = recs.len() as f64 - writes;
+        let ratio = reads / writes;
+        assert!((ratio - p.reads_per_write).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn addresses_stay_in_working_set() {
+        let p = app_by_name("gcc").unwrap();
+        let ws = p.working_set_lines;
+        let gen = TraceGenerator::new(p, 256, 5);
+        for rec in gen.take(5_000) {
+            assert!(rec.op.addr().index() < ws);
+        }
+    }
+
+    #[test]
+    fn warmup_covers_pool_and_uses_reserved_region() {
+        let p = app_by_name("gcc").unwrap();
+        let ws = p.working_set_lines;
+        let gen = TraceGenerator::new(p.clone(), 256, 5);
+        let warmup = gen.warmup_records();
+        assert_eq!(warmup.len(), p.content_pool_size + 1);
+        for rec in &warmup {
+            assert!(rec.op.addr().index() >= ws);
+            assert!(rec.op.addr().index() < gen.required_lines());
+            assert!(rec.op.is_write());
+        }
+        // First warmup record seeds the zero line.
+        if let TraceOp::Write { data, .. } = &warmup[0].op {
+            assert!(data.iter().all(|&b| b == 0));
+        } else {
+            panic!("warmup must write");
+        }
+    }
+
+    #[test]
+    fn worst_case_emits_no_duplicates() {
+        let mut gen = TraceGenerator::new(worst_case(), 256, 9);
+        let writes = take_writes(&mut gen, 5_000);
+        assert_eq!(gen.dup_writes_intended(), 0);
+        // All contents unique.
+        let mut seen = std::collections::HashSet::new();
+        for w in &writes {
+            if let TraceOp::Write { data, .. } = &w.op {
+                assert!(seen.insert(data.clone()), "duplicate content in worst case");
+            }
+        }
+    }
+
+    #[test]
+    fn gaps_are_positive_and_sane() {
+        let p = app_by_name("lbm").unwrap();
+        let gen = TraceGenerator::new(p, 256, 13);
+        for rec in gen.take(2_000) {
+            assert!(rec.gap_instructions >= 1);
+            assert!(rec.gap_instructions < 10_000);
+        }
+    }
+
+    #[test]
+    fn all_profiles_generate_without_panic() {
+        for p in all_apps() {
+            let gen = TraceGenerator::new(p, 256, 1);
+            assert_eq!(gen.take(200).count(), 200);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "line size too small")]
+    fn tiny_lines_rejected() {
+        let _ = TraceGenerator::new(worst_case(), 8, 0);
+    }
+}

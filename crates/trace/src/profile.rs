@@ -1,0 +1,216 @@
+//! Per-application workload profiles.
+//!
+//! We cannot run SPEC CPU2006 / PARSEC in this environment, so each
+//! application is summarized by the statistics that drive the paper's
+//! results: how often written lines duplicate existing memory content
+//! (Fig. 2), how much of that duplication is zero lines (Fig. 2's
+//! zero-line series), how sticky the duplicate/non-duplicate state is
+//! across consecutive writes (Fig. 4, ≈92% on average), plus read/write mix
+//! and footprint parameters.
+
+/// Which benchmark suite an application belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2006 (single-threaded, ref inputs in the paper).
+    Spec2006,
+    /// PARSEC 2.1 (multi-threaded, simlarge inputs in the paper).
+    Parsec,
+    /// Synthetic (e.g. the worst-case benchmark of Fig. 18).
+    Synthetic,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Suite::Spec2006 => "SPEC CPU2006",
+            Suite::Parsec => "PARSEC",
+            Suite::Synthetic => "synthetic",
+        })
+    }
+}
+
+/// Solve for two-state Markov transition probabilities `(stay_a, stay_b)`
+/// with stationary `a`-fraction `d` and expected persistence `p`.
+fn markov_from(d: f64, p: f64) -> (f64, f64) {
+    let d = d.clamp(1e-6, 1.0 - 1e-6);
+    let p = p.clamp(0.5, 1.0 - 1e-9);
+    // stay_a = 1 - k(1-d), stay_b = 1 - k·d, where
+    // k = (1-p) / (2 d (1-d)) preserves both moments when feasible.
+    let k = (1.0 - p) / (2.0 * d * (1.0 - d));
+    let stay_a = (1.0 - k * (1.0 - d)).clamp(0.0, 1.0);
+    let stay_b = (1.0 - k * d).clamp(0.0, 1.0);
+    (stay_a, stay_b)
+}
+
+/// Statistical profile of one application's memory-write behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Application name (e.g. `"cactusADM"`).
+    pub name: &'static str,
+    /// Source suite.
+    pub suite: Suite,
+    /// Fraction of written lines whose content already exists in memory
+    /// (Fig. 2; 0.186 – 0.984 across the 20 applications).
+    pub dup_ratio: f64,
+    /// Fraction of written lines that are all-zero (the part Silent Shredder
+    /// can eliminate; average 0.16).
+    pub zero_share: f64,
+    /// Probability that a write's duplication state equals the previous
+    /// write's state (Fig. 4; ≈0.92 average).
+    pub state_persistence: f64,
+    /// Memory reads issued per memory write.
+    pub reads_per_write: f64,
+    /// Memory writes per 1000 executed instructions (drives the IPC model).
+    pub writes_per_kilo_instr: f64,
+    /// Distinct lines the application touches.
+    pub working_set_lines: u64,
+    /// Number of distinct duplicate contents circulating (smaller pool =
+    /// more highly-referenced lines).
+    pub content_pool_size: usize,
+}
+
+impl AppProfile {
+    /// Two-state Markov transition probabilities `(stay_dup, stay_nondup)`
+    /// whose stationary distribution matches [`dup_ratio`](Self::dup_ratio)
+    /// and whose expected persistence approximates
+    /// [`state_persistence`](Self::state_persistence).
+    ///
+    /// For extreme duplication ratios the persistence target is infeasible;
+    /// probabilities are clamped to `[0, 1]`, which (correctly) yields even
+    /// higher persistence — matching the paper's observation that highly
+    /// duplicate applications are also highly predictable.
+    pub fn markov_params(&self) -> (f64, f64) {
+        markov_from(self.dup_ratio, self.state_persistence)
+    }
+
+    /// Rate of *isolated* duplication-state flips (single-write excursions
+    /// that immediately revert).
+    ///
+    /// The paper's Fig. 4 shows a 3-bit majority window beating the 1-bit
+    /// window (93.6% vs 92.1%), which cannot happen on a pure first-order
+    /// Markov state stream (there, last-state prediction is optimal). Real
+    /// write streams contain isolated flips — a lone duplicate inside a
+    /// non-duplicate phase — which cost a 1-bit predictor two mispredictions
+    /// but a 3-bit majority only one. Splitting the total non-persistence
+    /// `1 − p` into phase switches `s` and isolated noise `q` with
+    /// `q = 2s` (so `1 − p = s + 2q`) analytically reproduces both numbers:
+    /// 1-bit accuracy ≈ `p`, 3-bit accuracy ≈ `1 − 4(1 − p)/5`.
+    pub fn noise_rate(&self) -> f64 {
+        2.0 * (1.0 - self.state_persistence) / 5.0
+    }
+
+    /// Phase-process transition probabilities `(stay_dup, stay_nondup)` for
+    /// the slow phase layer underneath the [`noise_rate`](Self::noise_rate)
+    /// flips, calibrated so the *observed* stream still matches
+    /// `dup_ratio` and `state_persistence`.
+    pub fn phase_params(&self) -> (f64, f64) {
+        let q = self.noise_rate();
+        // Noise pushes the observed ratio toward 0.5; pre-distort the phase
+        // ratio so the observed one lands on target.
+        let d_phase = ((self.dup_ratio - q) / (1.0 - 2.0 * q)).clamp(0.0, 1.0);
+        let s = (1.0 - self.state_persistence) / 5.0;
+        markov_from(d_phase, 1.0 - s)
+    }
+
+    /// Validate that the profile's parameters are internally consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.dup_ratio) {
+            return Err(format!("{}: dup_ratio out of [0,1]", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.zero_share) {
+            return Err(format!("{}: zero_share out of [0,1]", self.name));
+        }
+        if self.zero_share > self.dup_ratio + 0.05 {
+            // Zero lines (beyond the first) are duplicates, so the zero share
+            // cannot meaningfully exceed the duplicate share.
+            return Err(format!(
+                "{}: zero_share {} exceeds dup_ratio {}",
+                self.name, self.zero_share, self.dup_ratio
+            ));
+        }
+        if !(0.5..1.0).contains(&self.state_persistence) {
+            return Err(format!("{}: state_persistence out of [0.5,1)", self.name));
+        }
+        if self.reads_per_write < 0.0 || self.writes_per_kilo_instr <= 0.0 {
+            return Err(format!("{}: nonpositive rate", self.name));
+        }
+        if self.working_set_lines == 0 || self.content_pool_size == 0 {
+            return Err(format!("{}: empty working set or pool", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AppProfile {
+        AppProfile {
+            name: "sample",
+            suite: Suite::Synthetic,
+            dup_ratio: 0.5,
+            zero_share: 0.1,
+            state_persistence: 0.92,
+            reads_per_write: 2.0,
+            writes_per_kilo_instr: 20.0,
+            working_set_lines: 1 << 14,
+            content_pool_size: 1 << 10,
+        }
+    }
+
+    #[test]
+    fn markov_stationary_matches_dup_ratio() {
+        let p = sample();
+        let (a, b) = p.markov_params();
+        // Stationary duplicate fraction of the 2-state chain.
+        let stationary = (1.0 - b) / ((1.0 - a) + (1.0 - b));
+        assert!((stationary - p.dup_ratio).abs() < 1e-9, "{stationary}");
+        // Expected persistence.
+        let persistence = p.dup_ratio * a + (1.0 - p.dup_ratio) * b;
+        assert!((persistence - 0.92).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markov_clamps_extreme_ratios() {
+        let mut p = sample();
+        p.dup_ratio = 0.984;
+        let (a, b) = p.markov_params();
+        assert!((0.0..=1.0).contains(&a));
+        assert!((0.0..=1.0).contains(&b));
+        // stay_dup must remain very high for such a workload.
+        assert!(a > 0.9);
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut p = sample();
+        p.zero_share = 0.9; // > dup_ratio
+        assert!(p.validate().is_err());
+
+        let mut p = sample();
+        p.dup_ratio = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = sample();
+        p.state_persistence = 0.3;
+        assert!(p.validate().is_err());
+
+        let mut p = sample();
+        p.working_set_lines = 0;
+        assert!(p.validate().is_err());
+
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::Spec2006.to_string(), "SPEC CPU2006");
+        assert_eq!(Suite::Parsec.to_string(), "PARSEC");
+        assert_eq!(Suite::Synthetic.to_string(), "synthetic");
+    }
+}

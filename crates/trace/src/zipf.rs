@@ -1,0 +1,128 @@
+//! A small Zipf(α) sampler over a finite index range.
+//!
+//! Used to pick which duplicate content a write repeats: a few contents are
+//! written over and over (producing the highly-referenced lines of Fig. 7)
+//! while a long tail recurs rarely.
+
+use rand::Rng;
+
+/// Zipf-distributed sampler over `0..n` with exponent `alpha`.
+///
+/// Probabilities are `P(k) ∝ 1 / (k+1)^alpha`. The cumulative table is
+/// precomputed, so sampling is a binary search — fine for the pool sizes
+/// used here (≤ a few thousand).
+///
+/// ```
+/// use dewrite_trace::Zipf;
+/// use rand::SeedableRng;
+///
+/// let z = Zipf::new(100, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let k = z.sample(&mut rng);
+/// assert!(k < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/NaN.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs a nonempty range");
+        assert!(alpha >= 0.0, "Zipf exponent must be nonnegative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the range is empty (never true; see [`Zipf::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in cdf")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniformish() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn higher_alpha_skews_to_head() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut head = 0u32;
+        const N: u32 = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 5 {
+                head += 1;
+            }
+        }
+        // With α=1.5 over 100 items, the top 5 carry well over half the mass.
+        assert!(head > N / 2, "head {head}");
+    }
+
+    #[test]
+    fn single_outcome() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn zero_range_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

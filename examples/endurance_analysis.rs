@@ -1,0 +1,68 @@
+//! Endurance analysis: run one application's workload through DeWrite and
+//! the traditional secure NVM, then compare writes, wear, and estimated
+//! lifetime.
+//!
+//! Run with: `cargo run --release --example endurance_analysis [app]`
+//! (default app: `cactusADM`; try `vips` for a low-duplication contrast).
+
+use dewrite::core::{CmeBaseline, DeWrite, DeWriteConfig, SecureMemory, Simulator};
+use dewrite::trace::{app_by_name, TraceGenerator};
+
+const KEY: &[u8; 16] = b"endurance key 16";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "cactusADM".into());
+    let mut profile = app_by_name(&app)
+        .ok_or_else(|| format!("unknown application {app:?}; see dewrite::trace::all_apps()"))?;
+    profile.working_set_lines = 1 << 13;
+    profile.content_pool_size = 512;
+
+    println!(
+        "workload: {} ({}) — duplication {:.0}%, zero lines {:.0}%",
+        profile.name,
+        profile.suite,
+        profile.dup_ratio * 100.0,
+        profile.zero_share * 100.0
+    );
+
+    // Identical trace for both schemes.
+    let mut gen = TraceGenerator::new(profile.clone(), 256, 42);
+    let warmup = gen.warmup_records();
+    let trace: Vec<_> = gen.by_ref().take(30_000).collect();
+
+    let config = dewrite::core::SystemConfig::for_lines(
+        profile.working_set_lines + profile.content_pool_size as u64 + 64,
+    );
+    let sim = Simulator::new(&config);
+
+    let mut dedup = DeWrite::new(config.clone(), DeWriteConfig::paper(), KEY);
+    let dw = sim.run(&mut dedup, &app, &warmup, trace.iter().cloned())?;
+
+    let mut baseline = CmeBaseline::new(config, KEY);
+    let base = sim.run(&mut baseline, &app, &warmup, trace.iter().cloned())?;
+
+    println!("\n--- write traffic ---");
+    println!("baseline NVM line writes : {}", base.nvm_data_writes);
+    println!("DeWrite  NVM line writes : {}", dw.nvm_data_writes);
+    println!("write reduction          : {:.1}%", dw.write_reduction() * 100.0);
+
+    println!("\n--- wear ---");
+    let (b_wear, d_wear) = (baseline.device().wear(), dedup.device().wear());
+    println!("baseline max writes on one line : {}", b_wear.max_line_writes());
+    println!("DeWrite  max writes on one line : {}", d_wear.max_line_writes());
+    println!(
+        "baseline bit-flip ratio {:.1}% vs DeWrite {:.1}%",
+        b_wear.bit_flip_ratio() * 100.0,
+        d_wear.bit_flip_ratio() * 100.0
+    );
+    if let Some(lifetime) = d_wear.relative_lifetime_vs(b_wear) {
+        println!("relative lifetime (max-wear basis): {lifetime:.2}x");
+    }
+
+    println!("\n--- performance & energy ---");
+    println!("write speedup : {:.2}x", dw.write_speedup_vs(&base));
+    println!("read  speedup : {:.2}x", dw.read_speedup_vs(&base));
+    println!("relative IPC  : {:.2}x", dw.relative_ipc_vs(&base));
+    println!("relative energy: {:.2}", dw.relative_energy_vs(&base));
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Scheme shootout: run the same workload through every secure-NVMM design
+//! in the crate — traditional CME, SHA-1 in-line dedup, and DeWrite in all
+//! three write modes — and print a comparison table.
+//!
+//! Run with: `cargo run --release --example scheme_shootout [app]`
+//! (default app: `mcf`).
+
+use dewrite::core::{
+    CmeBaseline, DeWrite, DeWriteConfig, RunReport, SecureMemory, SilentShredder, Simulator,
+    SystemConfig, TraditionalDedup, WriteMode,
+};
+use dewrite::hashes::HashAlgorithm;
+use dewrite::trace::{app_by_name, TraceGenerator, TraceRecord};
+
+const KEY: &[u8; 16] = b"shootout key 16!";
+
+fn run(
+    mem: &mut dyn SecureMemory,
+    sim: &Simulator,
+    app: &str,
+    warmup: &[TraceRecord],
+    trace: &[TraceRecord],
+) -> RunReport {
+    sim.run(mem, app, warmup, trace.iter().cloned())
+        .expect("trace fits the configuration")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "mcf".into());
+    let mut profile =
+        app_by_name(&app).ok_or_else(|| format!("unknown application {app:?}"))?;
+    profile.working_set_lines = 1 << 13;
+    profile.content_pool_size = 512;
+
+    let mut gen = TraceGenerator::new(profile.clone(), 256, 7);
+    let warmup = gen.warmup_records();
+    let trace: Vec<_> = gen.by_ref().take(25_000).collect();
+    let config = SystemConfig::for_lines(
+        profile.working_set_lines + profile.content_pool_size as u64 + 64,
+    );
+    let sim = Simulator::new(&config);
+
+    let mut reports = Vec::new();
+
+    let mut baseline = CmeBaseline::new(config.clone(), KEY);
+    reports.push(run(&mut baseline, &sim, &app, &warmup, &trace));
+
+    let mut shredder = SilentShredder::new(config.clone(), KEY);
+    reports.push(run(&mut shredder, &sim, &app, &warmup, &trace));
+
+    let mut trad = TraditionalDedup::new(config.clone(), HashAlgorithm::Sha1, KEY);
+    reports.push(run(&mut trad, &sim, &app, &warmup, &trace));
+
+    for mode in [WriteMode::Direct, WriteMode::Parallel, WriteMode::Predictive] {
+        let mut dw_cfg = DeWriteConfig::paper();
+        dw_cfg.mode = mode;
+        let mut dw = DeWrite::new(config.clone(), dw_cfg, KEY);
+        reports.push(run(&mut dw, &sim, &app, &warmup, &trace));
+    }
+
+    println!(
+        "workload: {} — {:.0}% duplicate lines\n",
+        profile.name,
+        profile.dup_ratio * 100.0
+    );
+    println!(
+        "{:<36} {:>10} {:>10} {:>8} {:>9} {:>12}",
+        "scheme", "write(ns)", "read(ns)", "IPC", "reduced", "energy(µJ)"
+    );
+    let base_energy = reports[0].energy.total_pj() as f64;
+    for r in &reports {
+        println!(
+            "{:<36} {:>10.0} {:>10.0} {:>8.3} {:>8.1}% {:>9.2} ({:>4.2}x)",
+            r.scheme,
+            r.write_latency.mean_ns(),
+            r.read_latency.mean_ns(),
+            r.ipc,
+            r.write_reduction() * 100.0,
+            r.energy.total_pj() as f64 / 1e6,
+            r.energy.total_pj() as f64 / base_energy,
+        );
+    }
+    println!("\n(relative to the first row — the traditional secure NVM)");
+    Ok(())
+}

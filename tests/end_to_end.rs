@@ -1,0 +1,140 @@
+//! Cross-crate integration: every scheme must preserve memory contents
+//! exactly under generated workloads, while keeping its internal invariants.
+
+use std::collections::HashMap;
+
+use dewrite::core::{
+    CmeBaseline, DeWrite, DeWriteConfig, SecureMemory, SystemConfig, TraditionalDedup, WriteMode,
+};
+use dewrite::hashes::HashAlgorithm;
+use dewrite::nvm::LineAddr;
+use dewrite::trace::{app_by_name, TraceGenerator, TraceOp};
+
+const KEY: &[u8; 16] = b"integration key!";
+
+/// Drive a scheme with a generated trace, mirroring writes into a shadow
+/// map, then verify every written address reads back exactly.
+fn verify_consistency(mem: &mut dyn SecureMemory, app: &str, records: usize) {
+    let mut profile = app_by_name(app).expect("known app");
+    profile.working_set_lines = 1 << 10;
+    profile.content_pool_size = 128;
+    let mut gen = TraceGenerator::new(profile, 256, 99);
+
+    let mut shadow: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut t = 0u64;
+    for rec in gen.warmup_records() {
+        if let TraceOp::Write { addr, data } = rec.op {
+            mem.write(addr, &data, t).expect("warmup write");
+            shadow.insert(addr.index(), data);
+            t += 500;
+        }
+    }
+    for rec in gen.by_ref().take(records) {
+        match rec.op {
+            TraceOp::Write { addr, data } => {
+                mem.write(addr, &data, t).expect("trace write");
+                shadow.insert(addr.index(), data);
+            }
+            TraceOp::Read { addr } => {
+                let r = mem.read(addr, t).expect("trace read");
+                match shadow.get(&addr.index()) {
+                    Some(expect) => assert_eq!(&r.data, expect, "addr {addr}"),
+                    None => assert!(r.data.iter().all(|&b| b == 0), "unwritten addr {addr}"),
+                }
+            }
+        }
+        t += 500;
+    }
+    // Final sweep: every written line must read back.
+    for (&addr, expect) in &shadow {
+        let r = mem.read(LineAddr::new(addr), t).expect("final read");
+        assert_eq!(&r.data, expect, "final check at {addr}");
+        t += 100;
+    }
+}
+
+fn config() -> SystemConfig {
+    SystemConfig::for_lines((1 << 10) + 128 + 64)
+}
+
+#[test]
+fn baseline_preserves_contents() {
+    let mut mem = CmeBaseline::new(config(), KEY);
+    verify_consistency(&mut mem, "mcf", 3_000);
+}
+
+#[test]
+fn dewrite_preserves_contents_on_duplicate_heavy_app() {
+    let mut mem = DeWrite::new(config(), DeWriteConfig::paper(), KEY);
+    verify_consistency(&mut mem, "lbm", 3_000);
+    assert!(mem.base_metrics().writes_eliminated > 0);
+    mem.index().check_invariants().expect("index invariants");
+}
+
+#[test]
+fn dewrite_preserves_contents_on_low_duplication_app() {
+    let mut mem = DeWrite::new(config(), DeWriteConfig::paper(), KEY);
+    verify_consistency(&mut mem, "vips", 3_000);
+    mem.index().check_invariants().expect("index invariants");
+}
+
+#[test]
+fn dewrite_direct_and_parallel_modes_preserve_contents() {
+    for mode in [WriteMode::Direct, WriteMode::Parallel] {
+        let mut cfg = DeWriteConfig::paper();
+        cfg.mode = mode;
+        cfg.pna = false;
+        let mut mem = DeWrite::new(config(), cfg, KEY);
+        verify_consistency(&mut mem, "milc", 2_000);
+        mem.index().check_invariants().expect("index invariants");
+    }
+}
+
+#[test]
+fn dewrite_with_tiny_caches_still_correct() {
+    // Brutal cache pressure: timing degrades, contents must not.
+    let mut cfg = DeWriteConfig::paper();
+    cfg.meta_cache = dewrite::core::MetaCacheConfig::scaled(1, 16);
+    let mut mem = DeWrite::new(config(), cfg, KEY);
+    verify_consistency(&mut mem, "cactusADM", 2_000);
+    mem.index().check_invariants().expect("index invariants");
+}
+
+#[test]
+fn traditional_dedup_preserves_contents() {
+    let mut mem = TraditionalDedup::new(config(), HashAlgorithm::Sha1, KEY);
+    verify_consistency(&mut mem, "dedup", 3_000);
+    mem.index().check_invariants().expect("index invariants");
+}
+
+#[test]
+fn schemes_agree_with_each_other() {
+    // The same trace through two schemes must produce identical user-visible
+    // memory, whatever the internals do.
+    let mut profile = app_by_name("ferret").expect("known app");
+    profile.working_set_lines = 1 << 9;
+    profile.content_pool_size = 64;
+    let gen = TraceGenerator::new(profile, 256, 5);
+    let warmup = gen.warmup_records();
+    let trace: Vec<_> = gen.take(2_000).collect();
+
+    let cfg = SystemConfig::for_lines((1 << 9) + 64 + 64);
+    let mut a = DeWrite::new(cfg.clone(), DeWriteConfig::paper(), KEY);
+    let mut b = CmeBaseline::new(cfg, KEY);
+
+    let mut t = 0;
+    for rec in warmup.iter().chain(trace.iter()) {
+        if let TraceOp::Write { addr, data } = &rec.op {
+            a.write(*addr, data, t).expect("a write");
+            b.write(*addr, data, t).expect("b write");
+            t += 500;
+        }
+    }
+    for rec in &trace {
+        let addr = rec.op.addr();
+        let ra = a.read(addr, t).expect("a read");
+        let rb = b.read(addr, t).expect("b read");
+        assert_eq!(ra.data, rb.data, "schemes disagree at {addr}");
+        t += 100;
+    }
+}

@@ -1,0 +1,158 @@
+//! The paper's headline claims, verified in miniature on every test run.
+//! (The full-scale reproduction lives in `crates/bench`; these are fast
+//! guardrails so a regression in any crate surfaces immediately.)
+
+use dewrite::core::{
+    CmeBaseline, DeWrite, DeWriteConfig, HistoryPredictor, Simulator, SystemConfig,
+};
+use dewrite::trace::{all_apps, app_by_name, worst_case, DupOracle, TraceGenerator, TraceRecord};
+
+const KEY: &[u8; 16] = b"paper claims key";
+
+fn workload(app: &str, writes: usize, seed: u64) -> (Vec<TraceRecord>, Vec<TraceRecord>, SystemConfig) {
+    let mut profile = match app {
+        "worst-case" => worst_case(),
+        other => app_by_name(other).expect("known app"),
+    };
+    profile.working_set_lines = 1 << 11;
+    profile.content_pool_size = 256;
+    let mut gen = TraceGenerator::new(profile.clone(), 256, seed);
+    let warmup = gen.warmup_records();
+    let mut trace = Vec::new();
+    let mut count = 0;
+    for rec in gen.by_ref() {
+        count += usize::from(rec.op.is_write());
+        trace.push(rec);
+        if count >= writes {
+            break;
+        }
+    }
+    let config = SystemConfig::for_lines(
+        profile.working_set_lines + profile.content_pool_size as u64 + 64,
+    );
+    (warmup, trace, config)
+}
+
+fn compare(app: &str, writes: usize) -> (dewrite::core::RunReport, dewrite::core::RunReport) {
+    let (warmup, trace, config) = workload(app, writes, 21);
+    let sim = Simulator::new(&config);
+    let mut dw = DeWrite::new(config.clone(), DeWriteConfig::paper(), KEY);
+    let rd = sim.run(&mut dw, app, &warmup, trace.iter().cloned()).expect("runs");
+    let mut base = CmeBaseline::new(config, KEY);
+    let rb = sim.run(&mut base, app, &warmup, trace.iter().cloned()).expect("runs");
+    (rd, rb)
+}
+
+#[test]
+fn claim_abundant_cache_line_duplication() {
+    // §II-C: duplicate lines average 58% across the 20 applications,
+    // ranging from ~19% to ~98%.
+    let mut ratios = Vec::new();
+    for profile in all_apps() {
+        let mut p = profile.clone();
+        p.working_set_lines = 1 << 12;
+        p.content_pool_size = 256;
+        let mut gen = TraceGenerator::new(p, 256, 3);
+        let mut oracle = DupOracle::new();
+        for rec in gen.warmup_records() {
+            oracle.observe_warmup(&rec);
+        }
+        for rec in gen.by_ref().take(6_000) {
+            oracle.observe(&rec);
+        }
+        ratios.push(oracle.stats().dup_ratio());
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!((avg - 0.58).abs() < 0.05, "average duplication {avg}");
+    assert!(ratios.iter().cloned().fold(f64::MAX, f64::min) < 0.30);
+    assert!(ratios.iter().cloned().fold(f64::MIN, f64::max) > 0.90);
+}
+
+#[test]
+fn claim_duplication_states_are_predictable() {
+    // Fig. 4: ~92% 1-bit accuracy, 3-bit better.
+    let mut one_bit = Vec::new();
+    let mut three_bit = Vec::new();
+    for profile in all_apps().into_iter().take(8) {
+        let mut p = profile.clone();
+        p.working_set_lines = 1 << 10;
+        p.content_pool_size = 128;
+        let mut gen = TraceGenerator::new(p, 256, 17);
+        let mut oracle = DupOracle::recording();
+        for rec in gen.warmup_records() {
+            oracle.observe_warmup(&rec);
+        }
+        for rec in gen.by_ref().take(8_000) {
+            oracle.observe(&rec);
+        }
+        for (bits, out) in [(1usize, &mut one_bit), (3, &mut three_bit)] {
+            let mut pred = HistoryPredictor::new(bits);
+            for &o in oracle.outcomes() {
+                pred.record(o);
+            }
+            out.push(pred.accuracy());
+        }
+    }
+    let avg1 = one_bit.iter().sum::<f64>() / one_bit.len() as f64;
+    let avg3 = three_bit.iter().sum::<f64>() / three_bit.len() as f64;
+    assert!((avg1 - 0.92).abs() < 0.03, "1-bit accuracy {avg1}");
+    assert!(avg3 > avg1, "3-bit {avg3} must beat 1-bit {avg1}");
+}
+
+#[test]
+fn claim_dewrite_reduces_writes_and_beats_baseline() {
+    let (dw, base) = compare("cactusADM", 5_000);
+    // Fig. 12: cactusADM reduces >80% of writes.
+    assert!(dw.write_reduction() > 0.8, "reduction {}", dw.write_reduction());
+    // Figs. 14/16/17: all three performance metrics improve.
+    assert!(dw.write_speedup_vs(&base) > 2.0, "write {}", dw.write_speedup_vs(&base));
+    assert!(dw.read_speedup_vs(&base) > 1.2, "read {}", dw.read_speedup_vs(&base));
+    assert!(dw.relative_ipc_vs(&base) > 1.2, "ipc {}", dw.relative_ipc_vs(&base));
+    // Fig. 19: energy drops substantially.
+    assert!(dw.relative_energy_vs(&base) < 0.7, "energy {}", dw.relative_energy_vs(&base));
+}
+
+#[test]
+fn claim_worst_case_degradation_is_small() {
+    // Fig. 18: with zero duplicates, DeWrite loses only a few percent.
+    let (dw, base) = compare("worst-case", 5_000);
+    assert_eq!(dw.write_reduction(), 0.0);
+    let ipc_ratio = dw.relative_ipc_vs(&base);
+    assert!(ipc_ratio > 0.90, "worst-case IPC ratio {ipc_ratio}");
+    let write_ratio = dw.write_latency.mean_ns() / base.write_latency.mean_ns();
+    assert!(write_ratio < 1.15, "worst-case write latency ratio {write_ratio}");
+}
+
+#[test]
+fn claim_duplicate_detection_is_cheaper_than_a_write() {
+    // Table I: DeWrite's detection latency (91 ns cold, less when the
+    // verify buffer hits) never approaches the 300 ns write it eliminates.
+    let (dw, _) = compare("lbm", 4_000);
+    assert!(
+        dw.write_latency_eliminated.mean_ns() < 300.0,
+        "eliminated-write mean {}",
+        dw.write_latency_eliminated.mean_ns()
+    );
+}
+
+#[test]
+fn claim_metadata_cache_hit_rates_are_high() {
+    // §IV-E2: with the paper's 2 MB metadata cache, hit rates exceed 98%.
+    let (warmup, trace, config) = workload("mcf", 6_000, 9);
+    let sim = Simulator::new(&config);
+    let mut dw = DeWrite::new(config.clone(), DeWriteConfig::paper(), KEY);
+    sim.run(&mut dw, "mcf", &warmup, trace.iter().cloned()).expect("runs");
+    let s = dw.cache_stats();
+    // The sequential (prefetched) tables hit nearly always.
+    for (name, rate) in [
+        ("addr_map", s.addr_map.hit_rate()),
+        ("inverted", s.inverted.hit_rate()),
+        ("fsm", s.fsm.hit_rate()),
+    ] {
+        assert!(rate > 0.90, "{name} hit rate {rate}");
+    }
+    // Hash-store probes include a compulsory miss for every never-seen
+    // digest (exactly the queries PNA then skips), so its demand hit rate
+    // tracks the duplication ratio rather than ~100%.
+    assert!(s.hash.hit_rate() > 0.40, "hash hit rate {}", s.hash.hit_rate());
+}
