@@ -24,7 +24,11 @@ fn bench_dedup_index(c: &mut Criterion) {
                     idx.apply_duplicate(addr, real);
                 }
                 _ => {
-                    if idx.resolve(addr).is_none() || idx.reference_of(idx.resolve(addr).expect("written")).is_some() {
+                    if idx.resolve(addr).is_none()
+                        || idx
+                            .reference_of(idx.resolve(addr).expect("written"))
+                            .is_some()
+                    {
                         idx.apply_store(addr, digest);
                     }
                 }

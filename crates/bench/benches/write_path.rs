@@ -4,7 +4,9 @@
 //! loops (dedup lookup, metadata caches, encryption) show up immediately.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dewrite_core::{CmeBaseline, DeWrite, DeWriteConfig, SecureMemory, SystemConfig};
+use dewrite_core::{
+    CmeBaseline, DeWrite, DeWriteConfig, SecureMemory, StageCollector, SystemConfig,
+};
 use dewrite_nvm::LineAddr;
 
 const KEY: &[u8; 16] = b"bench write path";
@@ -20,7 +22,9 @@ fn bench_baseline_write(c: &mut Criterion) {
     let mut t = 0u64;
     c.bench_function("baseline_write", |b| {
         b.iter(|| {
-            let w = mem.write(LineAddr::new(i % (1 << 14)), &line, t).expect("write");
+            let w = mem
+                .write(LineAddr::new(i % (1 << 14)), &line, t)
+                .expect("write");
             i += 1;
             t += w.total_ns + 1;
         });
@@ -64,7 +68,32 @@ fn bench_dewrite_unique_write(c: &mut Criterion) {
     c.bench_function("dewrite_unique_write", |b| {
         b.iter(|| {
             line[0..8].copy_from_slice(&i.to_le_bytes());
-            let w = mem.write(LineAddr::new(i % (1 << 14)), &line, t).expect("write");
+            let w = mem
+                .write(LineAddr::new(i % (1 << 14)), &line, t)
+                .expect("write");
+            i += 1;
+            t += w.total_ns + 1;
+        });
+    });
+}
+
+/// Same workload as `dewrite_unique_write`, but with an event sink
+/// installed. The delta against the untraced variant is the cost of
+/// tracing when *enabled*; the untraced variant's delta against the seed
+/// is the cost when disabled, which must stay in the noise (the hot path
+/// only checks `sink.is_some()`).
+fn bench_dewrite_unique_write_traced(c: &mut Criterion) {
+    let mut mem = DeWrite::new(config(), DeWriteConfig::paper(), KEY);
+    mem.set_event_sink(Box::new(StageCollector::default()));
+    let mut line = vec![0u8; 256];
+    let mut i = 0u64;
+    let mut t = 0u64;
+    c.bench_function("dewrite_unique_write_traced", |b| {
+        b.iter(|| {
+            line[0..8].copy_from_slice(&i.to_le_bytes());
+            let w = mem
+                .write(LineAddr::new(i % (1 << 14)), &line, t)
+                .expect("write");
             i += 1;
             t += w.total_ns + 1;
         });
@@ -88,5 +117,12 @@ fn bench_dewrite_read(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_baseline_write, bench_dewrite_duplicate_write, bench_dewrite_unique_write, bench_dewrite_read);
+criterion_group!(
+    benches,
+    bench_baseline_write,
+    bench_dewrite_duplicate_write,
+    bench_dewrite_unique_write,
+    bench_dewrite_unique_write_traced,
+    bench_dewrite_read
+);
 criterion_main!(benches);

@@ -37,15 +37,22 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("ext-gran", "Extension: dedup granularity"),
     ("ext-persist", "Extension: metadata persistence policies"),
     ("ext-wear", "Extension: Start-Gap wear leveling"),
-    ("ext-combined", "Extension: line-level x cell-level composition"),
+    (
+        "ext-combined",
+        "Extension: line-level x cell-level composition",
+    ),
     ("ext-colo", "Extension: co-located programs, global dedup"),
-    ("ext-layout", "Extension: colocated metadata layout validation"),
+    (
+        "ext-layout",
+        "Extension: colocated metadata layout validation",
+    ),
     ("ext-banks", "Extension: bank-parallelism sensitivity"),
     ("ext-domains", "Extension: per-tenant dedup domains"),
 ];
 
 fn usage() {
-    eprintln!("usage: repro [--quick|--full] [--out DIR] <experiment ...|all>");
+    eprintln!("usage: repro [--quick|--full] [--out DIR] [--json] <experiment ...|all>");
+    eprintln!("  --json   also export each table as JSON (and runs.json for shared runs)");
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
         eprintln!("  {name:<12} {desc}");
@@ -90,6 +97,7 @@ fn run_one(ctx: &mut Ctx, name: &str) -> bool {
 fn main() -> ExitCode {
     let mut scale = Scale::default_scale();
     let mut out_dir = PathBuf::from("results");
+    let mut json = false;
     let mut selected: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -97,6 +105,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => scale = Scale::quick(),
             "--full" => scale = Scale::full(),
+            "--json" => json = true,
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
@@ -136,6 +145,7 @@ fn main() -> ExitCode {
     );
     let started = std::time::Instant::now();
     let mut ctx = Ctx::new(scale, out_dir);
+    ctx.json = json;
     for name in &selected {
         let t0 = std::time::Instant::now();
         println!("\n### {name} ###");

@@ -12,7 +12,7 @@ use std::process::ExitCode;
 
 use dewrite_bench::runner::{Scale, KEY};
 use dewrite_core::{
-    BitEncoding, CmeBaseline, DeWrite, DeWriteConfig, MetadataPersistence, RunReport,
+    BitEncoding, CmeBaseline, DeWrite, DeWriteConfig, Json, MetadataPersistence, RunReport,
     SilentShredder, Simulator, SystemConfig, TraditionalDedup, WriteMode,
 };
 use dewrite_hashes::HashAlgorithm;
@@ -31,6 +31,7 @@ struct Options {
     encoding: BitEncoding,
     persistence: MetadataPersistence,
     stt: bool,
+    json: bool,
 }
 
 impl Default for Options {
@@ -47,6 +48,7 @@ impl Default for Options {
             encoding: BitEncoding::Dcw,
             persistence: MetadataPersistence::BatteryBacked,
             stt: false,
+            json: false,
         }
     }
 }
@@ -64,6 +66,7 @@ fn usage() -> ExitCode {
     eprintln!("  --encoding E        raw | dcw | fnw");
     eprintln!("  --persistence P     battery | write-through | epoch:N");
     eprintln!("  --stt               use STT-RAM timing instead of PCM");
+    eprintln!("  --json              print the full report as JSON instead of text");
     ExitCode::FAILURE
 }
 
@@ -115,6 +118,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--stt" => o.stt = true,
+            "--json" => o.json = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -153,7 +157,10 @@ fn print_report(r: &RunReport) {
     println!("bit-flip ratio      : {:.1}%", r.bit_flip_ratio * 100.0);
     println!("energy              : {}", r.energy);
     if let Some(dm) = &r.dewrite {
-        println!("predictor accuracy  : {:.1}%", dm.predictor_accuracy * 100.0);
+        println!(
+            "predictor accuracy  : {:.1}%",
+            dm.predictor_accuracy * 100.0
+        );
         println!(
             "paths               : {} parallel / {} direct; {} wasted / {} saved encryptions",
             dm.parallel_writes, dm.direct_writes, dm.wasted_encryptions, dm.saved_encryptions
@@ -202,9 +209,8 @@ fn main() -> ExitCode {
         trace.push(rec);
     }
 
-    let mut config = SystemConfig::for_lines(
-        profile.working_set_lines + profile.content_pool_size as u64 + 64,
-    );
+    let mut config =
+        SystemConfig::for_lines(profile.working_set_lines + profile.content_pool_size as u64 + 64);
     if let Some(b) = opts.banks {
         config.nvm.banks = b;
     }
@@ -217,6 +223,7 @@ fn main() -> ExitCode {
     config.bit_encoding = opts.encoding;
     let sim = Simulator::new(&config);
 
+    let mut dewrite_cache: Option<Json> = None;
     let report = match opts.scheme.as_str() {
         "baseline" => {
             let mut mem = CmeBaseline::new(config, KEY);
@@ -241,6 +248,7 @@ fn main() -> ExitCode {
             dw.persistence = opts.persistence;
             let mut mem = DeWrite::new(config, dw, KEY);
             let r = sim.run(&mut mem, profile.name, &warmup, trace);
+            dewrite_cache = Some(mem.cache_stats().to_json());
             r.map(|mut r| {
                 r.dewrite = Some(mem.dewrite_metrics());
                 r
@@ -254,7 +262,15 @@ fn main() -> ExitCode {
 
     match report {
         Ok(r) => {
-            print_report(&r);
+            if opts.json {
+                let mut j = r.to_json();
+                if let Json::Obj(fields) = &mut j {
+                    fields.push(("dewrite_cache".into(), dewrite_cache.unwrap_or(Json::Null)));
+                }
+                println!("{j}");
+            } else {
+                print_report(&r);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -35,7 +35,13 @@ pub fn fig12(ctx: &mut Ctx) {
 
     let mut t = Table::new(
         "Fig. 12 — write reduction (paper: avg 54% reduced of 58% existing duplication)",
-        &["app", "existing dup", "writes reduced", "PNA/saturation missed", "metadata writes"],
+        &[
+            "app",
+            "existing dup",
+            "writes reduced",
+            "PNA/saturation missed",
+            "metadata writes",
+        ],
     );
     let comparisons = ctx.comparisons().to_vec();
     let mut reduced_all = Vec::new();
@@ -142,7 +148,10 @@ fn fig13_app(profile: &AppProfile, writes: usize, seed: u64) -> Vec<f64> {
             pool[k].clone()
         } else {
             // Partial modification: 1–4 words of the current content.
-            let mut c = plain.get(&addr).cloned().unwrap_or_else(|| vec![0u8; line_size]);
+            let mut c = plain
+                .get(&addr)
+                .cloned()
+                .unwrap_or_else(|| vec![0u8; line_size]);
             let words = 1 + rng.gen_range(0..4);
             for _ in 0..words {
                 let w = rng.gen_range(0..line_size / 2);

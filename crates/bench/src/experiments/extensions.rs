@@ -2,14 +2,18 @@
 //! history-window width, hash-function choice, cache replacement policy,
 //! NVM technology, and deduplication granularity.
 
-use dewrite_core::{DeWrite, DeWriteConfig, HistoryPredictor, MetadataPersistence, Simulator, SystemConfig};
+use dewrite_core::{
+    DeWrite, DeWriteConfig, HistoryPredictor, MetadataPersistence, Simulator, SystemConfig,
+};
 use dewrite_hashes::HashAlgorithm;
 use dewrite_mem::Replacement;
 use dewrite_nvm::Timing;
-use dewrite_trace::{app_by_name, all_apps, DupOracle, TraceGenerator};
+use dewrite_trace::{all_apps, app_by_name, DupOracle, TraceGenerator};
 
 use crate::experiments::{mean, Ctx};
-use crate::runner::{par_map_apps, run_scheme, run_scheme_encoded, Scale, SchemeKind, Workload, KEY};
+use crate::runner::{
+    par_map_apps, run_scheme, run_scheme_encoded, Scale, SchemeKind, Workload, KEY,
+};
 use crate::table::{f3, pct, Table};
 
 /// History-window width sweep (the paper stops at 3 bits; we sweep 1–7).
@@ -50,18 +54,32 @@ pub fn ext_history(ctx: &mut Ctx) {
 /// dedup fingerprint inside DeWrite.
 pub fn ext_hash(ctx: &mut Ctx) {
     let apps = ["mcf", "lbm", "vips", "dedup"];
-    let profiles: Vec<_> = apps.iter().map(|n| app_by_name(n).expect("known")).collect();
+    let profiles: Vec<_> = apps
+        .iter()
+        .map(|n| app_by_name(n).expect("known"))
+        .collect();
     let scale = ctx.scale;
     let rows = par_map_apps(&profiles, |profile, seed| {
         let w = Workload::generate(profile, scale, seed);
-        let algs = [HashAlgorithm::Crc32, HashAlgorithm::Crc32c, HashAlgorithm::Sha1];
+        let algs = [
+            HashAlgorithm::Crc32,
+            HashAlgorithm::Crc32c,
+            HashAlgorithm::Sha1,
+        ];
         let reports = algs.map(|h| run_scheme(SchemeKind::DeWriteHasher(h), &w));
         (profile.name.to_string(), reports)
     });
 
     let mut t = Table::new(
         "Extension — fingerprint choice inside DeWrite (CRC variants equal; SHA-1 latency hurts)",
-        &["app", "crc32 write ns", "crc32c write ns", "sha1 write ns", "crc32 reduction", "sha1 reduction"],
+        &[
+            "app",
+            "crc32 write ns",
+            "crc32c write ns",
+            "sha1 write ns",
+            "crc32 reduction",
+            "sha1 reduction",
+        ],
     );
     for (name, [crc, crcc, sha]) in &rows {
         t.row(vec![
@@ -79,7 +97,10 @@ pub fn ext_hash(ctx: &mut Ctx) {
 /// Replacement-policy ablation: LRU vs FIFO metadata caches.
 pub fn ext_repl(ctx: &mut Ctx) {
     let apps = ["mcf", "cactusADM", "vips", "streamcluster"];
-    let profiles: Vec<_> = apps.iter().map(|n| app_by_name(n).expect("known")).collect();
+    let profiles: Vec<_> = apps
+        .iter()
+        .map(|n| app_by_name(n).expect("known"))
+        .collect();
     let scale = ctx.scale;
     let rows = par_map_apps(&profiles, |profile, seed| {
         let w = Workload::generate(profile, scale, seed);
@@ -100,7 +121,11 @@ pub fn ext_repl(ctx: &mut Ctx) {
                 s.fsm.hit_rate(),
             ])
         };
-        (profile.name.to_string(), run(Replacement::Lru), run(Replacement::Fifo))
+        (
+            profile.name.to_string(),
+            run(Replacement::Lru),
+            run(Replacement::Fifo),
+        )
     });
 
     let mut t = Table::new(
@@ -119,7 +144,10 @@ pub fn ext_repl(ctx: &mut Ctx) {
 /// reverse.
 pub fn ext_stt(ctx: &mut Ctx) {
     let apps = ["mcf", "lbm", "vips"];
-    let profiles: Vec<_> = apps.iter().map(|n| app_by_name(n).expect("known")).collect();
+    let profiles: Vec<_> = apps
+        .iter()
+        .map(|n| app_by_name(n).expect("known"))
+        .collect();
     let scale = ctx.scale;
     let rows = par_map_apps(&profiles, |profile, seed| {
         let w = Workload::generate(profile, scale, seed);
@@ -149,7 +177,11 @@ pub fn ext_stt(ctx: &mut Ctx) {
         &["app", "PCM speedup", "STT-RAM speedup"],
     );
     for (name, pcm, stt) in &rows {
-        t.row(vec![name.clone(), format!("{pcm:.2}x"), format!("{stt:.2}x")]);
+        t.row(vec![
+            name.clone(),
+            format!("{pcm:.2}x"),
+            format!("{stt:.2}x"),
+        ]);
     }
     ctx.emit(&t, "ext_stt");
 }
@@ -159,7 +191,10 @@ pub fn ext_stt(ctx: &mut Ctx) {
 /// 256 B).
 pub fn ext_gran(ctx: &mut Ctx) {
     let apps = ["mcf", "lbm", "vips"];
-    let profiles: Vec<_> = apps.iter().map(|n| app_by_name(n).expect("known")).collect();
+    let profiles: Vec<_> = apps
+        .iter()
+        .map(|n| app_by_name(n).expect("known"))
+        .collect();
     let scale = Scale {
         writes: ctx.scale.writes / 2,
         ..ctx.scale
@@ -209,7 +244,10 @@ pub fn ext_gran(ctx: &mut Ctx) {
 /// of crash consistency without a battery.
 pub fn ext_persist(ctx: &mut Ctx) {
     let apps = ["mcf", "lbm", "vips"];
-    let profiles: Vec<_> = apps.iter().map(|n| app_by_name(n).expect("known")).collect();
+    let profiles: Vec<_> = apps
+        .iter()
+        .map(|n| app_by_name(n).expect("known"))
+        .collect();
     let scale = ctx.scale;
     let policies = [
         MetadataPersistence::BatteryBacked,
@@ -238,7 +276,14 @@ pub fn ext_persist(ctx: &mut Ctx) {
 
     let mut t = Table::new(
         "Extension — metadata persistence policies (crash exposure vs metadata write traffic)",
-        &["app", "policy", "write ns", "IPC", "meta writes / data write", "dirty at crash"],
+        &[
+            "app",
+            "policy",
+            "write ns",
+            "IPC",
+            "meta writes / data write",
+            "dirty at crash",
+        ],
     );
     for (name, runs) in &rows {
         for (policy, (r, dirty)) in policies.iter().zip(runs.iter()) {
@@ -277,12 +322,19 @@ pub fn ext_wear(ctx: &mut Ctx) {
         }
     };
 
-    let run = |with_leveling: bool, rng: &mut StdRng, sample: &mut dyn FnMut(&mut StdRng) -> u64| -> (u64, f64) {
+    let run = |with_leveling: bool,
+               rng: &mut StdRng,
+               sample: &mut dyn FnMut(&mut StdRng) -> u64|
+     -> (u64, f64) {
         let mut wear = vec![0u64; lines as usize + 1];
         let mut sg = StartGap::new(lines, 10);
         for _ in 0..writes {
             let logical = LineAddr::new(sample(rng));
-            let physical = if with_leveling { sg.remap(logical) } else { logical };
+            let physical = if with_leveling {
+                sg.remap(logical)
+            } else {
+                logical
+            };
             wear[physical.index() as usize] += 1;
             if with_leveling {
                 if let Some((_, dst)) = sg.note_write() {
@@ -302,7 +354,11 @@ pub fn ext_wear(ctx: &mut Ctx) {
         "Extension — Start-Gap wear leveling under a dedup-skewed write stream",
         &["configuration", "max line writes", "max / mean skew"],
     );
-    t.row(vec!["no leveling".into(), max_plain.to_string(), f3(skew_plain)]);
+    t.row(vec![
+        "no leveling".into(),
+        max_plain.to_string(),
+        f3(skew_plain),
+    ]);
     t.row(vec![
         "start-gap (interval 10)".into(),
         max_leveled.to_string(),
@@ -318,12 +374,19 @@ pub fn ext_wear(ctx: &mut Ctx) {
 pub fn ext_combined(ctx: &mut Ctx) {
     use dewrite_core::BitEncoding;
     let apps = ["mcf", "lbm", "sjeng"];
-    let profiles: Vec<_> = apps.iter().map(|n| app_by_name(n).expect("known")).collect();
+    let profiles: Vec<_> = apps
+        .iter()
+        .map(|n| app_by_name(n).expect("known"))
+        .collect();
     let scale = Scale {
         writes: ctx.scale.writes / 2,
         ..ctx.scale
     };
-    let schemes = [SchemeKind::Baseline, SchemeKind::SilentShredder, SchemeKind::DeWrite];
+    let schemes = [
+        SchemeKind::Baseline,
+        SchemeKind::SilentShredder,
+        SchemeKind::DeWrite,
+    ];
     let encodings = [BitEncoding::Raw, BitEncoding::Dcw, BitEncoding::Fnw];
     let rows = par_map_apps(&profiles, |profile, seed| {
         let w = Workload::generate(profile, scale, seed);
@@ -346,7 +409,10 @@ pub fn ext_combined(ctx: &mut Ctx) {
 
     let mut t = Table::new(
         "Extension — full-system bit flips per issued write (line-level × cell-level schemes)",
-        &["app", "base raw", "base DCW", "base FNW", "SS raw", "SS DCW", "SS FNW", "DW raw", "DW DCW", "DW FNW"],
+        &[
+            "app", "base raw", "base DCW", "base FNW", "SS raw", "SS DCW", "SS FNW", "DW raw",
+            "DW DCW", "DW FNW",
+        ],
     );
     for (name, cells) in &rows {
         let mut row = vec![name.clone()];
@@ -479,7 +545,13 @@ pub fn ext_layout(ctx: &mut Ctx) {
 
     let mut t = Table::new(
         "Extension — colocated metadata layout (§III-C): counters embedded in null slots",
-        &["app", "in addr-map slot", "in inverted slot", "overflow (both busy)", "embedded"],
+        &[
+            "app",
+            "in addr-map slot",
+            "in inverted slot",
+            "overflow (both busy)",
+            "embedded",
+        ],
     );
     let mut fractions = Vec::new();
     for (name, s) in &rows {
@@ -506,7 +578,10 @@ pub fn ext_layout(ctx: &mut Ctx) {
         &["line size", "overhead"],
     );
     for ls in [64usize, 128, 256, 512] {
-        o.row(vec![format!("{ls} B"), pct(ColocatedStore::storage_overhead(ls))]);
+        o.row(vec![
+            format!("{ls} B"),
+            pct(ColocatedStore::storage_overhead(ls)),
+        ]);
     }
     ctx.emit(&o, "ext_layout_overhead");
 }
@@ -522,7 +597,13 @@ pub fn ext_banks(ctx: &mut Ctx) {
 
     let mut t = Table::new(
         "Extension — sensitivity to NVM bank count (milc)",
-        &["banks", "baseline write (ns)", "dewrite write (ns)", "write speedup", "read speedup"],
+        &[
+            "banks",
+            "baseline write (ns)",
+            "dewrite write (ns)",
+            "write speedup",
+            "read speedup",
+        ],
     );
     for banks in [1usize, 2, 4, 8, 16] {
         let mut config = w.system_config();
@@ -553,7 +634,10 @@ pub fn ext_banks(ctx: &mut Ctx) {
 pub fn ext_domains(ctx: &mut Ctx) {
     use dewrite_core::DeWrite as Dw;
     let apps = ["mcf", "lbm", "vips"];
-    let profiles: Vec<_> = apps.iter().map(|n| app_by_name(n).expect("known")).collect();
+    let profiles: Vec<_> = apps
+        .iter()
+        .map(|n| app_by_name(n).expect("known"))
+        .collect();
     let scale = ctx.scale;
     let domains = [1u64, 2, 4, 16];
     let rows = par_map_apps(&profiles, |profile, seed| {

@@ -16,7 +16,11 @@ pub fn tab1(ctx: &mut Ctx) {
         "Table I(a) — hash computation latency and digest size",
         &["hash", "latency (ns)", "size (bits)"],
     );
-    for alg in [HashAlgorithm::Sha1, HashAlgorithm::Md5, HashAlgorithm::Crc32] {
+    for alg in [
+        HashAlgorithm::Sha1,
+        HashAlgorithm::Md5,
+        HashAlgorithm::Crc32,
+    ] {
         let c = alg.cost();
         a.row(vec![
             alg.to_string(),
@@ -41,7 +45,10 @@ pub fn tab1(ctx: &mut Ctx) {
         "Table I(b) — detection/critical latency (measured; paper: trad ≥312+tQ, DeWrite 91/15+tQ')",
         &["scheme", "mean critical (ns)", "mean write latency (ns)", "write reduction"],
     );
-    for (name, r) in [("traditional SHA-1 dedup", &traditional), ("DeWrite", &dewrite)] {
+    for (name, r) in [
+        ("traditional SHA-1 dedup", &traditional),
+        ("DeWrite", &dewrite),
+    ] {
         b.row(vec![
             name.into(),
             f3(r.write_critical.mean_ns()),
@@ -57,7 +64,13 @@ pub fn tab1(ctx: &mut Ctx) {
 pub fn fig14(ctx: &mut Ctx) {
     let mut t = Table::new(
         "Fig. 14 — write speedup vs traditional secure NVM (paper: avg 4.2x)",
-        &["app", "baseline write (ns)", "dewrite write (ns)", "speedup", ""],
+        &[
+            "app",
+            "baseline write (ns)",
+            "dewrite write (ns)",
+            "speedup",
+            "",
+        ],
     );
     let comparisons = ctx.comparisons().to_vec();
     let max = comparisons

@@ -35,6 +35,8 @@ pub struct Ctx {
     pub scale: Scale,
     /// CSV output directory.
     pub out_dir: PathBuf,
+    /// Also export every table (and the shared comparison runs) as JSON.
+    pub json: bool,
     comparisons: Option<Vec<AppComparison>>,
 }
 
@@ -44,6 +46,7 @@ impl Ctx {
         Ctx {
             scale,
             out_dir,
+            json: false,
             comparisons: None,
         }
     }
@@ -62,18 +65,41 @@ impl Ctx {
                     baseline: run_scheme(SchemeKind::Baseline, &workload),
                 }
             });
+            if self.json {
+                if let Err(e) = write_runs_json(&self.out_dir, &results) {
+                    eprintln!("warning: failed to write runs.json: {e}");
+                }
+            }
             self.comparisons = Some(results);
         }
         self.comparisons.as_deref().expect("just filled")
     }
 
-    /// Print and export a table.
+    /// Print and export a table (CSV always; JSON when `--json` is on).
     pub fn emit(&self, table: &Table, csv_name: &str) {
         println!("{}", table.render());
         if let Err(e) = table.write_csv(&self.out_dir, csv_name) {
             eprintln!("warning: failed to write {csv_name}.csv: {e}");
         }
+        if self.json {
+            if let Err(e) = table.write_json(&self.out_dir, csv_name) {
+                eprintln!("warning: failed to write {csv_name}.json: {e}");
+            }
+        }
     }
+}
+
+/// Dump every shared comparison run as a `RunReport` JSON array so
+/// downstream tooling can diff full reports across bench trajectories.
+fn write_runs_json(dir: &std::path::Path, runs: &[AppComparison]) -> std::io::Result<()> {
+    use dewrite_core::Json;
+    std::fs::create_dir_all(dir)?;
+    let arr = Json::Arr(
+        runs.iter()
+            .flat_map(|c| [c.dewrite.to_json(), c.baseline.to_json()])
+            .collect(),
+    );
+    std::fs::write(dir.join("runs.json"), format!("{arr}\n"))
 }
 
 /// Geometric mean of positive values (the paper averages ratios).

@@ -32,7 +32,12 @@ pub fn fig2(ctx: &mut Ctx) {
         &["app", "duplicate", "zero-lines", ""],
     );
     for (name, dup, zero) in &rows {
-        t.row(vec![name.clone(), pct(*dup), pct(*zero), bar(*dup, 1.0, 25)]);
+        t.row(vec![
+            name.clone(),
+            pct(*dup),
+            pct(*zero),
+            bar(*dup, 1.0, 25),
+        ]);
     }
     t.row(vec![
         "AVERAGE".into(),
@@ -104,7 +109,12 @@ pub fn fig6(ctx: &mut Ctx) {
         } else {
             dm.false_matches as f64 / digest_matches as f64
         };
-        (profile.name.to_string(), dm.false_matches, digest_matches, rate)
+        (
+            profile.name.to_string(),
+            dm.false_matches,
+            digest_matches,
+            rate,
+        )
     });
 
     let mut t = Table::new(
@@ -136,13 +146,18 @@ pub fn fig7(ctx: &mut Ctx) {
     let rows = par_map_apps(&apps, |profile, seed| {
         let w = Workload::generate(profile, scale, seed);
         let config = w.system_config();
-        let mut mem = dewrite_core::DeWrite::new(config.clone(), dewrite_core::DeWriteConfig::paper(), crate::runner::KEY);
+        let mut mem = dewrite_core::DeWrite::new(
+            config.clone(),
+            dewrite_core::DeWriteConfig::paper(),
+            crate::runner::KEY,
+        );
         let sim = dewrite_core::Simulator::new(&config);
         sim.run(&mut mem, profile.name, &w.warmup, w.trace.iter().cloned())
             .expect("trace fits");
         let refs: Vec<u8> = mem.index().reference_counts().collect();
         let total = refs.len().max(1) as f64;
-        let bucket = |lo: u8, hi: u8| refs.iter().filter(|&&r| r >= lo && r <= hi).count() as f64 / total;
+        let bucket =
+            |lo: u8, hi: u8| refs.iter().filter(|&&r| r >= lo && r <= hi).count() as f64 / total;
         (
             profile.name.to_string(),
             bucket(1, 1),

@@ -41,7 +41,13 @@ pub fn fig17(ctx: &mut Ctx) {
 pub fn fig19(ctx: &mut Ctx) {
     let mut t = Table::new(
         "Fig. 19 — energy normalized to traditional secure NVM (paper: avg 0.60)",
-        &["app", "normalized energy", "nvm-write share", "aes share", "dedup share"],
+        &[
+            "app",
+            "normalized energy",
+            "nvm-write share",
+            "aes share",
+            "dedup share",
+        ],
     );
     let mut rels = Vec::new();
     for c in ctx.comparisons().to_vec() {
@@ -111,15 +117,30 @@ pub fn tab2(ctx: &mut Ctx) {
     t.row(vec!["capacity (paper)".into(), "16 GB".into()]);
     t.row(vec!["line size".into(), format!("{} B", s.nvm.line_size)]);
     t.row(vec!["banks".into(), s.nvm.banks.to_string()]);
-    t.row(vec!["read latency".into(), format!("{} ns", timing.read_ns)]);
-    t.row(vec!["write latency".into(), format!("{} ns", timing.write_ns)]);
+    t.row(vec![
+        "read latency".into(),
+        format!("{} ns", timing.read_ns),
+    ]);
+    t.row(vec![
+        "write latency".into(),
+        format!("{} ns", timing.write_ns),
+    ]);
     t.row(vec!["AES latency".into(), "96 ns / line".into()]);
     t.row(vec!["AES energy".into(), "5.9 nJ / 128-bit block".into()]);
     t.row(vec!["CRC-32 latency".into(), "15 ns".into()]);
-    t.row(vec!["metadata cache".into(), "2 MB (512K x3 + 128K)".into()]);
+    t.row(vec![
+        "metadata cache".into(),
+        "2 MB (512K x3 + 128K)".into(),
+    ]);
     t.row(vec!["history window".into(), "3 bits".into()]);
-    t.row(vec!["core".into(), format!("{} GHz in-order, CPI {}", s.core.freq_ghz, s.core.base_cpi)]);
-    t.row(vec!["write queue depth".into(), s.write_queue_depth.to_string()]);
+    t.row(vec![
+        "core".into(),
+        format!("{} GHz in-order, CPI {}", s.core.freq_ghz, s.core.base_cpi),
+    ]);
+    t.row(vec![
+        "write queue depth".into(),
+        s.write_queue_depth.to_string(),
+    ]);
     t.row(vec![
         "persist barrier".into(),
         match s.persist_every {

@@ -71,6 +71,30 @@ pub struct Workload {
     pub warmup: Vec<TraceRecord>,
     /// The measured trace.
     pub trace: Vec<TraceRecord>,
+    /// Write operations actually present in `trace`. Equals the requested
+    /// `Scale::writes` unless the generator ran dry first.
+    pub writes: usize,
+}
+
+/// Pull records from `records` until `target_writes` write operations have
+/// been collected or the source runs dry. Returns the trace and the number
+/// of writes actually collected.
+fn collect_trace(
+    records: impl Iterator<Item = TraceRecord>,
+    target_writes: usize,
+) -> (Vec<TraceRecord>, usize) {
+    let mut trace = Vec::new();
+    let mut writes = 0usize;
+    for rec in records {
+        if writes >= target_writes {
+            break;
+        }
+        if rec.op.is_write() {
+            writes += 1;
+        }
+        trace.push(rec);
+    }
+    (trace, writes)
 }
 
 impl Workload {
@@ -79,24 +103,19 @@ impl Workload {
         let shaped = scale.shape(profile.clone());
         let mut gen = TraceGenerator::new(shaped.clone(), 256, seed);
         let warmup = gen.warmup_records();
-        let target_writes = scale.writes;
-        let mut trace = Vec::new();
-        let mut writes = 0usize;
-        while writes < target_writes {
-            match gen.next() {
-                Some(rec) => {
-                    if rec.op.is_write() {
-                        writes += 1;
-                    }
-                    trace.push(rec);
-                }
-                None => break,
-            }
+        let (trace, writes) = collect_trace(&mut gen, scale.writes);
+        if writes < scale.writes {
+            eprintln!(
+                "warning: trace generator for {} ran dry at {writes}/{} writes; \
+                 results are for the shorter trace",
+                shaped.name, scale.writes
+            );
         }
         Workload {
             profile: shaped,
             warmup,
             trace,
+            writes,
         }
     }
 
@@ -148,7 +167,11 @@ pub fn run_scheme(kind: SchemeKind, workload: &Workload) -> RunReport {
 }
 
 /// Like [`run_scheme`] with an explicit cell-level write encoding.
-pub fn run_scheme_encoded(kind: SchemeKind, workload: &Workload, encoding: BitEncoding) -> RunReport {
+pub fn run_scheme_encoded(
+    kind: SchemeKind,
+    workload: &Workload,
+    encoding: BitEncoding,
+) -> RunReport {
     let mut config = workload.system_config();
     config.bit_encoding = encoding;
     let sim = Simulator::new(&config);
@@ -156,8 +179,13 @@ pub fn run_scheme_encoded(kind: SchemeKind, workload: &Workload, encoding: BitEn
     match kind {
         SchemeKind::Baseline => {
             let mut mem = CmeBaseline::new(config, KEY);
-            sim.run(&mut mem, app, &workload.warmup, workload.trace.iter().cloned())
-                .expect("trace fits configuration")
+            sim.run(
+                &mut mem,
+                app,
+                &workload.warmup,
+                workload.trace.iter().cloned(),
+            )
+            .expect("trace fits configuration")
         }
         SchemeKind::DeWrite
         | SchemeKind::DeWriteMode(_)
@@ -174,20 +202,35 @@ pub fn run_scheme_encoded(kind: SchemeKind, workload: &Workload, encoding: BitEn
             }
             let mut mem = DeWrite::new(config, dw, KEY);
             let mut report = sim
-                .run(&mut mem, app, &workload.warmup, workload.trace.iter().cloned())
+                .run(
+                    &mut mem,
+                    app,
+                    &workload.warmup,
+                    workload.trace.iter().cloned(),
+                )
                 .expect("trace fits configuration");
             report.dewrite = Some(mem.dewrite_metrics());
             report
         }
         SchemeKind::Traditional(h) => {
             let mut mem = TraditionalDedup::new(config, h, KEY);
-            sim.run(&mut mem, app, &workload.warmup, workload.trace.iter().cloned())
-                .expect("trace fits configuration")
+            sim.run(
+                &mut mem,
+                app,
+                &workload.warmup,
+                workload.trace.iter().cloned(),
+            )
+            .expect("trace fits configuration")
         }
         SchemeKind::SilentShredder => {
             let mut mem = SilentShredder::new(config, KEY);
-            sim.run(&mut mem, app, &workload.warmup, workload.trace.iter().cloned())
-                .expect("trace fits configuration")
+            sim.run(
+                &mut mem,
+                app,
+                &workload.warmup,
+                workload.trace.iter().cloned(),
+            )
+            .expect("trace fits configuration")
         }
     }
 }
@@ -198,13 +241,17 @@ where
     T: Send,
     F: Fn(&AppProfile, u64) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(profiles.len().max(1));
-    let results: Vec<std::sync::Mutex<Option<T>>> =
-        profiles.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(profiles.len().max(1));
+    let results: Vec<std::sync::Mutex<Option<T>>> = profiles
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= profiles.len() {
                     break;
@@ -213,8 +260,7 @@ where
                 *results[i].lock().expect("no poisoned locks") = Some(out);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_iter()
         .map(|m| m.into_inner().expect("lock").expect("filled"))
@@ -240,13 +286,50 @@ mod tests {
     #[test]
     fn run_scheme_produces_populated_reports() {
         let p = app_by_name("lbm").unwrap();
-        let w = Workload::generate(&p, Scale { writes: 1_000, working_set_lines: 1 << 10, content_pool: 128 }, 2);
+        let w = Workload::generate(
+            &p,
+            Scale {
+                writes: 1_000,
+                working_set_lines: 1 << 10,
+                content_pool: 128,
+            },
+            2,
+        );
         let dw = run_scheme(SchemeKind::DeWrite, &w);
         assert!(dw.dewrite.is_some());
         assert!(dw.write_reduction() > 0.5);
         let base = run_scheme(SchemeKind::Baseline, &w);
         assert_eq!(base.write_reduction(), 0.0);
         assert!(dw.write_speedup_vs(&base) > 1.0);
+    }
+
+    #[test]
+    fn collect_trace_reports_short_traces() {
+        use dewrite_nvm::LineAddr;
+        use dewrite_trace::TraceOp;
+        let rec = |i: u64, write: bool| TraceRecord {
+            gap_instructions: 1,
+            op: if write {
+                TraceOp::Write {
+                    addr: LineAddr::new(i),
+                    data: vec![0u8; 4],
+                }
+            } else {
+                TraceOp::Read {
+                    addr: LineAddr::new(i),
+                }
+            },
+        };
+        // Generator runs dry after 3 writes when 10 were requested: the
+        // actual count must be surfaced, not silently truncated.
+        let short: Vec<_> = (0..6).map(|i| rec(i, i % 2 == 0)).collect();
+        let (trace, writes) = collect_trace(short.clone().into_iter(), 10);
+        assert_eq!(writes, 3);
+        assert_eq!(trace.len(), 6);
+        // And a source with plenty of records stops at the target.
+        let (trace, writes) = collect_trace(short.into_iter().cycle(), 5);
+        assert_eq!(writes, 5);
+        assert_eq!(trace.iter().filter(|r| r.op.is_write()).count(), 5);
     }
 
     #[test]
@@ -260,7 +343,10 @@ mod tests {
     #[test]
     fn scheme_labels() {
         assert_eq!(SchemeKind::Baseline.label(), "baseline");
-        assert_eq!(SchemeKind::DeWriteMode(WriteMode::Direct).label(), "dewrite-direct");
+        assert_eq!(
+            SchemeKind::DeWriteMode(WriteMode::Direct).label(),
+            "dewrite-direct"
+        );
         assert_eq!(
             SchemeKind::Traditional(HashAlgorithm::Sha1).label(),
             "traditional-SHA-1"

@@ -6,6 +6,8 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use dewrite_core::Json;
+
 /// A simple experiment-results table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -103,6 +105,41 @@ impl Table {
         }
         fs::write(dir.join(format!("{name}.csv")), csv)
     }
+
+    /// The table as a JSON object: `{"title", "headers", "rows"}` with rows
+    /// as arrays of strings (cells keep their rendered formatting so the CSV
+    /// and JSON exports always agree).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("title".into(), Json::Str(self.title.clone())),
+            (
+                "headers".into(),
+                Json::Arr(self.headers.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "rows".into(),
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().cloned().map(Json::Str).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Write the table as JSON under `dir/<name>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, dir: &Path, name: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(
+            dir.join(format!("{name}.json")),
+            format!("{}\n", self.to_json()),
+        )
+    }
 }
 
 /// Format a float with 3 decimals.
@@ -121,7 +158,9 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 || !value.is_finite() {
         return String::new();
     }
-    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let filled = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     "#".repeat(filled)
 }
 
@@ -162,6 +201,20 @@ mod tests {
         let content = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
         assert!(content.contains("\"x,y\""));
         assert!(content.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn json_export_matches_table() {
+        let dir = std::env::temp_dir().join("dewrite_table_json_test");
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x".into(), "1.5".into()]);
+        t.write_json(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(dir.join("demo.json")).unwrap();
+        let j = Json::parse(&content).unwrap();
+        assert_eq!(j.get("title").and_then(Json::as_str), Some("demo"));
+        let rows = j.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].as_arr().unwrap()[1].as_str(), Some("1.5"));
     }
 
     #[test]

@@ -51,7 +51,11 @@ pub fn dcw_flips(old_ct: &[u8], new_ct: &[u8]) -> u64 {
 ///
 /// Panics if the buffers differ in length.
 pub fn fnw_flips(old_ct: &[u8], new_ct: &[u8]) -> u64 {
-    assert_eq!(old_ct.len(), new_ct.len(), "fnw_flips requires equal lengths");
+    assert_eq!(
+        old_ct.len(),
+        new_ct.len(),
+        "fnw_flips requires equal lengths"
+    );
     let group_bytes = FNW_GROUP_BITS / 8;
     let mut total = 0u64;
     for (o, n) in old_ct.chunks(group_bytes).zip(new_ct.chunks(group_bytes)) {
@@ -309,7 +313,10 @@ mod tests {
         }
         let d_ratio = d_total as f64 / (N * 2048) as f64;
         let dcw_ratio = dcw_total as f64 / (N * 2048) as f64;
-        assert!(d_ratio < dcw_ratio * 0.7, "DEUCE {d_ratio} vs DCW {dcw_ratio}");
+        assert!(
+            d_ratio < dcw_ratio * 0.7,
+            "DEUCE {d_ratio} vs DCW {dcw_ratio}"
+        );
     }
 
     #[test]

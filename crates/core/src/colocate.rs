@@ -324,9 +324,18 @@ mod tests {
     fn row_bytes_roundtrip() {
         let cases = [
             Row::default(),
-            Row { addr_map: Slot::Payload(0xDEAD_BEEF), inverted: Slot::Empty },
-            Row { addr_map: Slot::Counter(123), inverted: Slot::Payload(0xFFFF_FFFF) },
-            Row { addr_map: Slot::Payload(0), inverted: Slot::Counter(0) },
+            Row {
+                addr_map: Slot::Payload(0xDEAD_BEEF),
+                inverted: Slot::Empty,
+            },
+            Row {
+                addr_map: Slot::Counter(123),
+                inverted: Slot::Payload(0xFFFF_FFFF),
+            },
+            Row {
+                addr_map: Slot::Payload(0),
+                inverted: Slot::Counter(0),
+            },
         ];
         for row in cases {
             assert_eq!(Row::from_bytes(&row.to_bytes()), row, "{row:?}");

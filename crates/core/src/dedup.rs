@@ -96,14 +96,19 @@ impl DedupIndex {
 
     /// The dedup domain of a line.
     pub fn domain_of(&self, line: LineAddr) -> u64 {
-        line.index() * self.domains / self.lines().max(1)
+        domain_of_line(line.index(), self.domains, self.lines())
     }
 
+    /// The exact preimage of [`domain_of`](Self::domain_of): line `i` is in
+    /// `domain` iff `lo <= i < hi`. Ceiling division keeps the two
+    /// consistent for uneven splits (floor boundaries would let relocation
+    /// pick a target just outside the source's domain).
     fn domain_range(&self, domain: u64) -> (u64, u64) {
-        let lines = self.lines();
+        let lines = u128::from(self.lines());
+        let domains = u128::from(self.domains);
         (
-            domain * lines / self.domains,
-            (domain + 1) * lines / self.domains,
+            (u128::from(domain) * lines).div_ceil(domains) as u64,
+            (u128::from(domain + 1) * lines).div_ceil(domains) as u64,
         )
     }
 
@@ -277,7 +282,11 @@ impl DedupIndex {
         let old = self.resolve(init);
         if old == Some(real) {
             self.dup_writes += 1;
-            return WriteOutcome::Duplicate { real, silent: true, freed: None };
+            return WriteOutcome::Duplicate {
+                real,
+                silent: true,
+                freed: None,
+            };
         }
         let added = self.hash_table.add_reference(digest, real);
         assert!(added, "apply_duplicate on a saturated entry");
@@ -292,7 +301,11 @@ impl DedupIndex {
         }
         self.written[init.index() as usize] = true;
         self.dup_writes += 1;
-        WriteOutcome::Duplicate { real, silent: false, freed }
+        WriteOutcome::Duplicate {
+            real,
+            silent: false,
+            freed,
+        }
     }
 
     /// Apply a *non-duplicate* write of `init` with content `digest`.
@@ -403,7 +416,9 @@ impl DedupIndex {
             let resident = self.inverted.digest_of(line).is_some();
             let occupied = !self.fsm.is_free(line);
             if resident != occupied {
-                return Err(format!("line {line}: resident={resident} occupied={occupied}"));
+                return Err(format!(
+                    "line {line}: resident={resident} occupied={occupied}"
+                ));
             }
             if resident {
                 let digest = self.inverted.digest_of(line).expect("checked");
@@ -433,6 +448,17 @@ impl DedupIndex {
     }
 }
 
+/// Dedup domain of line `index` when `lines` lines split into `domains`
+/// contiguous, equal-as-possible domains.
+///
+/// Widened to 128-bit intermediates: `index * domains` overflows u64 for
+/// large address spaces (e.g. a 2^63-line index with 4 domains), which
+/// would scatter lines into wrong domains and silently break the
+/// cross-domain isolation guarantee.
+pub(crate) fn domain_of_line(index: u64, domains: u64, lines: u64) -> u64 {
+    ((index as u128 * domains as u128) / u128::from(lines.max(1))) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,7 +484,13 @@ mod tests {
     }
 
     /// Drive a full write through lookup + apply, like a scheme would.
-    fn write(idx: &mut DedupIndex, shadow: &mut Shadow, init: u64, data: &[u8], digest: u32) -> WriteOutcome {
+    fn write(
+        idx: &mut DedupIndex,
+        shadow: &mut Shadow,
+        init: u64,
+        data: &[u8],
+        digest: u32,
+    ) -> WriteOutcome {
         let lookup = idx.lookup(digest, data, |real| shadow.content(real));
         let outcome = match lookup.matched {
             Some(real) => idx.apply_duplicate(l(init), real),
@@ -478,7 +510,11 @@ mod tests {
         let out = write(&mut idx, &mut sh, 3, b"aaaa", 1);
         assert_eq!(
             out,
-            WriteOutcome::Stored { target: l(3), freed: None, in_place: false }
+            WriteOutcome::Stored {
+                target: l(3),
+                freed: None,
+                in_place: false
+            }
         );
         assert_eq!(idx.resolve(l(3)), Some(l(3)));
         assert_eq!(idx.reference_of(l(3)), Some(1));
@@ -490,7 +526,14 @@ mod tests {
         let mut sh = Shadow::default();
         write(&mut idx, &mut sh, 0, b"same", 9);
         let out = write(&mut idx, &mut sh, 5, b"same", 9);
-        assert_eq!(out, WriteOutcome::Duplicate { real: l(0), silent: false, freed: None });
+        assert_eq!(
+            out,
+            WriteOutcome::Duplicate {
+                real: l(0),
+                silent: false,
+                freed: None
+            }
+        );
         assert_eq!(idx.resolve(l(5)), Some(l(0)));
         assert_eq!(idx.reference_of(l(0)), Some(2));
         assert_eq!(idx.mapped_addresses(), 1);
@@ -504,7 +547,14 @@ mod tests {
         let mut sh = Shadow::default();
         write(&mut idx, &mut sh, 0, b"data", 7);
         let out = write(&mut idx, &mut sh, 0, b"data", 7);
-        assert_eq!(out, WriteOutcome::Duplicate { real: l(0), silent: true, freed: None });
+        assert_eq!(
+            out,
+            WriteOutcome::Duplicate {
+                real: l(0),
+                silent: true,
+                freed: None
+            }
+        );
         assert_eq!(idx.reference_of(l(0)), Some(1));
     }
 
@@ -516,7 +566,11 @@ mod tests {
         let out = write(&mut idx, &mut sh, 2, b"new!", 2);
         assert_eq!(
             out,
-            WriteOutcome::Stored { target: l(2), freed: None, in_place: true }
+            WriteOutcome::Stored {
+                target: l(2),
+                freed: None,
+                in_place: true
+            }
         );
         // Stale hash was cleaned: old content no longer matches anywhere.
         let lookup = idx.lookup(1, b"old!", |r| sh.content(r));
@@ -529,10 +583,14 @@ mod tests {
         let mut sh = Shadow::default();
         write(&mut idx, &mut sh, 0, b"shared", 5);
         write(&mut idx, &mut sh, 1, b"shared", 5); // 1 → line 0, ref 2
-        // Address 0 overwrites: content at line 0 still referenced by 1.
+                                                   // Address 0 overwrites: content at line 0 still referenced by 1.
         let out = write(&mut idx, &mut sh, 0, b"fresh!", 6);
         match out {
-            WriteOutcome::Stored { target, freed, in_place } => {
+            WriteOutcome::Stored {
+                target,
+                freed,
+                in_place,
+            } => {
                 assert_ne!(target, l(0), "must not clobber shared line");
                 assert_eq!(freed, None);
                 assert!(!in_place);
@@ -551,8 +609,8 @@ mod tests {
         write(&mut idx, &mut sh, 0, b"a", 1);
         write(&mut idx, &mut sh, 1, b"b", 2); // line 1
         write(&mut idx, &mut sh, 1, b"a", 1); // 1 remaps to line 0; line 1 freed in-place? no:
-        // address 1 was sole owner of line 1, but this is a *duplicate*
-        // write, so line 1 is unlinked and freed.
+                                              // address 1 was sole owner of line 1, but this is a *duplicate*
+                                              // write, so line 1 is unlinked and freed.
         assert_eq!(idx.resolve(l(1)), Some(l(0)));
         assert_eq!(idx.digest_of(l(1)), None);
         assert_eq!(idx.free_lines(), 15);
@@ -613,9 +671,47 @@ mod tests {
         let out = write(&mut idx, &mut sh, 0, b"shared", 5);
         // Address 0's interim line (its sole-owned "other!" line) is freed
         // as its reference moves back to line 0.
-        assert_eq!(out, WriteOutcome::Duplicate { real: l(0), silent: false, freed: Some(l(1)) });
+        assert_eq!(
+            out,
+            WriteOutcome::Duplicate {
+                real: l(0),
+                silent: false,
+                freed: Some(l(1))
+            }
+        );
         assert_eq!(idx.resolve(l(0)), Some(l(0)));
         assert_eq!(idx.reference_of(l(0)), Some(2));
+    }
+
+    #[test]
+    fn domain_of_survives_large_indices() {
+        // Regression: `index * domains` used to be computed in u64, so a
+        // line index past u64::MAX / domains wrapped and landed in the
+        // wrong domain.
+        let lines = 1u64 << 63;
+        let domains = 4;
+        assert_eq!(domain_of_line(0, domains, lines), 0);
+        assert_eq!(domain_of_line(lines - 1, domains, lines), domains - 1);
+        let boundary = lines / domains;
+        assert_eq!(domain_of_line(boundary - 1, domains, lines), 0);
+        assert_eq!(domain_of_line(boundary, domains, lines), 1);
+        for index in [lines / 2, lines - 1, boundary * 3 + 17] {
+            assert!(
+                domain_of_line(index, domains, lines) < domains,
+                "index {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_of_agrees_with_domain_range() {
+        let idx = DedupIndex::with_domains(100, 7); // uneven split
+        for domain in 0..7 {
+            let (lo, hi) = idx.domain_range(domain);
+            for i in lo..hi {
+                assert_eq!(idx.domain_of(l(i)), domain, "line {i}");
+            }
+        }
     }
 
     #[test]

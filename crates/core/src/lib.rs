@@ -42,22 +42,30 @@ pub mod bitlevel;
 pub mod colocate;
 mod config;
 mod dedup;
+pub mod json;
 mod metrics;
 mod predictor;
 mod schemes;
 mod sim;
 mod snapshot;
 pub mod tables;
+pub mod trace;
 
-pub use bitlevel::{dcw_flips, fnw_flips, CmeLine, DeuceLine, DEUCE_EPOCH, DEUCE_WORD_BYTES, FNW_GROUP_BITS};
-pub use config::{BitEncoding, DeWriteConfig, MetaCacheConfig, MetadataPersistence, SystemConfig, WriteMode};
+pub use bitlevel::{
+    dcw_flips, fnw_flips, CmeLine, DeuceLine, DEUCE_EPOCH, DEUCE_WORD_BYTES, FNW_GROUP_BITS,
+};
+pub use colocate::{ColocatedStore, ColocationStats};
+pub use config::{
+    BitEncoding, DeWriteConfig, MetaCacheConfig, MetadataPersistence, SystemConfig, WriteMode,
+};
 pub use dedup::{DedupIndex, DupLookup, WriteOutcome};
+pub use json::Json;
 pub use metrics::RunReport;
 pub use predictor::HistoryPredictor;
 pub use schemes::{
-    BaseMetrics, CmeBaseline, DeWrite, DeWriteMetrics, ReadResult, SecureMemory, SilentShredder,
-    TraditionalDedup, WriteResult,
+    BaseMetrics, CmeBaseline, DeWrite, DeWriteCacheStats, DeWriteMetrics, ReadResult, SecureMemory,
+    SilentShredder, TraditionalDedup, WriteResult,
 };
-pub use colocate::{ColocatedStore, ColocationStats};
 pub use sim::Simulator;
 pub use snapshot::{Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use trace::{EventSink, Stage, StageBreakdown, StageCollector, WriteEvent, WritePath};

@@ -1,9 +1,10 @@
 //! Per-run experiment reports.
 
-use dewrite_mem::LatencyStats;
+use dewrite_mem::{LatencyHistogram, LatencyStats};
 use dewrite_nvm::EnergyBreakdown;
 
 use crate::schemes::{BaseMetrics, DeWriteMetrics};
+use crate::trace::StageBreakdown;
 
 /// Everything one (scheme × workload) simulation produces, in the units the
 /// paper's figures use.
@@ -39,6 +40,13 @@ pub struct RunReport {
     pub bit_flip_ratio: f64,
     /// DeWrite-specific metrics, when the scheme is DeWrite.
     pub dewrite: Option<DeWriteMetrics>,
+    /// Full write-latency distribution (p50/p95/p99, not just the mean).
+    pub write_latency_hist: LatencyHistogram,
+    /// Read-latency distribution.
+    pub read_latency_hist: LatencyHistogram,
+    /// Per-stage write-pipeline latency breakdown (empty when the scheme
+    /// does not support event tracing).
+    pub stage_breakdown: StageBreakdown,
 }
 
 impl RunReport {
@@ -54,7 +62,10 @@ impl RunReport {
     /// Write speedup of this run versus `baseline` (mean write latency
     /// ratio, Fig. 14).
     pub fn write_speedup_vs(&self, baseline: &RunReport) -> f64 {
-        ratio(baseline.write_latency.mean_ns(), self.write_latency.mean_ns())
+        ratio(
+            baseline.write_latency.mean_ns(),
+            self.write_latency.mean_ns(),
+        )
     }
 
     /// Read speedup versus `baseline` (Fig. 16).
@@ -69,7 +80,10 @@ impl RunReport {
 
     /// Relative total energy versus `baseline` (Fig. 19).
     pub fn relative_energy_vs(&self, baseline: &RunReport) -> f64 {
-        ratio(self.energy.total_pj() as f64, baseline.energy.total_pj() as f64)
+        ratio(
+            self.energy.total_pj() as f64,
+            baseline.energy.total_pj() as f64,
+        )
     }
 }
 

@@ -174,11 +174,13 @@ mod tests {
     fn three_bits_beat_one_on_noisy_clustered_stream() {
         // Clustered stream with isolated flips: 1-bit mispredicts twice per
         // isolated flip, 3-bit majority rides through it.
-        let stream: Vec<bool> = (0..3_000).map(|i| {
-            let phase = (i / 100) % 2 == 0; // long phases
-            let noise = i % 37 == 0; // isolated flips
-            phase ^ noise
-        }).collect();
+        let stream: Vec<bool> = (0..3_000)
+            .map(|i| {
+                let phase = (i / 100) % 2 == 0; // long phases
+                let noise = i % 37 == 0; // isolated flips
+                phase ^ noise
+            })
+            .collect();
 
         let mut p1 = HistoryPredictor::new(1);
         let mut p3 = HistoryPredictor::new(3);

@@ -2,12 +2,15 @@
 
 use std::collections::HashMap;
 
-use dewrite_crypto::{aes_line_energy_pj, CounterModeEngine, LineCounter, AES_LINE_LATENCY_NS, OTP_XOR_LATENCY_NS};
+use dewrite_crypto::{
+    aes_line_energy_pj, CounterModeEngine, LineCounter, AES_LINE_LATENCY_NS, OTP_XOR_LATENCY_NS,
+};
 use dewrite_mem::Replacement;
 use dewrite_nvm::{LineAddr, NvmDevice, NvmError};
 
 use crate::config::SystemConfig;
 use crate::schemes::{BaseMetrics, MetaTable, ReadResult, SecureMemory, WriteResult};
+use crate::trace::{EventSink, Stage, WriteEvent, WritePath};
 
 /// Counter-cache capacity of the baseline: the full 2 MB metadata cache
 /// holding 4 B counters.
@@ -38,7 +41,6 @@ const COUNTER_PREFETCH: usize = 64;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct CmeBaseline {
     config: SystemConfig,
     device: NvmDevice,
@@ -46,6 +48,16 @@ pub struct CmeBaseline {
     counters: HashMap<u64, LineCounter>,
     counter_table: MetaTable,
     metrics: BaseMetrics,
+    sink: Option<Box<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for CmeBaseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CmeBaseline")
+            .field("writes", &self.metrics.writes)
+            .field("reads", &self.metrics.reads)
+            .finish_non_exhaustive()
+    }
 }
 
 impl CmeBaseline {
@@ -76,6 +88,7 @@ impl CmeBaseline {
             counters: HashMap::new(),
             counter_table,
             metrics: BaseMetrics::default(),
+            sink: None,
         }
     }
 
@@ -117,9 +130,13 @@ impl SecureMemory for CmeBaseline {
         self.metrics.writes += 1;
 
         // Fetch + bump the counter (dirty in the counter cache).
-        let ctr = self
-            .counter_table
-            .access(addr.index(), true, &mut self.device, now_ns, &mut self.metrics);
+        let ctr = self.counter_table.access(
+            addr.index(),
+            true,
+            &mut self.device,
+            now_ns,
+            &mut self.metrics,
+        );
         let counter = self.counters.entry(addr.index()).or_default();
         let _ = counter.increment();
         let counter = *counter;
@@ -135,6 +152,16 @@ impl SecureMemory for CmeBaseline {
             .device
             .write_line_with_flips(addr, &ciphertext, flips, enc_done)?;
 
+        if let Some(sink) = self.sink.as_mut() {
+            let mut e = WriteEvent::new(WritePath::Stored);
+            e.total_ns = access.slot.finish_ns - now_ns;
+            // Counter fetch + AES are one serial stage in the baseline.
+            e.set_stage(Stage::Encrypt, enc_done - now_ns);
+            e.set_stage(Stage::ArrayWrite, access.slot.finish_ns - enc_done);
+            e.set_stage(Stage::Metadata, ctr.done_ns - now_ns);
+            sink.record(&e);
+        }
+
         Ok(WriteResult {
             critical_ns: enc_done - now_ns,
             nvm_finish_ns: Some(access.slot.finish_ns),
@@ -147,9 +174,13 @@ impl SecureMemory for CmeBaseline {
         self.check_addr(addr)?;
         self.metrics.reads += 1;
 
-        let ctr = self
-            .counter_table
-            .access(addr.index(), false, &mut self.device, now_ns, &mut self.metrics);
+        let ctr = self.counter_table.access(
+            addr.index(),
+            false,
+            &mut self.device,
+            now_ns,
+            &mut self.metrics,
+        );
         let (ciphertext, access) = self.device.read_line(addr, now_ns)?;
 
         match self.counters.get(&addr.index()) {
@@ -185,6 +216,14 @@ impl SecureMemory for CmeBaseline {
 
     fn base_metrics(&self) -> BaseMetrics {
         self.metrics
+    }
+
+    fn set_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    fn take_event_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.take()
     }
 }
 
@@ -290,6 +329,28 @@ mod tests {
         assert_eq!(b.writes_eliminated, 0);
         assert_eq!(b.aes_line_ops, 2); // 2 encrypts (read pads are uncharged)
         assert!(b.meta_nvm_reads >= 1); // cold counter miss
+    }
+
+    #[test]
+    fn event_sink_records_baseline_stages() {
+        use crate::trace::{Stage, StageCollector};
+        let mut m = mem();
+        m.set_event_sink(Box::new(StageCollector::default()));
+        m.write(LineAddr::new(0), &vec![1u8; 256], 0).unwrap();
+        let mut sink = m.take_event_sink().expect("sink installed");
+        let c = sink
+            .as_any_mut()
+            .downcast_mut::<StageCollector>()
+            .expect("collector type");
+        assert_eq!(c.breakdown.stored_writes, 1);
+        assert_eq!(c.breakdown.duplicate_writes, 0);
+        assert_eq!(c.breakdown.stage(Stage::Encrypt).count(), 1);
+        assert_eq!(c.breakdown.stage(Stage::ArrayWrite).count(), 1);
+        assert_eq!(
+            c.breakdown.stage(Stage::Digest).count(),
+            0,
+            "no fingerprinting in CME"
+        );
     }
 
     proptest! {

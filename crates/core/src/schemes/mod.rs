@@ -19,7 +19,7 @@ mod shredder;
 mod traditional;
 
 pub use cme::CmeBaseline;
-pub use dewrite::{DeWrite, DeWriteMetrics};
+pub use dewrite::{DeWrite, DeWriteCacheStats, DeWriteMetrics};
 pub use shredder::SilentShredder;
 pub use traditional::TraditionalDedup;
 
@@ -27,11 +27,7 @@ use dewrite_mem::{CacheConfig, CacheStats, MetadataCache, Replacement};
 use dewrite_nvm::{LineAddr, NvmDevice, NvmError};
 
 /// Programmed-cell count for writing `new` over `old` under `encoding`.
-pub(crate) fn encoded_flips(
-    encoding: crate::config::BitEncoding,
-    old: &[u8],
-    new: &[u8],
-) -> u64 {
+pub(crate) fn encoded_flips(encoding: crate::config::BitEncoding, old: &[u8], new: &[u8]) -> u64 {
     use crate::config::BitEncoding;
     match encoding {
         BitEncoding::Raw => (new.len() * 8) as u64,
@@ -120,6 +116,21 @@ pub trait SecureMemory {
 
     /// Common counters.
     fn base_metrics(&self) -> BaseMetrics;
+
+    /// Install an [`EventSink`](crate::trace::EventSink) that observes one
+    /// [`WriteEvent`](crate::trace::WriteEvent) per accepted write.
+    ///
+    /// Schemes without tracing support drop the sink (the default); they
+    /// then report an empty stage breakdown rather than a wrong one.
+    fn set_event_sink(&mut self, sink: Box<dyn crate::trace::EventSink>) {
+        drop(sink);
+    }
+
+    /// Remove and return the installed sink, if tracing is supported and a
+    /// sink is present.
+    fn take_event_sink(&mut self) -> Option<Box<dyn crate::trace::EventSink>> {
+        None
+    }
 }
 
 /// Outcome of one metadata-table access.
@@ -280,13 +291,16 @@ impl MetaTable {
     ) -> MetaAccess {
         // Fetch the backing line(s).
         let fetch_lines = if self.sequential {
-            (self.prefetch_entries * self.entry_bytes).div_ceil(self.line_size).max(1)
+            (self.prefetch_entries * self.entry_bytes)
+                .div_ceil(self.line_size)
+                .max(1)
         } else {
             1
         };
         let mut done = now_ns;
         for i in 0..fetch_lines as u64 {
-            let line = self.backing_line(entry + i * (self.line_size / self.entry_bytes.max(1)) as u64);
+            let line =
+                self.backing_line(entry + i * (self.line_size / self.entry_bytes.max(1)) as u64);
             let (_, access) = device
                 .read_line(line, now_ns)
                 .expect("metadata region line in range");

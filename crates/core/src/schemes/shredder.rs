@@ -122,9 +122,12 @@ impl SecureMemory for SilentShredder {
 
         // The zero check is free in hardware (wide NOR over the line).
         if is_zero_line(data) {
-            let acc = self
-                .zero_table
-                .write_insert(addr.index() / 2048, &mut self.device, now_ns, &mut self.metrics);
+            let acc = self.zero_table.write_insert(
+                addr.index() / 2048,
+                &mut self.device,
+                now_ns,
+                &mut self.metrics,
+            );
             self.zeroed.insert(addr.index());
             self.metrics.writes_eliminated += 1;
             return Ok(WriteResult {
@@ -137,9 +140,13 @@ impl SecureMemory for SilentShredder {
 
         // Otherwise: plain counter-mode write (as the baseline).
         self.zeroed.remove(&addr.index());
-        let ctr = self
-            .counter_table
-            .access(addr.index(), true, &mut self.device, now_ns, &mut self.metrics);
+        let ctr = self.counter_table.access(
+            addr.index(),
+            true,
+            &mut self.device,
+            now_ns,
+            &mut self.metrics,
+        );
         let counter = self.counters.entry(addr.index()).or_default();
         let _ = counter.increment();
         let counter = *counter;
@@ -165,9 +172,13 @@ impl SecureMemory for SilentShredder {
         self.metrics.reads += 1;
 
         // Zero-bitmap check first: shredded lines short-circuit the array.
-        let zacc = self
-            .zero_table
-            .access(addr.index() / 2048, false, &mut self.device, now_ns, &mut self.metrics);
+        let zacc = self.zero_table.access(
+            addr.index() / 2048,
+            false,
+            &mut self.device,
+            now_ns,
+            &mut self.metrics,
+        );
         if self.zeroed.contains(&addr.index()) {
             return Ok(ReadResult {
                 data: vec![0u8; self.config.nvm.line_size],
@@ -175,9 +186,13 @@ impl SecureMemory for SilentShredder {
             });
         }
 
-        let ctr = self
-            .counter_table
-            .access(addr.index(), false, &mut self.device, zacc.done_ns, &mut self.metrics);
+        let ctr = self.counter_table.access(
+            addr.index(),
+            false,
+            &mut self.device,
+            zacc.done_ns,
+            &mut self.metrics,
+        );
         let (ciphertext, access) = self.device.read_line(addr, zacc.done_ns)?;
         match self.counters.get(&addr.index()) {
             Some(&counter) => {
@@ -256,7 +271,11 @@ mod tests {
         let mut m = mem();
         let mut t = 0;
         for i in 0..20u64 {
-            let data = if i % 4 == 0 { vec![0u8; 256] } else { vec![i as u8; 256] };
+            let data = if i % 4 == 0 {
+                vec![0u8; 256]
+            } else {
+                vec![i as u8; 256]
+            };
             m.write(LineAddr::new(i), &data, t).unwrap();
             t += 5_000;
         }

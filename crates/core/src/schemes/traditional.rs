@@ -128,9 +128,13 @@ impl SecureMemory for TraditionalDedup {
         self.device.charge_dedup_pj(cost.energy_pj);
 
         // Fingerprint-store query (t_Q of Table I).
-        let q = self
-            .meta_table
-            .access(u64::from(digest), false, &mut self.device, hash_done, &mut self.metrics);
+        let q = self.meta_table.access(
+            u64::from(digest),
+            false,
+            &mut self.device,
+            hash_done,
+            &mut self.metrics,
+        );
 
         // Trust the fingerprint: match at full digest width, no data read.
         let matched = self
@@ -147,8 +151,12 @@ impl SecureMemory for TraditionalDedup {
             Some(real) => {
                 self.index.apply_duplicate(init, real);
                 self.metrics.writes_eliminated += 1;
-                self.meta_table
-                    .write_insert(init.index(), &mut self.device, q.done_ns, &mut self.metrics);
+                self.meta_table.write_insert(
+                    init.index(),
+                    &mut self.device,
+                    q.done_ns,
+                    &mut self.metrics,
+                );
                 Ok(WriteResult {
                     critical_ns: q.done_ns - now_ns,
                     nvm_finish_ns: None,
@@ -184,9 +192,9 @@ impl SecureMemory for TraditionalDedup {
                 let old = self.device.peek_line(target)?;
                 let flips =
                     crate::schemes::encoded_flips(self.config.bit_encoding, &old, &ciphertext);
-                let access = self
-                    .device
-                    .write_line_with_flips(target, &ciphertext, flips, enc_done)?;
+                let access =
+                    self.device
+                        .write_line_with_flips(target, &ciphertext, flips, enc_done)?;
                 Ok(WriteResult {
                     critical_ns: enc_done - now_ns,
                     nvm_finish_ns: Some(access.slot.finish_ns),
@@ -200,13 +208,20 @@ impl SecureMemory for TraditionalDedup {
     fn read(&mut self, init: LineAddr, now_ns: u64) -> Result<ReadResult, NvmError> {
         self.check_addr(init)?;
         self.metrics.reads += 1;
-        let map_acc = self
-            .meta_table
-            .access(init.index(), false, &mut self.device, now_ns, &mut self.metrics);
+        let map_acc = self.meta_table.access(
+            init.index(),
+            false,
+            &mut self.device,
+            now_ns,
+            &mut self.metrics,
+        );
         match self.index.resolve(init) {
             Some(real) => {
                 let (ciphertext, access) = self.device.read_line(real, map_acc.done_ns)?;
-                let counter = *self.counters.get(&real.index()).expect("resident has counter");
+                let counter = *self
+                    .counters
+                    .get(&real.index())
+                    .expect("resident has counter");
                 // Read-side pad energy is not charged (write-dominated
                 // accounting; see CmeBaseline::read).
                 let pad_done = map_acc.done_ns + AES_LINE_LATENCY_NS;

@@ -21,13 +21,14 @@
 
 use std::collections::VecDeque;
 
-use dewrite_mem::{CoreModel, LatencyStats};
+use dewrite_mem::{CoreModel, LatencyHistogram, LatencyStats};
 use dewrite_nvm::NvmError;
 use dewrite_trace::{TraceOp, TraceRecord};
 
 use crate::config::SystemConfig;
 use crate::metrics::RunReport;
 use crate::schemes::SecureMemory;
+use crate::trace::StageCollector;
 
 /// Trace-replay engine, configured from a [`SystemConfig`].
 #[derive(Debug, Clone)]
@@ -79,6 +80,10 @@ impl Simulator {
             }
         }
 
+        // Observe the measured window only: the collector goes in after
+        // warmup and comes back out with the per-stage breakdown.
+        mem.set_event_sink(Box::new(StageCollector::default()));
+
         // Snapshot counters so the report covers the measured window only.
         let base_before = mem.base_metrics();
         let energy_before = *mem.device().energy();
@@ -91,13 +96,16 @@ impl Simulator {
         // lockstep and their memory requests interleave at the controller —
         // this is where bank contention (and DeWrite's queueing relief)
         // comes from.
-        let mut cores: Vec<CoreModel> = (0..self.cores).map(|_| CoreModel::new(self.core)).collect();
+        let mut cores: Vec<CoreModel> =
+            (0..self.cores).map(|_| CoreModel::new(self.core)).collect();
         let start_ns = t;
         let mut write_latency = LatencyStats::new();
         let mut write_latency_eliminated = LatencyStats::new();
         let mut write_latency_stored = LatencyStats::new();
         let mut write_critical = LatencyStats::new();
         let mut read_latency = LatencyStats::new();
+        let mut write_latency_hist = LatencyHistogram::new();
+        let mut read_latency_hist = LatencyHistogram::new();
         let mut outstanding: VecDeque<u64> = VecDeque::new();
         let mut writes_since_persist = vec![0u32; self.cores];
         let mut read_stall_credit = 0.0f64;
@@ -122,6 +130,7 @@ impl Simulator {
                 TraceOp::Read { addr } => {
                     let r = mem.read(addr, now)?;
                     read_latency.record(r.latency_ns);
+                    read_latency_hist.record(r.latency_ns);
                     // Only a fraction of reads are demand misses on the
                     // critical path; the rest are overlapped (OoO window /
                     // prefetch) and merely occupy the memory system.
@@ -134,6 +143,7 @@ impl Simulator {
                 TraceOp::Write { addr, data } => {
                     let w = mem.write(addr, &data, now)?;
                     write_latency.record(w.total_ns);
+                    write_latency_hist.record(w.total_ns);
                     if w.eliminated {
                         write_latency_eliminated.record(w.total_ns);
                     } else {
@@ -186,10 +196,16 @@ impl Simulator {
             }
         }
         let instructions: u64 = cores.iter().map(CoreModel::instructions).sum();
-        let wall_cycles = cores
-            .iter()
-            .map(CoreModel::cycles)
-            .fold(0.0f64, f64::max);
+        let wall_cycles = cores.iter().map(CoreModel::cycles).fold(0.0f64, f64::max);
+
+        let stage_breakdown = mem
+            .take_event_sink()
+            .and_then(|mut sink| {
+                sink.as_any_mut()
+                    .downcast_mut::<StageCollector>()
+                    .map(|c| std::mem::take(&mut c.breakdown))
+            })
+            .unwrap_or_default();
 
         let base_after = mem.base_metrics();
         let energy_after = *mem.device().energy();
@@ -197,9 +213,11 @@ impl Simulator {
         let nvm_data_writes =
             (mem.device().writes() - base_after.meta_nvm_writes) - data_writes_before;
         let flips = mem.device().wear().total_bits_flipped() - wear_flips_before;
-        let total_write_bits = mem.device().writes().saturating_sub(
-            data_writes_before + base_before.meta_nvm_writes,
-        ) * line_bits;
+        let total_write_bits = mem
+            .device()
+            .writes()
+            .saturating_sub(data_writes_before + base_before.meta_nvm_writes)
+            * line_bits;
 
         Ok(RunReport {
             scheme: mem.name(),
@@ -225,11 +243,17 @@ impl Simulator {
                 flips as f64 / total_write_bits as f64
             },
             dewrite: None,
+            write_latency_hist,
+            read_latency_hist,
+            stage_breakdown,
         })
     }
 }
 
-fn delta_base(before: crate::schemes::BaseMetrics, after: crate::schemes::BaseMetrics) -> crate::schemes::BaseMetrics {
+fn delta_base(
+    before: crate::schemes::BaseMetrics,
+    after: crate::schemes::BaseMetrics,
+) -> crate::schemes::BaseMetrics {
     crate::schemes::BaseMetrics {
         writes: after.writes - before.writes,
         writes_eliminated: after.writes_eliminated - before.writes_eliminated,
@@ -242,7 +266,10 @@ fn delta_base(before: crate::schemes::BaseMetrics, after: crate::schemes::BaseMe
     }
 }
 
-fn delta_energy(before: dewrite_nvm::EnergyBreakdown, after: dewrite_nvm::EnergyBreakdown) -> dewrite_nvm::EnergyBreakdown {
+fn delta_energy(
+    before: dewrite_nvm::EnergyBreakdown,
+    after: dewrite_nvm::EnergyBreakdown,
+) -> dewrite_nvm::EnergyBreakdown {
     dewrite_nvm::EnergyBreakdown {
         nvm_read_pj: after.nvm_read_pj - before.nvm_read_pj,
         nvm_write_pj: after.nvm_write_pj - before.nvm_write_pj,
@@ -278,27 +305,47 @@ mod tests {
         let trace: Vec<_> = gen1.take(writes).collect();
 
         let mut dewrite = DeWrite::new(config.clone(), DeWriteConfig::paper(), KEY);
-        let r1 = sim.run(&mut dewrite, app, &warmup, trace.iter().cloned()).unwrap();
+        let r1 = sim
+            .run(&mut dewrite, app, &warmup, trace.iter().cloned())
+            .unwrap();
 
         let mut baseline = CmeBaseline::new(config, KEY);
-        let r2 = sim.run(&mut baseline, app, &warmup, trace.iter().cloned()).unwrap();
+        let r2 = sim
+            .run(&mut baseline, app, &warmup, trace.iter().cloned())
+            .unwrap();
         (r1, r2)
     }
 
     #[test]
     fn dewrite_beats_baseline_on_duplicate_heavy_app() {
         let (dw, base) = run_app("lbm", 4_000); // ~95% duplicates
-        assert!(dw.write_reduction() > 0.8, "reduction {}", dw.write_reduction());
+        assert!(
+            dw.write_reduction() > 0.8,
+            "reduction {}",
+            dw.write_reduction()
+        );
         assert_eq!(base.write_reduction(), 0.0);
-        assert!(dw.write_speedup_vs(&base) > 1.5, "speedup {}", dw.write_speedup_vs(&base));
+        assert!(
+            dw.write_speedup_vs(&base) > 1.5,
+            "speedup {}",
+            dw.write_speedup_vs(&base)
+        );
         assert!(dw.relative_ipc_vs(&base) > 1.0);
-        assert!(dw.relative_energy_vs(&base) < 1.0, "energy {}", dw.relative_energy_vs(&base));
+        assert!(
+            dw.relative_energy_vs(&base) < 1.0,
+            "energy {}",
+            dw.relative_energy_vs(&base)
+        );
     }
 
     #[test]
     fn low_duplication_app_shows_modest_gains() {
         let (dw, base) = run_app("vips", 3_000); // ~19% duplicates
-        assert!(dw.write_reduction() < 0.35, "reduction {}", dw.write_reduction());
+        assert!(
+            dw.write_reduction() < 0.35,
+            "reduction {}",
+            dw.write_reduction()
+        );
         // Still correct and not pathologically slower.
         let speedup = dw.write_speedup_vs(&base);
         assert!(speedup > 0.7, "speedup {speedup}");
@@ -346,7 +393,9 @@ mod tests {
         let mut profile = app_by_name("bzip2").unwrap();
         profile.working_set_lines = 1 << 10;
         profile.content_pool_size = 64;
-        let trace: Vec<_> = TraceGenerator::new(profile.clone(), 256, 4).take(3_000).collect();
+        let trace: Vec<_> = TraceGenerator::new(profile.clone(), 256, 4)
+            .take(3_000)
+            .collect();
         let warmup = TraceGenerator::new(profile, 256, 4).warmup_records();
         let run = |cores: usize| {
             let mut config = small_config((1 << 10) + 128);
@@ -372,7 +421,9 @@ mod tests {
         let mut profile = app_by_name("mcf").unwrap();
         profile.working_set_lines = 1 << 10;
         profile.content_pool_size = 64;
-        let trace: Vec<_> = TraceGenerator::new(profile.clone(), 256, 9).take(4_000).collect();
+        let trace: Vec<_> = TraceGenerator::new(profile.clone(), 256, 9)
+            .take(4_000)
+            .collect();
         let warmup = TraceGenerator::new(profile, 256, 9).warmup_records();
         let run = |fraction: f64| {
             let mut config = small_config((1 << 10) + 128);
@@ -406,6 +457,22 @@ mod tests {
     }
 
     #[test]
+    fn report_includes_stage_breakdown_and_histograms() {
+        use crate::trace::Stage;
+        let (dw, base) = run_app("mcf", 2_000);
+        assert_eq!(dw.stage_breakdown.writes(), dw.base.writes);
+        assert_eq!(dw.write_latency_hist.count(), dw.write_latency.count());
+        assert_eq!(dw.read_latency_hist.count(), dw.read_latency.count());
+        assert!(dw.write_latency_hist.p99_ns() >= dw.write_latency_hist.p50_ns());
+        assert!(dw.stage_breakdown.stage(Stage::Digest).count() > 0);
+        assert!(dw.stage_breakdown.stage(Stage::Metadata).count() > 0);
+        // The baseline traces too, with its own (smaller) stage set.
+        assert_eq!(base.stage_breakdown.writes(), base.base.writes);
+        assert!(base.stage_breakdown.stage(Stage::Encrypt).count() > 0);
+        assert_eq!(base.stage_breakdown.stage(Stage::Digest).count(), 0);
+    }
+
+    #[test]
     fn persist_barriers_slow_the_core() {
         let mut profile = app_by_name("bzip2").unwrap();
         profile.working_set_lines = 1 << 10;
@@ -415,13 +482,19 @@ mod tests {
         let mut relaxed = strict.clone();
         relaxed.persist_every = None;
 
-        let trace: Vec<_> = TraceGenerator::new(profile.clone(), 256, 3).take(2_000).collect();
+        let trace: Vec<_> = TraceGenerator::new(profile.clone(), 256, 3)
+            .take(2_000)
+            .collect();
         let warmup = TraceGenerator::new(profile, 256, 3).warmup_records();
 
         let mut m1 = CmeBaseline::new(strict.clone(), KEY);
-        let r1 = Simulator::new(&strict).run(&mut m1, "bzip2", &warmup, trace.iter().cloned()).unwrap();
+        let r1 = Simulator::new(&strict)
+            .run(&mut m1, "bzip2", &warmup, trace.iter().cloned())
+            .unwrap();
         let mut m2 = CmeBaseline::new(relaxed.clone(), KEY);
-        let r2 = Simulator::new(&relaxed).run(&mut m2, "bzip2", &warmup, trace.iter().cloned()).unwrap();
+        let r2 = Simulator::new(&relaxed)
+            .run(&mut m2, "bzip2", &warmup, trace.iter().cloned())
+            .unwrap();
         assert!(r1.ipc < r2.ipc, "strict {} vs relaxed {}", r1.ipc, r2.ipc);
     }
 }

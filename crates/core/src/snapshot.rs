@@ -54,8 +54,7 @@ impl Snapshot {
                 residents.push((i, digest));
             }
         }
-        let mut counters: Vec<(u64, u32)> =
-            counters.iter().map(|(&l, c)| (l, c.value())).collect();
+        let mut counters: Vec<(u64, u32)> = counters.iter().map(|(&l, c)| (l, c.value())).collect();
         counters.sort_unstable();
         mappings.sort_unstable();
         residents.sort_unstable();
@@ -94,7 +93,9 @@ impl Snapshot {
                 return Err(format!("mapping {init}->{real} out of range"));
             }
             if !resident.contains_key(&real) {
-                return Err(format!("mapping {init}->{real} targets a non-resident line"));
+                return Err(format!(
+                    "mapping {init}->{real} targets a non-resident line"
+                ));
             }
             index.restore_mapping(LineAddr::new(init), LineAddr::new(real));
         }
@@ -150,12 +151,18 @@ impl Snapshot {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if magic != SNAPSHOT_MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a DeWrite snapshot"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a DeWrite snapshot",
+            ));
         }
         let mut ver = [0u8; 2];
         r.read_exact(&mut ver)?;
         if u16::from_le_bytes(ver) != SNAPSHOT_VERSION {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported snapshot version"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unsupported snapshot version",
+            ));
         }
         let mut u64buf = [0u8; 8];
         let mut read_u64 = |r: &mut R| -> io::Result<u64> {

@@ -149,7 +149,10 @@ impl HashTable {
     ///
     /// Panics if the entry does not exist.
     pub fn remove(&mut self, digest: u32, real: LineAddr) {
-        let bucket = self.buckets.get_mut(&digest).expect("remove on missing digest");
+        let bucket = self
+            .buckets
+            .get_mut(&digest)
+            .expect("remove on missing digest");
         let idx = bucket
             .iter()
             .position(|e| e.real == real)
@@ -365,7 +368,10 @@ impl FreeSpaceTable {
     ///
     /// Panics if the range is empty, out of bounds, or excludes `home`.
     pub fn allocate_within(&mut self, home: LineAddr, lo: u64, hi: u64) -> Option<LineAddr> {
-        assert!(lo < hi && hi <= self.free.len() as u64, "bad range {lo}..{hi}");
+        assert!(
+            lo < hi && hi <= self.free.len() as u64,
+            "bad range {lo}..{hi}"
+        );
         assert!(
             (lo..hi).contains(&home.index()),
             "home {home} outside range {lo}..{hi}"
@@ -399,7 +405,13 @@ mod tests {
         let mut t = HashTable::new();
         assert!(t.candidates(0xAB).is_empty());
         t.insert(0xAB, l(3));
-        assert_eq!(t.candidates(0xAB), &[HashEntry { real: l(3), reference: 1 }]);
+        assert_eq!(
+            t.candidates(0xAB),
+            &[HashEntry {
+                real: l(3),
+                reference: 1
+            }]
+        );
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
     }

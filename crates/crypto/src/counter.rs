@@ -38,7 +38,10 @@ impl LineCounter {
     /// Panics if `value` exceeds [`COUNTER_MAX`] — stored counters are always
     /// 28 bits, so a wider value indicates metadata corruption.
     pub fn from_value(value: u32) -> Self {
-        assert!(value <= COUNTER_MAX, "counter value {value:#x} exceeds 28 bits");
+        assert!(
+            value <= COUNTER_MAX,
+            "counter value {value:#x} exceeds 28 bits"
+        );
         LineCounter(value)
     }
 

@@ -75,7 +75,11 @@ impl CounterModeEngine {
     /// Encrypt `plaintext` for storage at `addr` under `counter`.
     pub fn encrypt_line(&self, plaintext: &[u8], addr: u64, counter: LineCounter) -> Vec<u8> {
         let pad = self.one_time_pad(addr, counter, plaintext.len());
-        plaintext.iter().zip(pad.iter()).map(|(p, k)| p ^ k).collect()
+        plaintext
+            .iter()
+            .zip(pad.iter())
+            .map(|(p, k)| p ^ k)
+            .collect()
     }
 
     /// Decrypt `ciphertext` read from `addr` under `counter`.
@@ -179,7 +183,10 @@ mod tests {
         let e = engine();
         let pt: Vec<u8> = (0..256).map(|i| (i * 7 % 251) as u8).collect();
         let ct = e.encrypt_line(&pt, 0xDEAD_BEEF, LineCounter::from_value(5));
-        assert_eq!(e.decrypt_line(&ct, 0xDEAD_BEEF, LineCounter::from_value(5)), pt);
+        assert_eq!(
+            e.decrypt_line(&ct, 0xDEAD_BEEF, LineCounter::from_value(5)),
+            pt
+        );
     }
 
     #[test]
@@ -214,7 +221,11 @@ mod tests {
         let pt = vec![0u8; 256];
         let c1 = e.encrypt_line(&pt, 0x2000, LineCounter::from_value(1));
         let c2 = e.encrypt_line(&pt, 0x2000, LineCounter::from_value(2));
-        let flipped: u32 = c1.iter().zip(c2.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
+        let flipped: u32 = c1
+            .iter()
+            .zip(c2.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
         let ratio = f64::from(flipped) / 2048.0;
         assert!((0.40..0.60).contains(&ratio), "flip ratio {ratio}");
     }

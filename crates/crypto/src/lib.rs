@@ -45,6 +45,6 @@ mod engine;
 pub use aes::Aes128;
 pub use counter::{LineCounter, COUNTER_BITS, COUNTER_MAX};
 pub use engine::{
-    aes_line_energy_pj, CounterModeEngine, DirectEngine, AES_BLOCK_ENERGY_PJ,
-    AES_LINE_LATENCY_NS, OTP_XOR_LATENCY_NS,
+    aes_line_energy_pj, CounterModeEngine, DirectEngine, AES_BLOCK_ENERGY_PJ, AES_LINE_LATENCY_NS,
+    OTP_XOR_LATENCY_NS,
 };

@@ -150,7 +150,11 @@ mod tests {
         for &b in data {
             crc ^= u32::from(b);
             for _ in 0..8 {
-                crc = if crc & 1 != 0 { (crc >> 1) ^ poly } else { crc >> 1 };
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ poly
+                } else {
+                    crc >> 1
+                };
             }
         }
         crc ^ 0xFFFF_FFFF

@@ -103,10 +103,26 @@ impl CacheHierarchy {
     /// 32 KB L1 / 256 KB L2 / 2 MB L3 / 16 MB L4 of 256 B lines.
     pub fn paper_four_level() -> Self {
         Self::new(&[
-            LevelConfig { lines: (32 << 10) / 256, associativity: 8, hit_ns: 1 },
-            LevelConfig { lines: (256 << 10) / 256, associativity: 8, hit_ns: 3 },
-            LevelConfig { lines: (2 << 20) / 256, associativity: 16, hit_ns: 10 },
-            LevelConfig { lines: (16 << 20) / 256, associativity: 16, hit_ns: 25 },
+            LevelConfig {
+                lines: (32 << 10) / 256,
+                associativity: 8,
+                hit_ns: 1,
+            },
+            LevelConfig {
+                lines: (256 << 10) / 256,
+                associativity: 8,
+                hit_ns: 3,
+            },
+            LevelConfig {
+                lines: (2 << 20) / 256,
+                associativity: 16,
+                hit_ns: 10,
+            },
+            LevelConfig {
+                lines: (16 << 20) / 256,
+                associativity: 16,
+                hit_ns: 25,
+            },
         ])
     }
 
@@ -186,8 +202,16 @@ mod tests {
 
     fn tiny() -> CacheHierarchy {
         CacheHierarchy::new(&[
-            LevelConfig { lines: 4, associativity: 2, hit_ns: 1 },
-            LevelConfig { lines: 16, associativity: 4, hit_ns: 4 },
+            LevelConfig {
+                lines: 4,
+                associativity: 2,
+                hit_ns: 1,
+            },
+            LevelConfig {
+                lines: 16,
+                associativity: 4,
+                hit_ns: 4,
+            },
         ])
     }
 

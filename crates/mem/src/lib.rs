@@ -35,6 +35,6 @@ mod hierarchy;
 mod stats;
 
 pub use cache::{CacheConfig, CacheStats, Evicted, MetadataCache, Replacement};
-pub use hierarchy::{CacheHierarchy, HierarchyOutcome, LevelConfig, LevelStats};
 pub use core_model::{CoreConfig, CoreModel};
-pub use stats::LatencyStats;
+pub use hierarchy::{CacheHierarchy, HierarchyOutcome, LevelConfig, LevelStats};
+pub use stats::{LatencyHistogram, LatencyStats};

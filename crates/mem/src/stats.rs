@@ -25,6 +25,21 @@ impl LatencyStats {
         Self::default()
     }
 
+    /// Reassemble a summary from its raw counters (JSON import). The parts
+    /// must come from a prior summary; they are not re-validated beyond the
+    /// empty case.
+    pub fn from_parts(count: u64, total_ns: u64, min_ns: u64, max_ns: u64) -> Self {
+        if count == 0 {
+            return Self::default();
+        }
+        LatencyStats {
+            count,
+            total_ns,
+            min_ns,
+            max_ns,
+        }
+    }
+
     /// Record one observation.
     pub fn record(&mut self, ns: u64) {
         if self.count == 0 {
@@ -96,6 +111,174 @@ impl std::fmt::Display for LatencyStats {
     }
 }
 
+/// Streaming latency histogram with bounded relative error, for percentile
+/// reporting (p50/p95/p99) on top of the [`LatencyStats`] summary.
+///
+/// Observations are binned logarithmically: one major bucket per power of
+/// two, subdivided into 16 linear sub-buckets, so every bucket spans at most
+/// 1/16 (6.25%) of its lower bound. Values below 16 ns get exact buckets.
+/// The bucket map is sparse and ordered, so histograms are deterministic,
+/// cheap to merge, and round-trip exactly through serialization.
+///
+/// ```
+/// use dewrite_mem::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ns in [100, 100, 100, 900] {
+///     h.record(ns);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.p50_ns() >= 93 && h.p50_ns() <= 100);
+/// assert!(h.p99_ns() >= 840 && h.p99_ns() <= 900);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    stats: LatencyStats,
+    buckets: std::collections::BTreeMap<u16, u64>,
+}
+
+/// Linear sub-buckets per power-of-two major bucket.
+const SUB_BUCKETS: u64 = 16;
+
+fn bucket_of(ns: u64) -> u16 {
+    if ns < SUB_BUCKETS {
+        ns as u16
+    } else {
+        let major = 63 - ns.leading_zeros() as u16; // >= 4
+        let sub = ((ns >> (major - 4)) & (SUB_BUCKETS - 1)) as u16;
+        (major - 3) * SUB_BUCKETS as u16 + sub
+    }
+}
+
+fn bucket_lower_bound(bucket: u16) -> u64 {
+    if bucket < SUB_BUCKETS as u16 {
+        u64::from(bucket)
+    } else {
+        let major = u32::from(bucket) / SUB_BUCKETS as u32 + 3;
+        let sub = u64::from(bucket) % SUB_BUCKETS;
+        (SUB_BUCKETS + sub) << (major - 4)
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reassemble a histogram from a summary and its sparse bucket counts
+    /// (JSON import). Bucket counts must sum to the summary's count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when they do not.
+    pub fn from_parts(
+        stats: LatencyStats,
+        buckets: impl IntoIterator<Item = (u16, u64)>,
+    ) -> Result<Self, String> {
+        let buckets: std::collections::BTreeMap<u16, u64> = buckets.into_iter().collect();
+        let total: u64 = buckets.values().sum();
+        if total != stats.count() {
+            return Err(format!(
+                "histogram buckets hold {total} observations, summary says {}",
+                stats.count()
+            ));
+        }
+        Ok(LatencyHistogram { stats, buckets })
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, ns: u64) {
+        self.stats.record(ns);
+        *self.buckets.entry(bucket_of(ns)).or_insert(0) += 1;
+    }
+
+    /// The streaming summary (count / total / min / max).
+    pub fn stats(&self) -> LatencyStats {
+        self.stats
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Mean latency; zero when empty.
+    pub fn mean_ns(&self) -> f64 {
+        self.stats.mean_ns()
+    }
+
+    /// The occupied buckets as `(bucket, count)` pairs in ascending bucket
+    /// order (serialization; exact round-trip via [`from_parts`](Self::from_parts)).
+    pub fn bucket_counts(&self) -> impl Iterator<Item = (u16, u64)> + '_ {
+        self.buckets.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// The latency at or below which `p` percent of observations fall
+    /// (resolved to the containing bucket's lower bound, at most 6.25%
+    /// under the exact value). Zero when empty; `p` is clamped to [0, 100].
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        let count = self.stats.count();
+        if count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * count as f64).ceil() as u64).max(1);
+        if rank >= count {
+            return self.stats.max_ns();
+        }
+        let mut seen = 0;
+        for (&bucket, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // Exact at the extremes, bucket lower bound in between.
+                return bucket_lower_bound(bucket)
+                    .max(self.stats.min_ns())
+                    .min(self.stats.max_ns());
+            }
+        }
+        self.stats.max_ns()
+    }
+
+    /// Median (p50).
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// 95th percentile.
+    pub fn p95_ns(&self) -> u64 {
+        self.percentile_ns(95.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(99.0)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.stats.merge(&other.stats);
+        for (&bucket, &n) in &other.buckets {
+            *self.buckets.entry(bucket).or_insert(0) += n;
+        }
+    }
+}
+
+impl std::fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}ns p50={}ns p95={}ns p99={}ns max={}ns",
+            self.count(),
+            self.mean_ns(),
+            self.p50_ns(),
+            self.p95_ns(),
+            self.p99_ns(),
+            self.stats.max_ns()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +340,96 @@ mod tests {
             prop_assert!(s.mean_ns() >= s.min_ns() as f64);
             prop_assert!(s.mean_ns() <= s.max_ns() as f64);
             prop_assert_eq!(s.count(), xs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_tight() {
+        // Bucket index must be monotone in the value, and each bucket's
+        // lower bound must map back to the same bucket.
+        let mut prev = 0u16;
+        for ns in (0..4096u64).chain((12..50).map(|s| 1u64 << s)) {
+            let b = bucket_of(ns);
+            assert!(b >= prev, "bucket_of not monotone at {ns}");
+            prev = b;
+            let lb = bucket_lower_bound(b);
+            assert!(lb <= ns, "lower bound {lb} exceeds {ns}");
+            assert_eq!(bucket_of(lb), b, "lower bound of {ns} changes bucket");
+            // ≤ 6.25% relative bucket width.
+            assert!(ns - lb <= lb / 16 + 1, "bucket too wide at {ns}");
+        }
+    }
+
+    #[test]
+    fn histogram_empty_and_single() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50_ns(), 0);
+        assert_eq!(h.p99_ns(), 0);
+
+        let mut h = LatencyHistogram::new();
+        h.record(300);
+        assert_eq!(h.p50_ns(), 300, "single value percentiles are exact");
+        assert_eq!(h.p99_ns(), 300);
+        assert!(!h.to_string().is_empty());
+    }
+
+    #[test]
+    fn histogram_percentiles_track_exact_values() {
+        let mut h = LatencyHistogram::new();
+        let xs: Vec<u64> = (1..=1000).map(|i| i * 3).collect();
+        for &x in &xs {
+            h.record(x);
+        }
+        for (p, exact) in [(50.0, 1500u64), (95.0, 2850), (99.0, 2970)] {
+            let got = h.percentile_ns(p);
+            assert!(
+                got <= exact && got as f64 >= exact as f64 * 0.93,
+                "p{p}: got {got}, exact {exact}"
+            );
+        }
+        assert_eq!(h.percentile_ns(100.0), 3000);
+    }
+
+    #[test]
+    fn histogram_merge_equals_sequential() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = i * 7 % 4096;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn histogram_round_trips_through_parts() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..200u64 {
+            h.record(i * i);
+        }
+        let rebuilt = LatencyHistogram::from_parts(h.stats(), h.bucket_counts()).unwrap();
+        assert_eq!(rebuilt, h);
+        // Mismatched counts are rejected.
+        assert!(LatencyHistogram::from_parts(h.stats(), [(0u16, 1u64)]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn histogram_percentile_bounds(xs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut h = LatencyHistogram::new();
+            for &x in &xs { h.record(x); }
+            let (p50, p95, p99) = (h.p50_ns(), h.p95_ns(), h.p99_ns());
+            prop_assert!(p50 <= p95 && p95 <= p99);
+            prop_assert!(p50 >= h.stats().min_ns());
+            prop_assert!(p99 <= h.stats().max_ns());
         }
     }
 }

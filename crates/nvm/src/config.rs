@@ -77,7 +77,10 @@ impl NvmConfig {
             return Err("line_size must be nonzero".into());
         }
         if !self.line_size.is_power_of_two() {
-            return Err(format!("line_size {} must be a power of two", self.line_size));
+            return Err(format!(
+                "line_size {} must be a power of two",
+                self.line_size
+            ));
         }
         if self.banks == 0 {
             return Err("banks must be nonzero".into());

@@ -31,10 +31,16 @@ impl std::fmt::Display for NvmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NvmError::AddressOutOfRange { addr, num_lines } => {
-                write!(f, "line address {addr} out of range (capacity {num_lines} lines)")
+                write!(
+                    f,
+                    "line address {addr} out of range (capacity {num_lines} lines)"
+                )
             }
             NvmError::WrongLineSize { got, expected } => {
-                write!(f, "line data is {got} bytes, device uses {expected}-byte lines")
+                write!(
+                    f,
+                    "line data is {got} bytes, device uses {expected}-byte lines"
+                )
             }
         }
     }
@@ -154,7 +160,11 @@ impl NvmDevice {
     /// # Errors
     ///
     /// Fails if `addr` is out of range.
-    pub fn read_line(&mut self, addr: LineAddr, now_ns: u64) -> Result<(Vec<u8>, Access), NvmError> {
+    pub fn read_line(
+        &mut self,
+        addr: LineAddr,
+        now_ns: u64,
+    ) -> Result<(Vec<u8>, Access), NvmError> {
         self.check_addr(addr)?;
         let (slot, row_hit) = self.banks.schedule_row(
             addr.index(),
@@ -187,7 +197,12 @@ impl NvmDevice {
     /// # Errors
     ///
     /// Fails if `addr` is out of range or `data` is not one line.
-    pub fn write_line(&mut self, addr: LineAddr, data: &[u8], now_ns: u64) -> Result<Access, NvmError> {
+    pub fn write_line(
+        &mut self,
+        addr: LineAddr,
+        data: &[u8],
+        now_ns: u64,
+    ) -> Result<Access, NvmError> {
         self.check_addr(addr)?;
         self.check_len(data.len())?;
         let old = self.peek_line(addr)?;
@@ -223,8 +238,10 @@ impl NvmDevice {
         let energy = self.config.energy.write_energy_pj(bits_flipped);
         self.energy.nvm_write_pj += energy;
         self.writes += 1;
-        self.wear.record_write(addr, bits_flipped, self.config.line_bits());
-        self.store.insert(addr.index(), data.to_vec().into_boxed_slice());
+        self.wear
+            .record_write(addr, bits_flipped, self.config.line_bits());
+        self.store
+            .insert(addr.index(), data.to_vec().into_boxed_slice());
         Ok(Access {
             slot,
             bits_flipped,
@@ -348,7 +365,13 @@ mod tests {
     fn wrong_length_rejected() {
         let mut d = device();
         let err = d.write_line(LineAddr::new(0), &[0u8; 64], 0).unwrap_err();
-        assert!(matches!(err, NvmError::WrongLineSize { got: 64, expected: 256 }));
+        assert!(matches!(
+            err,
+            NvmError::WrongLineSize {
+                got: 64,
+                expected: 256
+            }
+        ));
         assert!(!err.to_string().is_empty());
     }
 

@@ -72,7 +72,11 @@ impl StartGap {
     pub fn remap(&self, addr: LineAddr) -> LineAddr {
         assert!(addr.index() < self.lines, "logical address out of range");
         let rotated = (addr.index() + self.start) % self.lines;
-        let physical = if rotated >= self.gap { rotated + 1 } else { rotated };
+        let physical = if rotated >= self.gap {
+            rotated + 1
+        } else {
+            rotated
+        };
         LineAddr::new(physical)
     }
 
@@ -173,7 +177,8 @@ mod tests {
             for l in 0..lines {
                 let p = sg.remap(LineAddr::new(l));
                 assert_eq!(
-                    physical[p.index() as usize], l,
+                    physical[p.index() as usize],
+                    l,
                     "step {step}: logical {l} lost its data"
                 );
             }

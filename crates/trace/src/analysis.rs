@@ -282,10 +282,10 @@ mod tests {
 
         // Alternating states.
         let alternating = [
-            write(0, vec![1u8; 16]),  // N
-            write(1, vec![1u8; 16]),  // D
-            write(2, vec![2u8; 16]),  // N
-            write(3, vec![2u8; 16]),  // D
+            write(0, vec![1u8; 16]), // N
+            write(1, vec![1u8; 16]), // D
+            write(2, vec![2u8; 16]), // N
+            write(3, vec![2u8; 16]), // D
         ];
         let s = analyze([].iter(), alternating.iter());
         assert_eq!(s.same_state_pairs, 0);

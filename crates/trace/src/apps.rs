@@ -64,7 +64,11 @@ pub const PARSEC_APPS: [AppProfile; 8] = [
 
 /// All 20 evaluated applications, SPEC first (presentation order of Fig. 2).
 pub fn all_apps() -> Vec<AppProfile> {
-    SPEC_APPS.iter().cloned().chain(PARSEC_APPS.iter().cloned()).collect()
+    SPEC_APPS
+        .iter()
+        .cloned()
+        .chain(PARSEC_APPS.iter().cloned())
+        .collect()
 }
 
 /// Look up an application profile by name.
@@ -120,7 +124,10 @@ mod tests {
         let avg_persist: f64 =
             apps.iter().map(|a| a.state_persistence).sum::<f64>() / apps.len() as f64;
         // Paper Fig. 4: ~92% of writes share the previous write's state.
-        assert!((avg_persist - 0.92).abs() < 0.01, "avg persistence {avg_persist}");
+        assert!(
+            (avg_persist - 0.92).abs() < 0.01,
+            "avg persistence {avg_persist}"
+        );
     }
 
     #[test]

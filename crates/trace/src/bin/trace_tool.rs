@@ -11,7 +11,9 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use dewrite_trace::{all_apps, app_by_name, worst_case, DupOracle, TraceGenerator, TraceReader, TraceWriter};
+use dewrite_trace::{
+    all_apps, app_by_name, worst_case, DupOracle, TraceGenerator, TraceReader, TraceWriter,
+};
 
 fn usage() -> ExitCode {
     eprintln!("usage:");
@@ -23,7 +25,10 @@ fn usage() -> ExitCode {
 }
 
 fn cmd_apps() -> ExitCode {
-    println!("{:<14} {:<13} {:>5} {:>6} {:>8} {:>8}", "app", "suite", "dup%", "zero%", "reads/wr", "wr/kinst");
+    println!(
+        "{:<14} {:<13} {:>5} {:>6} {:>8} {:>8}",
+        "app", "suite", "dup%", "zero%", "reads/wr", "wr/kinst"
+    );
     for p in all_apps() {
         println!(
             "{:<14} {:<13} {:>4.0}% {:>5.0}% {:>8.1} {:>8.1}",
@@ -35,7 +40,10 @@ fn cmd_apps() -> ExitCode {
             p.writes_per_kilo_instr
         );
     }
-    println!("{:<14} {:<13} {:>4.0}% (Fig. 18 benchmark)", "worst-case", "synthetic", 0.0);
+    println!(
+        "{:<14} {:<13} {:>4.0}% (Fig. 18 benchmark)",
+        "worst-case", "synthetic", 0.0
+    );
     ExitCode::SUCCESS
 }
 
@@ -114,9 +122,17 @@ fn cmd_info(path: &str) -> ExitCode {
         }
     }
     println!("line size     : {line_size} B");
-    println!("records       : {} ({} writes, {} reads)", reads + writes, writes, reads);
+    println!(
+        "records       : {} ({} writes, {} reads)",
+        reads + writes,
+        writes,
+        reads
+    );
     println!("instructions  : {instructions}");
-    println!("highest line  : {max_addr} ({} MB footprint)", ((max_addr + 1) * line_size as u64) >> 20);
+    println!(
+        "highest line  : {max_addr} ({} MB footprint)",
+        ((max_addr + 1) * line_size as u64) >> 20
+    );
     ExitCode::SUCCESS
 }
 
@@ -137,8 +153,16 @@ fn cmd_analyze(path: &str) -> ExitCode {
     }
     let s = oracle.stats();
     println!("writes            : {}", s.writes);
-    println!("duplicate writes  : {} ({:.1}%)", s.dup_writes, s.dup_ratio() * 100.0);
-    println!("zero-line writes  : {} ({:.1}%)", s.zero_writes, s.zero_ratio() * 100.0);
+    println!(
+        "duplicate writes  : {} ({:.1}%)",
+        s.dup_writes,
+        s.dup_ratio() * 100.0
+    );
+    println!(
+        "zero-line writes  : {} ({:.1}%)",
+        s.zero_writes,
+        s.zero_ratio() * 100.0
+    );
     println!("state persistence : {:.1}%", s.state_persistence() * 100.0);
     println!("reads             : {}", s.reads);
     ExitCode::SUCCESS

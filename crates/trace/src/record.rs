@@ -120,7 +120,11 @@ impl<W: Write> TraceWriter<W> {
                 if data.len() != self.line_size {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidInput,
-                        format!("write data {} bytes, trace line size {}", data.len(), self.line_size),
+                        format!(
+                            "write data {} bytes, trace line size {}",
+                            data.len(),
+                            self.line_size
+                        ),
                     ));
                 }
                 self.sink.write_all(&[1u8])?;
@@ -167,7 +171,10 @@ impl<R: Read> TraceReader<R> {
         let mut magic = [0u8; 4];
         source.read_exact(&mut magic)?;
         if magic != TRACE_MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a DeWrite trace"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a DeWrite trace",
+            ));
         }
         let mut ver = [0u8; 2];
         source.read_exact(&mut ver)?;
@@ -223,7 +230,10 @@ impl<R: Read> TraceReader<R> {
                 ))
             }
         };
-        Ok(Some(TraceRecord { gap_instructions, op }))
+        Ok(Some(TraceRecord {
+            gap_instructions,
+            op,
+        }))
     }
 
     /// Drain the remaining records into a vector.
@@ -266,7 +276,9 @@ mod tests {
         let records = vec![
             TraceRecord {
                 gap_instructions: 5,
-                op: TraceOp::Read { addr: LineAddr::new(1) },
+                op: TraceOp::Read {
+                    addr: LineAddr::new(1),
+                },
             },
             TraceRecord {
                 gap_instructions: 100,
@@ -277,7 +289,9 @@ mod tests {
             },
             TraceRecord {
                 gap_instructions: 0,
-                op: TraceOp::Read { addr: LineAddr::new(u64::MAX / 2) },
+                op: TraceOp::Read {
+                    addr: LineAddr::new(u64::MAX / 2),
+                },
             },
         ];
         assert_eq!(roundtrip(&records), records);
@@ -309,7 +323,10 @@ mod tests {
                 data: vec![0u8; 32],
             },
         };
-        assert_eq!(w.write_record(&rec).unwrap_err().kind(), io::ErrorKind::InvalidInput);
+        assert_eq!(
+            w.write_record(&rec).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
     }
 
     #[test]
@@ -332,8 +349,13 @@ mod tests {
 
     #[test]
     fn op_helpers() {
-        let read = TraceOp::Read { addr: LineAddr::new(4) };
-        let write = TraceOp::Write { addr: LineAddr::new(5), data: vec![] };
+        let read = TraceOp::Read {
+            addr: LineAddr::new(4),
+        };
+        let write = TraceOp::Write {
+            addr: LineAddr::new(5),
+            data: vec![],
+        };
         assert!(!read.is_write());
         assert!(write.is_write());
         assert_eq!(read.addr(), LineAddr::new(4));

@@ -11,7 +11,9 @@ use dewrite::trace::{app_by_name, TraceGenerator};
 const KEY: &[u8; 16] = b"endurance key 16";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let app = std::env::args().nth(1).unwrap_or_else(|| "cactusADM".into());
+    let app = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cactusADM".into());
     let mut profile = app_by_name(&app)
         .ok_or_else(|| format!("unknown application {app:?}; see dewrite::trace::all_apps()"))?;
     profile.working_set_lines = 1 << 13;
@@ -44,12 +46,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n--- write traffic ---");
     println!("baseline NVM line writes : {}", base.nvm_data_writes);
     println!("DeWrite  NVM line writes : {}", dw.nvm_data_writes);
-    println!("write reduction          : {:.1}%", dw.write_reduction() * 100.0);
+    println!(
+        "write reduction          : {:.1}%",
+        dw.write_reduction() * 100.0
+    );
 
     println!("\n--- wear ---");
     let (b_wear, d_wear) = (baseline.device().wear(), dedup.device().wear());
-    println!("baseline max writes on one line : {}", b_wear.max_line_writes());
-    println!("DeWrite  max writes on one line : {}", d_wear.max_line_writes());
+    println!(
+        "baseline max writes on one line : {}",
+        b_wear.max_line_writes()
+    );
+    println!(
+        "DeWrite  max writes on one line : {}",
+        d_wear.max_line_writes()
+    );
     println!(
         "baseline bit-flip ratio {:.1}% vs DeWrite {:.1}%",
         b_wear.bit_flip_ratio() * 100.0,

@@ -25,9 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A program touching a few hot buffers (with duplicate content, e.g.
     // memset patterns) and a cold scan.
-    let patterns: Vec<Vec<u8>> = (0..4u8)
-        .map(|p| vec![p.wrapping_mul(0x11); 256])
-        .collect();
+    let patterns: Vec<Vec<u8>> = (0..4u8).map(|p| vec![p.wrapping_mul(0x11); 256]).collect();
     let mut contents: std::collections::HashMap<u64, Vec<u8>> = Default::default();
 
     let mut t = 0u64;
@@ -83,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.accesses
         );
     }
-    println!("memory reads (LLC misses)   : {}", hierarchy.memory_accesses());
+    println!(
+        "memory reads (LLC misses)   : {}",
+        hierarchy.memory_accesses()
+    );
     let m = nvm.base_metrics();
     println!(
         "memory writes (write-backs) : {} — {} eliminated by dedup ({:.1}%)",
@@ -91,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.writes_eliminated,
         m.writes_eliminated as f64 / m.writes.max(1) as f64 * 100.0
     );
-    println!("NVM array line writes       : {}", nvm.device().writes() - m.meta_nvm_writes);
+    println!(
+        "NVM array line writes       : {}",
+        nvm.device().writes() - m.meta_nvm_writes
+    );
     println!("energy                      : {}", nvm.device().energy());
 
     // End-of-run integrity: the controller's scrub must pass.

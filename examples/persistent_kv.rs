@@ -95,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(v, roles[0]);
     let v = kv.get("session:8")?.expect("stored");
     assert_eq!(v, roles[1]);
-    println!("lookups verified: session:8 -> {}", String::from_utf8_lossy(&v));
+    println!(
+        "lookups verified: session:8 -> {}",
+        String::from_utf8_lossy(&v)
+    );
 
     // Unique values are stored individually, of course.
     kv.put("config:hostname", b"nvmm-node-17.example.com")?;

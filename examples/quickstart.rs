@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t += 1_000;
         println!(
             "write #{i:<2} -> {}  ({} ns)",
-            if w.eliminated { "duplicate, NVM write eliminated" } else { "stored to NVM" },
+            if w.eliminated {
+                "duplicate, NVM write eliminated"
+            } else {
+                "stored to NVM"
+            },
             w.total_ns
         );
     }
@@ -33,18 +37,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reads are transparent: every address returns its own data.
     let r = mem.read(LineAddr::new(7), t)?;
     assert_eq!(r.data, page);
-    println!("read back line 7 in {} ns — contents verified", r.latency_ns);
+    println!(
+        "read back line 7 in {} ns — contents verified",
+        r.latency_ns
+    );
 
     // The stored bytes on the DIMM are ciphertext, not the page contents.
     let raw = mem.device().peek_line(LineAddr::new(0))?;
     assert_ne!(raw, page);
-    println!("raw NVM cells hold ciphertext (first bytes: {:02x?})", &raw[..8]);
+    println!(
+        "raw NVM cells hold ciphertext (first bytes: {:02x?})",
+        &raw[..8]
+    );
 
     // Controller statistics.
     let base = mem.base_metrics();
     let dm = mem.dewrite_metrics();
     println!("\n--- controller metrics ---");
-    println!("writes: {} (eliminated {})", base.writes, base.writes_eliminated);
+    println!(
+        "writes: {} (eliminated {})",
+        base.writes, base.writes_eliminated
+    );
     println!("CRC computations: {}", base.hash_ops);
     println!("duplicate-confirmation reads: {}", base.verify_reads);
     println!("predictor accuracy: {:.1}%", dm.predictor_accuracy * 100.0);

@@ -27,17 +27,15 @@ fn run(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = std::env::args().nth(1).unwrap_or_else(|| "mcf".into());
-    let mut profile =
-        app_by_name(&app).ok_or_else(|| format!("unknown application {app:?}"))?;
+    let mut profile = app_by_name(&app).ok_or_else(|| format!("unknown application {app:?}"))?;
     profile.working_set_lines = 1 << 13;
     profile.content_pool_size = 512;
 
     let mut gen = TraceGenerator::new(profile.clone(), 256, 7);
     let warmup = gen.warmup_records();
     let trace: Vec<_> = gen.by_ref().take(25_000).collect();
-    let config = SystemConfig::for_lines(
-        profile.working_set_lines + profile.content_pool_size as u64 + 64,
-    );
+    let config =
+        SystemConfig::for_lines(profile.working_set_lines + profile.content_pool_size as u64 + 64);
     let sim = Simulator::new(&config);
 
     let mut reports = Vec::new();
@@ -51,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut trad = TraditionalDedup::new(config.clone(), HashAlgorithm::Sha1, KEY);
     reports.push(run(&mut trad, &sim, &app, &warmup, &trace));
 
-    for mode in [WriteMode::Direct, WriteMode::Parallel, WriteMode::Predictive] {
+    for mode in [
+        WriteMode::Direct,
+        WriteMode::Parallel,
+        WriteMode::Predictive,
+    ] {
         let mut dw_cfg = DeWriteConfig::paper();
         dw_cfg.mode = mode;
         let mut dw = DeWrite::new(config.clone(), dw_cfg, KEY);

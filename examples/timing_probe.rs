@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "probe pin {guess:04}: write took {:>4} ns -> {}",
             w.total_ns,
-            if duplicate_timing { "DUPLICATE (content exists in memory!)" } else { "stored" }
+            if duplicate_timing {
+                "DUPLICATE (content exists in memory!)"
+            } else {
+                "stored"
+            }
         );
         // Reset the probe line with unique junk so the next guess is fresh.
         junk[0..2].copy_from_slice(&guess.to_le_bytes());
@@ -68,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nattacker concludes the PIN is: {hits:?}");
-    assert_eq!(hits, vec![secret_pin], "the probe recovers exactly the secret");
+    assert_eq!(
+        hits,
+        vec![secret_pin],
+        "the probe recovers exactly the secret"
+    );
     println!(
         "\nMitigations: per-tenant dedup domains, constant-time write\n\
          acknowledgement, or disabling dedup for secret-bearing regions —\n\

@@ -1,0 +1,266 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` its benches use: `Criterion`,
+//! `bench_function`, benchmark groups with throughput annotations,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Instead of criterion's full statistical machinery, each bench is
+//! measured with an adaptive wall-clock loop (warm-up, then timed batches)
+//! and reported as mean ns/iteration with min/max batch means. Set
+//! `BENCH_QUICK=1` to run each bench for a single short batch (used by CI
+//! smoke runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per bench, unless `BENCH_QUICK` is set.
+const MEASURE: Duration = Duration::from_millis(200);
+/// Warm-up time per bench.
+const WARMUP: Duration = Duration::from_millis(30);
+
+/// A named benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An identifier rendering as the parameter alone
+    /// (`group_name/<param>`).
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// An identifier with a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId(format!("{}/{param}", name.into()))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+/// The timing loop handle passed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing each batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let quick = std::env::var_os("BENCH_QUICK").is_some();
+        let (warmup, measure) = if quick {
+            (Duration::ZERO, Duration::from_millis(5))
+        } else {
+            (WARMUP, MEASURE)
+        };
+
+        // Warm up and estimate the per-iteration cost.
+        let mut per_iter_ns = {
+            let start = Instant::now();
+            let mut n = 0u64;
+            loop {
+                black_box(f());
+                n += 1;
+                let elapsed = start.elapsed();
+                if elapsed >= warmup && n >= 8 {
+                    break (elapsed.as_nanos() / u128::from(n)).max(1);
+                }
+            }
+        };
+
+        // Timed batches sized to ~10ms each.
+        let deadline = Instant::now() + measure;
+        while Instant::now() < deadline {
+            let batch = (10_000_000 / per_iter_ns).clamp(1, 1 << 20) as u64;
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos();
+            self.total_ns += ns;
+            self.iters += batch;
+            per_iter_ns = (ns / u128::from(batch)).max(1);
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.iters as f64
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    group: Option<String>,
+    throughput: Option<Throughput>,
+}
+
+impl Criterion {
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let name = match &self.group {
+            Some(g) => format!("{g}/{}", id.0),
+            None => id.0,
+        };
+        let mut b = Bencher::default();
+        f(&mut b);
+        let mean = b.mean_ns();
+        let mut line = format!("{name:<40} {mean:>12.1} ns/iter ({} iters)", b.iters);
+        if let Some(tp) = self.throughput {
+            let (units, label) = match tp {
+                Throughput::Bytes(n) => (n, "MiB/s"),
+                Throughput::Elements(n) => (n, "Melem/s"),
+            };
+            if mean > 0.0 {
+                let rate = units as f64 / mean * 1e9 / (1 << 20) as f64;
+                line.push_str(&format!("  {rate:>10.1} {label}"));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the group's per-iteration throughput.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.criterion.throughput = Some(tp);
+        self
+    }
+
+    /// Benchmark `f` under `group/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.criterion.group = Some(self.name.clone());
+        self.criterion.run(id.into(), f);
+        self.criterion.group = None;
+        self
+    }
+
+    /// Benchmark `f` over `input` under `group/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.criterion.throughput = None;
+        self.criterion.group = None;
+    }
+}
+
+/// Collect bench functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_sane_mean() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut b = Bencher::default();
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.iters > 0);
+        assert!(b.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn group_names_prefix() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(256));
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &v| {
+            b.iter(|| v + 1);
+        });
+        group.finish();
+    }
+}

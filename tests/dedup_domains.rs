@@ -53,14 +53,23 @@ fn intra_domain_dedup_still_works() {
     let mut mem = memory(2);
     let content = vec![0x77u8; 256];
     mem.write(LineAddr::new(0), &content, 0).expect("write");
-    let w = mem.write(LineAddr::new(5), &content, 10_000).expect("write");
-    assert!(w.eliminated, "same-domain duplicate must still be eliminated");
+    let w = mem
+        .write(LineAddr::new(5), &content, 10_000)
+        .expect("write");
+    assert!(
+        w.eliminated,
+        "same-domain duplicate must still be eliminated"
+    );
 
     // And independently in the second domain: first write stores, second
     // dedups against the *domain-local* copy.
-    let w = mem.write(LineAddr::new(1500), &content, 20_000).expect("write");
+    let w = mem
+        .write(LineAddr::new(1500), &content, 20_000)
+        .expect("write");
     assert!(!w.eliminated, "first copy in domain 1 must be stored");
-    let w = mem.write(LineAddr::new(1600), &content, 30_000).expect("write");
+    let w = mem
+        .write(LineAddr::new(1600), &content, 30_000)
+        .expect("write");
     assert!(w.eliminated, "domain-1 duplicate of the domain-1 copy");
 }
 
@@ -73,14 +82,22 @@ fn relocated_lines_stay_inside_their_domain() {
     // Build the shared-line-forces-relocation scenario near the domain
     // boundary of domain 0.
     mem.write(LineAddr::new(1000), &shared, 0).expect("write");
-    mem.write(LineAddr::new(1010), &shared, 10_000).expect("write"); // dedup
-    mem.write(LineAddr::new(1000), &fresh, 20_000).expect("write"); // relocate
+    mem.write(LineAddr::new(1010), &shared, 10_000)
+        .expect("write"); // dedup
+    mem.write(LineAddr::new(1000), &fresh, 20_000)
+        .expect("write"); // relocate
 
     // Wherever 1000's new line landed, it must be inside domain 0.
     let real = mem.index().resolve(LineAddr::new(1000)).expect("written");
     assert!(real.index() < 1024, "relocated to {real} outside domain 0");
-    assert_eq!(mem.read(LineAddr::new(1000), 30_000).expect("read").data, fresh);
-    assert_eq!(mem.read(LineAddr::new(1010), 40_000).expect("read").data, shared);
+    assert_eq!(
+        mem.read(LineAddr::new(1000), 30_000).expect("read").data,
+        fresh
+    );
+    assert_eq!(
+        mem.read(LineAddr::new(1010), 40_000).expect("read").data,
+        shared
+    );
 }
 
 #[test]
@@ -93,7 +110,8 @@ fn many_domains_degrade_reduction_gracefully() {
         let mut t = 0;
         let stride = LINES / 16;
         for k in 0..16u64 {
-            mem.write(LineAddr::new(k * stride), &content, t).expect("write");
+            mem.write(LineAddr::new(k * stride), &content, t)
+                .expect("write");
             t += 5_000;
         }
         let m = mem.base_metrics();

@@ -25,7 +25,9 @@ fn content(tag: u8) -> Vec<u8> {
     if tag == 0 {
         vec![0u8; 256]
     } else {
-        (0..256).map(|i| tag.wrapping_mul(31).wrapping_add(i as u8)).collect()
+        (0..256)
+            .map(|i| tag.wrapping_mul(31).wrapping_add(i as u8))
+            .collect()
     }
 }
 
@@ -41,9 +43,17 @@ fn schemes() -> Vec<Box<dyn SecureMemory>> {
     let mut out: Vec<Box<dyn SecureMemory>> = vec![
         Box::new(CmeBaseline::new(config.clone(), KEY)),
         Box::new(SilentShredder::new(config.clone(), KEY)),
-        Box::new(TraditionalDedup::new(config.clone(), HashAlgorithm::Sha1, KEY)),
+        Box::new(TraditionalDedup::new(
+            config.clone(),
+            HashAlgorithm::Sha1,
+            KEY,
+        )),
     ];
-    for mode in [WriteMode::Direct, WriteMode::Parallel, WriteMode::Predictive] {
+    for mode in [
+        WriteMode::Direct,
+        WriteMode::Parallel,
+        WriteMode::Predictive,
+    ] {
         let mut dw = DeWriteConfig::paper();
         dw.mode = mode;
         out.push(Box::new(DeWrite::new(config.clone(), dw, KEY)));

@@ -9,7 +9,11 @@ use dewrite::trace::{all_apps, app_by_name, worst_case, DupOracle, TraceGenerato
 
 const KEY: &[u8; 16] = b"paper claims key";
 
-fn workload(app: &str, writes: usize, seed: u64) -> (Vec<TraceRecord>, Vec<TraceRecord>, SystemConfig) {
+fn workload(
+    app: &str,
+    writes: usize,
+    seed: u64,
+) -> (Vec<TraceRecord>, Vec<TraceRecord>, SystemConfig) {
     let mut profile = match app {
         "worst-case" => worst_case(),
         other => app_by_name(other).expect("known app"),
@@ -27,9 +31,8 @@ fn workload(app: &str, writes: usize, seed: u64) -> (Vec<TraceRecord>, Vec<Trace
             break;
         }
     }
-    let config = SystemConfig::for_lines(
-        profile.working_set_lines + profile.content_pool_size as u64 + 64,
-    );
+    let config =
+        SystemConfig::for_lines(profile.working_set_lines + profile.content_pool_size as u64 + 64);
     (warmup, trace, config)
 }
 
@@ -37,9 +40,13 @@ fn compare(app: &str, writes: usize) -> (dewrite::core::RunReport, dewrite::core
     let (warmup, trace, config) = workload(app, writes, 21);
     let sim = Simulator::new(&config);
     let mut dw = DeWrite::new(config.clone(), DeWriteConfig::paper(), KEY);
-    let rd = sim.run(&mut dw, app, &warmup, trace.iter().cloned()).expect("runs");
+    let rd = sim
+        .run(&mut dw, app, &warmup, trace.iter().cloned())
+        .expect("runs");
     let mut base = CmeBaseline::new(config, KEY);
-    let rb = sim.run(&mut base, app, &warmup, trace.iter().cloned()).expect("runs");
+    let rb = sim
+        .run(&mut base, app, &warmup, trace.iter().cloned())
+        .expect("runs");
     (rd, rb)
 }
 
@@ -103,13 +110,33 @@ fn claim_duplication_states_are_predictable() {
 fn claim_dewrite_reduces_writes_and_beats_baseline() {
     let (dw, base) = compare("cactusADM", 5_000);
     // Fig. 12: cactusADM reduces >80% of writes.
-    assert!(dw.write_reduction() > 0.8, "reduction {}", dw.write_reduction());
+    assert!(
+        dw.write_reduction() > 0.8,
+        "reduction {}",
+        dw.write_reduction()
+    );
     // Figs. 14/16/17: all three performance metrics improve.
-    assert!(dw.write_speedup_vs(&base) > 2.0, "write {}", dw.write_speedup_vs(&base));
-    assert!(dw.read_speedup_vs(&base) > 1.2, "read {}", dw.read_speedup_vs(&base));
-    assert!(dw.relative_ipc_vs(&base) > 1.2, "ipc {}", dw.relative_ipc_vs(&base));
+    assert!(
+        dw.write_speedup_vs(&base) > 2.0,
+        "write {}",
+        dw.write_speedup_vs(&base)
+    );
+    assert!(
+        dw.read_speedup_vs(&base) > 1.2,
+        "read {}",
+        dw.read_speedup_vs(&base)
+    );
+    assert!(
+        dw.relative_ipc_vs(&base) > 1.2,
+        "ipc {}",
+        dw.relative_ipc_vs(&base)
+    );
     // Fig. 19: energy drops substantially.
-    assert!(dw.relative_energy_vs(&base) < 0.7, "energy {}", dw.relative_energy_vs(&base));
+    assert!(
+        dw.relative_energy_vs(&base) < 0.7,
+        "energy {}",
+        dw.relative_energy_vs(&base)
+    );
 }
 
 #[test]
@@ -120,7 +147,10 @@ fn claim_worst_case_degradation_is_small() {
     let ipc_ratio = dw.relative_ipc_vs(&base);
     assert!(ipc_ratio > 0.90, "worst-case IPC ratio {ipc_ratio}");
     let write_ratio = dw.write_latency.mean_ns() / base.write_latency.mean_ns();
-    assert!(write_ratio < 1.15, "worst-case write latency ratio {write_ratio}");
+    assert!(
+        write_ratio < 1.15,
+        "worst-case write latency ratio {write_ratio}"
+    );
 }
 
 #[test]
@@ -141,7 +171,8 @@ fn claim_metadata_cache_hit_rates_are_high() {
     let (warmup, trace, config) = workload("mcf", 6_000, 9);
     let sim = Simulator::new(&config);
     let mut dw = DeWrite::new(config.clone(), DeWriteConfig::paper(), KEY);
-    sim.run(&mut dw, "mcf", &warmup, trace.iter().cloned()).expect("runs");
+    sim.run(&mut dw, "mcf", &warmup, trace.iter().cloned())
+        .expect("runs");
     let s = dw.cache_stats();
     // The sequential (prefetched) tables hit nearly always.
     for (name, rate) in [
@@ -154,5 +185,9 @@ fn claim_metadata_cache_hit_rates_are_high() {
     // Hash-store probes include a compulsory miss for every never-seen
     // digest (exactly the queries PNA then skips), so its demand hit rate
     // tracks the duplication ratio rather than ~100%.
-    assert!(s.hash.hit_rate() > 0.40, "hash hit rate {}", s.hash.hit_rate());
+    assert!(
+        s.hash.hit_rate() > 0.40,
+        "hash hit rate {}",
+        s.hash.hit_rate()
+    );
 }

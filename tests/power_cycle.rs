@@ -20,7 +20,11 @@ fn populated() -> (DeWrite, HashMap<u64, Vec<u8>>, SystemConfig) {
     let mut gen = TraceGenerator::new(profile, 256, 77);
     let mut shadow = HashMap::new();
     let mut t = 0u64;
-    for rec in gen.warmup_records().into_iter().chain(gen.by_ref().take(4_000)) {
+    for rec in gen
+        .warmup_records()
+        .into_iter()
+        .chain(gen.by_ref().take(4_000))
+    {
         if let TraceOp::Write { addr, data } = rec.op {
             mem.write(addr, &data, t).expect("write");
             shadow.insert(addr.index(), data);
@@ -37,8 +41,8 @@ fn contents_survive_a_power_cycle() {
     assert!(eliminated_before > 0, "sanity: dedup ran");
 
     let (snapshot, device) = mem.power_off();
-    let mut mem =
-        DeWrite::power_on(config, DeWriteConfig::paper(), KEY, device, &snapshot).expect("power on");
+    let mut mem = DeWrite::power_on(config, DeWriteConfig::paper(), KEY, device, &snapshot)
+        .expect("power on");
 
     // Every line reads back its pre-cycle contents.
     let mut t = 1_000_000;
@@ -54,9 +58,13 @@ fn contents_survive_a_power_cycle() {
     // duplicate as fresh; once the digest is cached, detection resumes.
     let sample = shadow.values().next().expect("nonempty").clone();
     mem.write(LineAddr::new(1_000), &sample, t).expect("write");
-    let w = mem.write(LineAddr::new(1_001), &sample, t + 10_000).expect("write");
+    let w = mem
+        .write(LineAddr::new(1_001), &sample, t + 10_000)
+        .expect("write");
     assert!(w.eliminated, "restored controller must deduplicate again");
-    mem.index().check_invariants().expect("invariants after restore + writes");
+    mem.index()
+        .check_invariants()
+        .expect("invariants after restore + writes");
 }
 
 #[test]
@@ -99,8 +107,8 @@ fn counters_keep_advancing_after_restore() {
     let ct_before = mem.device().peek_line(LineAddr::new(0)).expect("peek");
 
     let (snapshot, device) = mem.power_off();
-    let mut mem =
-        DeWrite::power_on(config, DeWriteConfig::paper(), KEY, device, &snapshot).expect("power on");
+    let mut mem = DeWrite::power_on(config, DeWriteConfig::paper(), KEY, device, &snapshot)
+        .expect("power on");
 
     // Make line 0 sole-owned rewrite in place with fresh (unique) content,
     // then write the original data back: the counter must have advanced,

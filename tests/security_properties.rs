@@ -23,7 +23,8 @@ fn stolen_dimm_sees_no_plaintext() {
     let mut base = CmeBaseline::new(config(), KEY);
     for i in 0..8u64 {
         dw.write(LineAddr::new(i), &line, i * 1_000).expect("write");
-        base.write(LineAddr::new(i), &line, i * 1_000).expect("write");
+        base.write(LineAddr::new(i), &line, i * 1_000)
+            .expect("write");
     }
 
     // Scan every materialized device line for the secret bytes.
@@ -86,7 +87,10 @@ fn dedup_aliases_are_isolated() {
     dw.write(LineAddr::new(1), &private, 3_000).expect("write");
 
     assert_eq!(dw.read(LineAddr::new(0), 4_000).expect("read").data, shared);
-    assert_eq!(dw.read(LineAddr::new(1), 5_000).expect("read").data, private);
+    assert_eq!(
+        dw.read(LineAddr::new(1), 5_000).expect("read").data,
+        private
+    );
     assert_eq!(dw.read(LineAddr::new(2), 6_000).expect("read").data, shared);
     dw.index().check_invariants().expect("invariants");
 }
@@ -137,5 +141,8 @@ fn unwritten_addresses_never_expose_relocated_data() {
     }
     // The written addresses still read their own data.
     assert_eq!(dw.read(LineAddr::new(0), t).expect("read").data, fresh);
-    assert_eq!(dw.read(LineAddr::new(2), t + 500).expect("read").data, shared);
+    assert_eq!(
+        dw.read(LineAddr::new(2), t + 500).expect("read").data,
+        shared
+    );
 }
