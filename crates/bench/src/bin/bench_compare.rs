@@ -1,0 +1,164 @@
+//! Diff two `runs.json` exports across commits and flag regressions.
+//!
+//! The repro harness writes `runs.json` (a flat array of per-app
+//! `RunReport`s, dewrite/baseline pairs) with `repro --json`. This tool
+//! compares an older export against a newer one and exits non-zero when
+//! any app regresses beyond the tolerance in:
+//!
+//! * **write speedup** — baseline mean write latency / dewrite mean write
+//!   latency, the paper's headline metric;
+//! * **p99 write latency** of any (app, scheme) row;
+//! * **per-stage mean timings** of any (app, scheme) row.
+//!
+//! Usage:
+//!   bench_compare OLD/runs.json NEW/runs.json [--tolerance PCT]
+//!
+//! Tolerance defaults to 2% — simulated ns are deterministic, so any drift
+//! beyond float-formatting noise is a real behavior change.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use dewrite_core::{Json, RunReport, Stage};
+
+fn load(path: &str) -> Result<Vec<RunReport>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let arr = json
+        .as_arr()
+        .ok_or_else(|| format!("{path}: not an array"))?;
+    arr.iter()
+        .map(|j| RunReport::from_json(j).map_err(|e| format!("{path}: {e}")))
+        .collect()
+}
+
+/// Key rows by (app, scheme); keep insertion-stable order via BTreeMap.
+fn index(reports: &[RunReport]) -> BTreeMap<(String, String), &RunReport> {
+    reports
+        .iter()
+        .map(|r| ((r.app.clone(), r.scheme.clone()), r))
+        .collect()
+}
+
+/// Per-app write speedup: baseline mean write latency over dewrite's.
+/// The dewrite row is the one carrying DeWrite-specific metrics.
+fn speedups(reports: &[RunReport]) -> BTreeMap<String, f64> {
+    let mut by_app: BTreeMap<String, (Option<f64>, Option<f64>)> = BTreeMap::new();
+    for r in reports {
+        let mean = r.write_latency.mean_ns();
+        if mean <= 0.0 {
+            continue;
+        }
+        let entry = by_app.entry(r.app.clone()).or_default();
+        if r.dewrite.is_some() {
+            entry.0 = Some(mean);
+        } else {
+            entry.1 = Some(mean);
+        }
+    }
+    by_app
+        .into_iter()
+        .filter_map(|(app, (dw, base))| match (dw, base) {
+            (Some(dw), Some(base)) => Some((app, base / dw)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 2.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("--tolerance needs a numeric percentage");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: bench_compare OLD/runs.json NEW/runs.json [--tolerance PCT]");
+        return ExitCode::from(2);
+    };
+    let tol = tolerance / 100.0;
+
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut regressions: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+
+    // Headline: per-app write speedup must not shrink.
+    let old_speedups = speedups(&old);
+    let new_speedups = speedups(&new);
+    for (app, old_s) in &old_speedups {
+        let Some(new_s) = new_speedups.get(app) else {
+            regressions.push(format!("{app}: speedup row missing from {new_path}"));
+            continue;
+        };
+        compared += 1;
+        println!("{app:<16} write speedup {old_s:.3}x -> {new_s:.3}x");
+        if *new_s < old_s * (1.0 - tol) {
+            regressions.push(format!(
+                "{app}: write speedup regressed {old_s:.3}x -> {new_s:.3}x"
+            ));
+        }
+    }
+
+    // Per-row: p99 write latency and per-stage means must not grow.
+    let old_rows = index(&old);
+    let new_rows = index(&new);
+    for ((app, scheme), o) in &old_rows {
+        let Some(n) = new_rows.get(&(app.clone(), scheme.clone())) else {
+            regressions.push(format!("{app}/{scheme}: row missing from {new_path}"));
+            continue;
+        };
+        compared += 1;
+        let (op99, np99) = (o.write_latency_hist.p99_ns(), n.write_latency_hist.p99_ns());
+        if op99 > 0 && (np99 as f64) > (op99 as f64) * (1.0 + tol) {
+            regressions.push(format!(
+                "{app}/{scheme}: p99 write latency regressed {op99} ns -> {np99} ns"
+            ));
+        }
+        for stage in Stage::ALL {
+            let (os, ns) = (
+                o.stage_breakdown.stage(stage),
+                n.stage_breakdown.stage(stage),
+            );
+            if os.count() == 0 {
+                continue;
+            }
+            let (om, nm) = (os.mean_ns(), ns.mean_ns());
+            if om > 0.0 && nm > om * (1.0 + tol) {
+                regressions.push(format!(
+                    "{app}/{scheme}: stage {} mean regressed {om:.1} ns -> {nm:.1} ns",
+                    stage.name()
+                ));
+            }
+        }
+    }
+
+    println!("compared {compared} rows at ±{tolerance}% tolerance");
+    if regressions.is_empty() {
+        println!("no regressions");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\n{} regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("  REGRESSION {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,309 @@
+//! Host-speed microbenchmark of the crypto/fingerprint hot path.
+//!
+//! Measures *wall-clock host* throughput (the thing the engine overhaul
+//! optimizes) of each AES backend and each CRC implementation, then emits
+//! `BENCH_hotpath.json` with blocks/s and MB/s per engine plus the headline
+//! speedups versus the seed-era engines. Simulated ns are untouched by
+//! backend choice — see the "Host time vs simulated time" section of
+//! DESIGN.md.
+//!
+//! Usage:
+//!   hotpath [--quick] [--check] [--out PATH]
+//!
+//! `--quick` (or env `BENCH_QUICK=1`) shortens sampling for CI smoke runs.
+//! `--check` exits non-zero unless the tentpole speedups hold (≥3x on
+//! 256 B line encryption, ≥4x on 256 B CRC digest vs the seed engines).
+
+use std::time::Instant;
+
+use dewrite_core::Json;
+use dewrite_crypto::{Aes128, Aes128Reference, CounterModeEngine, LineCounter};
+use dewrite_hashes::{Crc32, Crc32c, CrcBackend};
+
+/// One measured engine variant.
+struct Sample {
+    name: &'static str,
+    engine: &'static str,
+    bytes_per_op: u64,
+    iters: u64,
+    total_ns: u128,
+}
+
+impl Sample {
+    fn ns_per_op(&self) -> f64 {
+        self.total_ns as f64 / self.iters as f64
+    }
+    fn ops_per_s(&self) -> f64 {
+        1e9 / self.ns_per_op()
+    }
+    fn mb_per_s(&self) -> f64 {
+        (self.bytes_per_op as f64 * self.ops_per_s()) / 1e6
+    }
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.into())),
+            ("engine".into(), Json::Str(self.engine.into())),
+            ("bytes_per_op".into(), Json::Num(self.bytes_per_op as f64)),
+            ("iters".into(), Json::Num(self.iters as f64)),
+            ("ns_per_op".into(), Json::Num(self.ns_per_op())),
+            ("ops_per_s".into(), Json::Num(self.ops_per_s())),
+            ("mb_per_s".into(), Json::Num(self.mb_per_s())),
+        ])
+    }
+}
+
+/// Run `op` until at least `budget_ns` of wall clock is spent (after a
+/// short calibration pass), returning (iters, total_ns).
+fn measure<F: FnMut() -> u64>(budget_ns: u128, mut op: F) -> (u64, u128) {
+    // Calibration: find an iteration count that takes ~1/16 of the budget.
+    let mut batch = 1u64;
+    let mut sink = 0u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            sink = sink.wrapping_add(op());
+        }
+        let elapsed = start.elapsed().as_nanos();
+        if elapsed >= budget_ns / 16 || batch >= 1 << 30 {
+            break;
+        }
+        batch *= 2;
+    }
+    // Measurement: run batches until the budget is consumed.
+    let mut iters = 0u64;
+    let mut total = 0u128;
+    while total < budget_ns {
+        let start = Instant::now();
+        for _ in 0..batch {
+            sink = sink.wrapping_add(op());
+        }
+        total += start.elapsed().as_nanos();
+        iters += batch;
+    }
+    std::hint::black_box(sink);
+    (iters, total)
+}
+
+/// The seed-era line encryption, reproduced exactly: a fresh pad `Vec` per
+/// call, blocks from the from-scratch FIPS-197 cipher, then a collecting
+/// XOR. This is the baseline the tentpole speedup is measured against.
+fn seed_encrypt_line(
+    aes: &Aes128Reference,
+    plaintext: &[u8],
+    addr: u64,
+    counter: LineCounter,
+) -> Vec<u8> {
+    let mut pad = Vec::with_capacity(plaintext.len());
+    for block_idx in 0..plaintext.len().div_ceil(16) {
+        let mut seed = [0u8; 16];
+        seed[0..8].copy_from_slice(&addr.to_le_bytes());
+        seed[8..12].copy_from_slice(&counter.value().to_le_bytes());
+        seed[12..16].copy_from_slice(&(block_idx as u32).to_le_bytes());
+        pad.extend_from_slice(&aes.encrypt_block(&seed));
+    }
+    pad.truncate(plaintext.len());
+    plaintext
+        .iter()
+        .zip(pad.iter())
+        .map(|(p, k)| p ^ k)
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    let budget_ns: u128 = if quick { 20_000_000 } else { 300_000_000 };
+
+    let key = *b"dewrite-repro-16";
+    let line: Vec<u8> = (0..256).map(|i| (i * 31 % 251) as u8).collect();
+    let block: [u8; 16] = line[0..16].try_into().expect("16 bytes");
+    let ctr = LineCounter::from_value(7);
+
+    let reference = Aes128Reference::new(&key);
+    let ttable = Aes128::portable(&key);
+    let hw_aes = Aes128::hardware(&key);
+    let engine = CounterModeEngine::new(&key);
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut push = |name, engine, bytes, (iters, total_ns)| {
+        let s = Sample {
+            name,
+            engine,
+            bytes_per_op: bytes,
+            iters,
+            total_ns,
+        };
+        eprintln!(
+            "{:>24} / {:<12} {:>10.1} ns/op {:>10.1} MB/s",
+            s.name,
+            s.engine,
+            s.ns_per_op(),
+            s.mb_per_s()
+        );
+        samples.push(s);
+    };
+
+    // --- AES single block ---
+    push(
+        "aes_block",
+        "reference",
+        16,
+        measure(budget_ns, || {
+            reference.encrypt_block(std::hint::black_box(&block))[0] as u64
+        }),
+    );
+    push(
+        "aes_block",
+        "t-table",
+        16,
+        measure(budget_ns, || {
+            ttable.encrypt_block(std::hint::black_box(&block))[0] as u64
+        }),
+    );
+    if let Some(hw) = &hw_aes {
+        push(
+            "aes_block",
+            "aes-ni",
+            16,
+            measure(budget_ns, || {
+                hw.encrypt_block(std::hint::black_box(&block))[0] as u64
+            }),
+        );
+    }
+
+    // --- Full 256 B line encryption (counter mode) ---
+    push(
+        "line_encrypt_256B",
+        "seed",
+        256,
+        measure(budget_ns, || {
+            seed_encrypt_line(&reference, std::hint::black_box(&line), 0x1000, ctr)[0] as u64
+        }),
+    );
+    {
+        let mut buf = [0u8; 256];
+        push(
+            "line_encrypt_256B",
+            "fast",
+            256,
+            measure(budget_ns, || {
+                engine.encrypt_line_into(std::hint::black_box(&line), 0x1000, ctr, &mut buf);
+                buf[0] as u64
+            }),
+        );
+    }
+
+    // --- 256 B CRC digest ---
+    let crc32 = Crc32::new();
+    let crc32c = Crc32c::new();
+    let crc32c_portable = Crc32c::portable();
+    push(
+        "crc_256B",
+        "seed",
+        256,
+        measure(budget_ns, || {
+            u64::from(crc32.checksum_bytewise(std::hint::black_box(&line)))
+        }),
+    );
+    push(
+        "crc_256B",
+        "slice-by-8",
+        256,
+        measure(budget_ns, || {
+            u64::from(crc32.checksum(std::hint::black_box(&line)))
+        }),
+    );
+    push(
+        "crc32c_256B",
+        "slice-by-8",
+        256,
+        measure(budget_ns, || {
+            u64::from(crc32c_portable.checksum(std::hint::black_box(&line)))
+        }),
+    );
+    if crc32c.backend_kind() == CrcBackend::Sse42 {
+        push(
+            "crc32c_256B",
+            "sse4.2",
+            256,
+            measure(budget_ns, || {
+                u64::from(crc32c.checksum(std::hint::black_box(&line)))
+            }),
+        );
+    }
+
+    // --- Headline speedups vs the seed engines ---
+    let ns_of = |name: &str, engine: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.engine == engine)
+            .map(Sample::ns_per_op)
+    };
+    let line_speedup = match (
+        ns_of("line_encrypt_256B", "seed"),
+        ns_of("line_encrypt_256B", "fast"),
+    ) {
+        (Some(seed), Some(fast)) => seed / fast,
+        _ => 0.0,
+    };
+    // Best CRC engine vs the seed byte-at-a-time loop (CRC-32 is the
+    // fingerprint DeWrite uses; SSE4.2 only exists for CRC-32C).
+    let crc_fast_ns = [
+        ns_of("crc_256B", "slice-by-8"),
+        ns_of("crc32c_256B", "sse4.2"),
+    ]
+    .into_iter()
+    .flatten()
+    .fold(f64::INFINITY, f64::min);
+    let crc_speedup = match ns_of("crc_256B", "seed") {
+        Some(seed) if crc_fast_ns.is_finite() => seed / crc_fast_ns,
+        _ => 0.0,
+    };
+
+    eprintln!();
+    eprintln!("line_encrypt_256B speedup vs seed: {line_speedup:.2}x (target >= 3x)");
+    eprintln!("crc_256B digest speedup vs seed:   {crc_speedup:.2}x (target >= 4x)");
+
+    let report = Json::Obj(vec![
+        ("schema_version".into(), Json::Num(1.0)),
+        ("bench".into(), Json::Str("hotpath".into())),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "host".into(),
+            Json::Obj(vec![
+                ("aes_ni".into(), Json::Bool(hw_aes.is_some())),
+                (
+                    "sse42_crc".into(),
+                    Json::Bool(crc32c.backend_kind() == CrcBackend::Sse42),
+                ),
+            ]),
+        ),
+        (
+            "results".into(),
+            Json::Arr(samples.iter().map(Sample::to_json).collect()),
+        ),
+        (
+            "speedups".into(),
+            Json::Obj(vec![
+                ("line_encrypt_256B_vs_seed".into(), Json::Num(line_speedup)),
+                ("crc_256B_vs_seed".into(), Json::Num(crc_speedup)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, format!("{report}\n")).expect("write BENCH_hotpath.json");
+    eprintln!("wrote {out_path}");
+
+    if check && (line_speedup < 3.0 || crc_speedup < 4.0) {
+        eprintln!("FAIL: speedup targets not met");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,50 @@
+//! The hot-path engine overhaul is host-speed only: forced-portable and
+//! hardware-dispatched engines must produce bit-identical `RunReport`s.
+//!
+//! Backends are chosen when an engine is constructed, so toggling
+//! `set_portable_only` between simulation runs exercises both paths in one
+//! process (the same switch CI flips via `DEWRITE_PORTABLE=1`).
+
+use dewrite_bench::runner::{run_scheme, Scale, SchemeKind, Workload};
+use dewrite_trace::app_by_name;
+
+const SEED: u64 = 0xDE11_A11C;
+
+/// Serialize the full report for one (scheme, app) run.
+fn report_json(kind: SchemeKind, portable: bool) -> String {
+    dewrite_crypto::set_portable_only(portable);
+    dewrite_hashes::set_portable_only(portable);
+    let profile = app_by_name("dedup").expect("known app");
+    let workload = Workload::generate(&profile, Scale::quick(), SEED);
+    let report = run_scheme(kind, &workload);
+    // Leave the process-wide switch as we found it.
+    dewrite_crypto::set_portable_only(false);
+    dewrite_hashes::set_portable_only(false);
+    report.to_json().to_string()
+}
+
+#[test]
+fn dewrite_report_identical_portable_vs_fast() {
+    let portable = report_json(SchemeKind::DeWrite, true);
+    let fast = report_json(SchemeKind::DeWrite, false);
+    assert_eq!(
+        portable, fast,
+        "RunReport differs between portable and hardware engines"
+    );
+}
+
+#[test]
+fn baseline_report_identical_portable_vs_fast() {
+    let portable = report_json(SchemeKind::Baseline, true);
+    let fast = report_json(SchemeKind::Baseline, false);
+    assert_eq!(portable, fast);
+}
+
+#[test]
+fn repeated_fast_runs_are_identical() {
+    // Dispatch itself must be deterministic run-to-run, not just
+    // portable-vs-fast.
+    let a = report_json(SchemeKind::DeWrite, false);
+    let b = report_json(SchemeKind::DeWrite, false);
+    assert_eq!(a, b);
+}

@@ -75,6 +75,8 @@ pub struct CmeLine {
     addr: u64,
     counter: LineCounter,
     ciphertext: Vec<u8>,
+    /// Scratch for the next ciphertext, swapped in after each write.
+    scratch: Vec<u8>,
 }
 
 impl CmeLine {
@@ -84,6 +86,7 @@ impl CmeLine {
             addr,
             counter: LineCounter::new(),
             ciphertext: vec![0u8; line_size],
+            scratch: vec![0u8; line_size],
         }
     }
 
@@ -92,10 +95,11 @@ impl CmeLine {
     /// ciphertext.
     pub fn write(&mut self, engine: &CounterModeEngine, plaintext: &[u8]) -> (u64, u64) {
         let _ = self.counter.increment();
-        let new_ct = engine.encrypt_line(plaintext, self.addr, self.counter);
-        let dcw = dcw_flips(&self.ciphertext, &new_ct);
-        let fnw = fnw_flips(&self.ciphertext, &new_ct);
-        self.ciphertext = new_ct;
+        self.scratch.resize(plaintext.len(), 0);
+        engine.encrypt_line_into(plaintext, self.addr, self.counter, &mut self.scratch);
+        let dcw = dcw_flips(&self.ciphertext, &self.scratch);
+        let fnw = fnw_flips(&self.ciphertext, &self.scratch);
+        std::mem::swap(&mut self.ciphertext, &mut self.scratch);
         (dcw, fnw)
     }
 
@@ -113,6 +117,10 @@ pub struct DeuceLine {
     epoch_plain: Vec<u8>,
     plain: Vec<u8>,
     ciphertext: Vec<u8>,
+    /// Scratch pad buffer reused across writes (no per-write alloc).
+    pad_buf: Vec<u8>,
+    /// Scratch for the next ciphertext, swapped in after each write.
+    ct_buf: Vec<u8>,
     writes_since_epoch: u32,
 }
 
@@ -125,6 +133,8 @@ impl DeuceLine {
             epoch_plain: vec![0u8; line_size],
             plain: vec![0u8; line_size],
             ciphertext: vec![0u8; line_size],
+            pad_buf: vec![0u8; line_size],
+            ct_buf: vec![0u8; line_size],
             // The first write to a line starts its first epoch with a full
             // encryption.
             writes_since_epoch: DEUCE_EPOCH,
@@ -144,15 +154,17 @@ impl DeuceLine {
         let _ = self.counter.increment();
         self.writes_since_epoch += 1;
 
-        let fresh_pad = engine.one_time_pad(self.addr, self.counter, plaintext.len());
-        let mut new_ct = self.ciphertext.clone();
+        self.pad_buf.resize(plaintext.len(), 0);
+        engine.one_time_pad_into(self.addr, self.counter, &mut self.pad_buf);
+        self.ct_buf.clear();
+        self.ct_buf.extend_from_slice(&self.ciphertext);
 
         if self.writes_since_epoch >= DEUCE_EPOCH {
             // Epoch boundary: full re-encryption, reset the modified set.
-            for (i, b) in new_ct.iter_mut().enumerate() {
-                *b = plaintext[i] ^ fresh_pad[i];
+            for ((c, p), k) in self.ct_buf.iter_mut().zip(plaintext).zip(&self.pad_buf) {
+                *c = p ^ k;
             }
-            self.epoch_plain = plaintext.to_vec();
+            self.epoch_plain.copy_from_slice(plaintext);
             self.writes_since_epoch = 0;
         } else {
             // Re-encrypt exactly the words whose plaintext differs from the
@@ -161,16 +173,20 @@ impl DeuceLine {
                 let lo = w * DEUCE_WORD_BYTES;
                 let hi = lo + DEUCE_WORD_BYTES;
                 if plaintext[lo..hi] != self.epoch_plain[lo..hi] {
-                    for i in lo..hi {
-                        new_ct[i] = plaintext[i] ^ fresh_pad[i];
+                    for ((c, p), k) in self.ct_buf[lo..hi]
+                        .iter_mut()
+                        .zip(&plaintext[lo..hi])
+                        .zip(&self.pad_buf[lo..hi])
+                    {
+                        *c = p ^ k;
                     }
                 }
             }
         }
 
-        let flips = dcw_flips(&self.ciphertext, &new_ct);
-        self.ciphertext = new_ct;
-        self.plain = plaintext.to_vec();
+        let flips = dcw_flips(&self.ciphertext, &self.ct_buf);
+        std::mem::swap(&mut self.ciphertext, &mut self.ct_buf);
+        self.plain.copy_from_slice(plaintext);
         flips
     }
 

@@ -49,6 +49,8 @@ pub struct CmeBaseline {
     counter_table: MetaTable,
     metrics: BaseMetrics,
     sink: Option<Box<dyn EventSink>>,
+    /// Scratch ciphertext buffer reused across writes (no per-write alloc).
+    line_buf: Vec<u8>,
 }
 
 impl std::fmt::Debug for CmeBaseline {
@@ -89,6 +91,7 @@ impl CmeBaseline {
             counter_table,
             metrics: BaseMetrics::default(),
             sink: None,
+            line_buf: Vec::new(),
         }
     }
 
@@ -145,12 +148,14 @@ impl SecureMemory for CmeBaseline {
         let enc_done = ctr.done_ns + AES_LINE_LATENCY_NS;
         self.metrics.aes_line_ops += 1;
         self.device.charge_aes_pj(aes_line_energy_pj(data.len()));
-        let ciphertext = self.engine.encrypt_line(data, addr.index(), counter);
+        self.line_buf.resize(data.len(), 0);
+        self.engine
+            .encrypt_line_into(data, addr.index(), counter, &mut self.line_buf);
         let old = self.device.peek_line(addr)?;
-        let flips = crate::schemes::encoded_flips(self.config.bit_encoding, &old, &ciphertext);
+        let flips = crate::schemes::encoded_flips(self.config.bit_encoding, &old, &self.line_buf);
         let access = self
             .device
-            .write_line_with_flips(addr, &ciphertext, flips, enc_done)?;
+            .write_line_with_flips(addr, &self.line_buf, flips, enc_done)?;
 
         if let Some(sink) = self.sink.as_mut() {
             let mut e = WriteEvent::new(WritePath::Stored);

@@ -135,6 +135,8 @@ pub struct DeWrite {
     writes_since_flush: u32,
     /// Optional per-write event sink (observability; None on the hot path).
     sink: Option<Box<dyn EventSink>>,
+    /// Scratch ciphertext buffer reused across writes (no per-write alloc).
+    line_buf: Vec<u8>,
 }
 
 impl std::fmt::Debug for DeWrite {
@@ -303,6 +305,7 @@ impl DeWrite {
             verify_buffer: std::collections::VecDeque::new(),
             writes_since_flush: 0,
             sink: None,
+            line_buf: Vec::new(),
             device,
             config,
             dw,
@@ -905,15 +908,17 @@ impl SecureMemory for DeWrite {
                 let counter = self.counters.entry(target.index()).or_default();
                 let _ = counter.increment();
                 let counter = *counter;
-                let ciphertext = self.engine.encrypt_line(data, target.index(), counter);
+                self.line_buf.resize(data.len(), 0);
+                self.engine
+                    .encrypt_line_into(data, target.index(), counter, &mut self.line_buf);
 
                 let ready = detect_done.max(enc_done);
                 let old = self.device.peek_line(target)?;
                 let flips =
-                    crate::schemes::encoded_flips(self.config.bit_encoding, &old, &ciphertext);
+                    crate::schemes::encoded_flips(self.config.bit_encoding, &old, &self.line_buf);
                 let access =
                     self.device
-                        .write_line_with_flips(target, &ciphertext, flips, ready)?;
+                        .write_line_with_flips(target, &self.line_buf, flips, ready)?;
                 let meta_done = self.commit_store_metadata(init, target, digest, freed, ready);
                 self.predictor.record(false);
                 if self.sink.is_some() {

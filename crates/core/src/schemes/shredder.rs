@@ -41,6 +41,8 @@ pub struct SilentShredder {
     counter_table: MetaTable,
     zero_table: MetaTable,
     metrics: BaseMetrics,
+    /// Scratch ciphertext buffer reused across writes (no per-write alloc).
+    line_buf: Vec<u8>,
 }
 
 impl SilentShredder {
@@ -83,6 +85,7 @@ impl SilentShredder {
             counter_table,
             zero_table,
             metrics: BaseMetrics::default(),
+            line_buf: Vec::new(),
             device,
             config,
         }
@@ -153,12 +156,14 @@ impl SecureMemory for SilentShredder {
         let enc_done = ctr.done_ns + AES_LINE_LATENCY_NS;
         self.metrics.aes_line_ops += 1;
         self.device.charge_aes_pj(aes_line_energy_pj(data.len()));
-        let ciphertext = self.engine.encrypt_line(data, addr.index(), counter);
+        self.line_buf.resize(data.len(), 0);
+        self.engine
+            .encrypt_line_into(data, addr.index(), counter, &mut self.line_buf);
         let old = self.device.peek_line(addr)?;
-        let flips = crate::schemes::encoded_flips(self.config.bit_encoding, &old, &ciphertext);
+        let flips = crate::schemes::encoded_flips(self.config.bit_encoding, &old, &self.line_buf);
         let access = self
             .device
-            .write_line_with_flips(addr, &ciphertext, flips, enc_done)?;
+            .write_line_with_flips(addr, &self.line_buf, flips, enc_done)?;
         Ok(WriteResult {
             critical_ns: enc_done - now_ns,
             nvm_finish_ns: Some(access.slot.finish_ns),

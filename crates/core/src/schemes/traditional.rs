@@ -36,6 +36,8 @@ pub struct TraditionalDedup {
     counters: HashMap<u64, LineCounter>,
     meta_table: MetaTable,
     metrics: BaseMetrics,
+    /// Scratch ciphertext buffer reused across writes (no per-write alloc).
+    line_buf: Vec<u8>,
 }
 
 impl std::fmt::Debug for TraditionalDedup {
@@ -78,6 +80,7 @@ impl TraditionalDedup {
             counters: HashMap::new(),
             meta_table,
             metrics: BaseMetrics::default(),
+            line_buf: Vec::new(),
             device,
             config,
         }
@@ -188,13 +191,15 @@ impl SecureMemory for TraditionalDedup {
                 self.metrics.aes_line_ops += 1;
                 self.device.charge_aes_pj(aes_line_energy_pj(data.len()));
                 let enc_done = ctr_acc.done_ns + AES_LINE_LATENCY_NS;
-                let ciphertext = self.engine.encrypt_line(data, target.index(), counter);
+                self.line_buf.resize(data.len(), 0);
+                self.engine
+                    .encrypt_line_into(data, target.index(), counter, &mut self.line_buf);
                 let old = self.device.peek_line(target)?;
                 let flips =
-                    crate::schemes::encoded_flips(self.config.bit_encoding, &old, &ciphertext);
+                    crate::schemes::encoded_flips(self.config.bit_encoding, &old, &self.line_buf);
                 let access =
                     self.device
-                        .write_line_with_flips(target, &ciphertext, flips, enc_done)?;
+                        .write_line_with_flips(target, &self.line_buf, flips, enc_done)?;
                 Ok(WriteResult {
                     critical_ns: enc_done - now_ns,
                     nvm_finish_ns: Some(access.slot.finish_ns),

@@ -1,4 +1,4 @@
-//! AES-128 block cipher (FIPS-197), implemented from scratch.
+//! Reference AES-128 block cipher (FIPS-197), implemented from scratch.
 //!
 //! This is a straightforward table-free software implementation: S-box /
 //! inverse S-box lookups, `xtime` for the MixColumns field multiplications,
@@ -6,9 +6,14 @@
 //! is not intended for protecting real data — it exists so the simulator
 //! computes *real ciphertext bytes*, which the bit-flip experiments
 //! (Fig. 13) measure directly.
+//!
+//! Since the hot-path overhaul this is no longer the engine the simulator
+//! runs on ([`crate::Aes128`] dispatches to a T-table or AES-NI backend);
+//! it is retained as the *oracle* that every fast backend is differentially
+//! tested against.
 
 /// The AES S-box.
-const SBOX: [u8; 256] = [
+pub(crate) const SBOX: [u8; 256] = [
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
     0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
     0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
@@ -28,7 +33,7 @@ const SBOX: [u8; 256] = [
 ];
 
 /// The inverse AES S-box.
-const INV_SBOX: [u8; 256] = [
+pub(crate) const INV_SBOX: [u8; 256] = [
     0x52, 0x09, 0x6a, 0xd5, 0x30, 0x36, 0xa5, 0x38, 0xbf, 0x40, 0xa3, 0x9e, 0x81, 0xf3, 0xd7, 0xfb,
     0x7c, 0xe3, 0x39, 0x82, 0x9b, 0x2f, 0xff, 0x87, 0x34, 0x8e, 0x43, 0x44, 0xc4, 0xde, 0xe9, 0xcb,
     0x54, 0x7b, 0x94, 0x32, 0xa6, 0xc2, 0x23, 0x3d, 0xee, 0x4c, 0x95, 0x0b, 0x42, 0xfa, 0xc3, 0x4e,
@@ -70,55 +75,66 @@ fn gmul(mut a: u8, mut b: u8) -> u8 {
     p
 }
 
-/// An expanded AES-128 key schedule (11 round keys).
+/// Expand `key` into the 11 AES-128 round keys (FIPS-197 §5.2), shared by
+/// every backend so they all run the identical schedule.
+pub(crate) fn expand_key(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    let mut w = [[0u8; 4]; 44];
+    for i in 0..4 {
+        w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+    }
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            temp.rotate_left(1);
+            for t in temp.iter_mut() {
+                *t = SBOX[*t as usize];
+            }
+            temp[0] ^= RCON[i / 4 - 1];
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ temp[j];
+        }
+    }
+    let mut round_keys = [[0u8; 16]; 11];
+    for (r, rk) in round_keys.iter_mut().enumerate() {
+        for c in 0..4 {
+            rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+        }
+    }
+    round_keys
+}
+
+/// An expanded AES-128 key schedule (11 round keys), reference
+/// implementation.
 ///
 /// ```
-/// use dewrite_crypto::Aes128;
+/// use dewrite_crypto::Aes128Reference;
 /// let key = [0u8; 16];
-/// let aes = Aes128::new(&key);
+/// let aes = Aes128Reference::new(&key);
 /// let pt = [0u8; 16];
 /// let ct = aes.encrypt_block(&pt);
 /// assert_eq!(aes.decrypt_block(&ct), pt);
 /// ```
 #[derive(Clone)]
-pub struct Aes128 {
+pub struct Aes128Reference {
     round_keys: [[u8; 16]; 11],
 }
 
-impl std::fmt::Debug for Aes128 {
+impl std::fmt::Debug for Aes128Reference {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        f.debug_struct("Aes128").field("rounds", &10u8).finish()
+        f.debug_struct("Aes128Reference")
+            .field("rounds", &10u8)
+            .finish()
     }
 }
 
-impl Aes128 {
+impl Aes128Reference {
     /// Expand `key` into the 11-round key schedule.
     pub fn new(key: &[u8; 16]) -> Self {
-        let mut w = [[0u8; 4]; 44];
-        for i in 0..4 {
-            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        Aes128Reference {
+            round_keys: expand_key(key),
         }
-        for i in 4..44 {
-            let mut temp = w[i - 1];
-            if i % 4 == 0 {
-                temp.rotate_left(1);
-                for t in temp.iter_mut() {
-                    *t = SBOX[*t as usize];
-                }
-                temp[0] ^= RCON[i / 4 - 1];
-            }
-            for j in 0..4 {
-                w[i][j] = w[i - 4][j] ^ temp[j];
-            }
-        }
-        let mut round_keys = [[0u8; 16]; 11];
-        for (r, rk) in round_keys.iter_mut().enumerate() {
-            for c in 0..4 {
-                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
-            }
-        }
-        Aes128 { round_keys }
     }
 
     #[inline]
@@ -257,7 +273,7 @@ mod tests {
             0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, //
             0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32,
         ];
-        let aes = Aes128::new(&key);
+        let aes = Aes128Reference::new(&key);
         assert_eq!(aes.encrypt_block(&pt), expected);
         assert_eq!(aes.decrypt_block(&expected), pt);
     }
@@ -274,14 +290,14 @@ mod tests {
             0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, //
             0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a,
         ];
-        let aes = Aes128::new(&key);
+        let aes = Aes128Reference::new(&key);
         assert_eq!(aes.encrypt_block(&pt), expected);
         assert_eq!(aes.decrypt_block(&expected), pt);
     }
 
     #[test]
     fn debug_never_prints_keys() {
-        let aes = Aes128::new(&[0x42; 16]);
+        let aes = Aes128Reference::new(&[0x42; 16]);
         let dbg = format!("{aes:?}");
         assert!(!dbg.contains("42"), "{dbg}");
     }
@@ -297,13 +313,13 @@ mod tests {
     proptest! {
         #[test]
         fn roundtrip(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>()) {
-            let aes = Aes128::new(&key);
+            let aes = Aes128Reference::new(&key);
             prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
         }
 
         #[test]
         fn diffusion_half_the_bits_flip(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>(), bit in 0usize..128) {
-            let aes = Aes128::new(&key);
+            let aes = Aes128Reference::new(&key);
             let c1 = aes.encrypt_block(&pt);
             let mut pt2 = pt;
             pt2[bit / 8] ^= 1 << (bit % 8);

@@ -1,0 +1,250 @@
+//! The default AES-128 block engine: runtime backend dispatch.
+//!
+//! [`Aes128`] picks the fastest available backend at construction:
+//!
+//! 1. **AES-NI** (`_mm_aesenc_si128`) when the CPU advertises the `aes`
+//!    feature and the portable override is off;
+//! 2. **T-tables** ([`crate::ttable`]) otherwise — the portable fast path.
+//!
+//! Every backend expands the same key schedule and produces bit-identical
+//! ciphertext (enforced by differential proptests against the
+//! [`Aes128Reference`](crate::Aes128Reference) oracle), so backend choice
+//! can never change simulation results — only host speed.
+//!
+//! # Forcing the portable path
+//!
+//! Set `DEWRITE_PORTABLE=1` in the environment (read once, at first engine
+//! construction) or call [`set_portable_only`] before constructing engines.
+//! CI uses this to check that reports are bit-identical across backends.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::aes::Aes128Reference;
+use crate::ttable::Aes128Soft;
+
+/// Tri-state: 2 = unset (consult the environment), 1 = portable only,
+/// 0 = hardware allowed.
+static PORTABLE_ONLY: AtomicU8 = AtomicU8::new(2);
+
+/// Should engine constructors refuse hardware backends?
+///
+/// Lazily seeded from the `DEWRITE_PORTABLE` environment variable (any
+/// non-empty value other than `0` forces portable engines).
+pub fn portable_only() -> bool {
+    match PORTABLE_ONLY.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let forced =
+                std::env::var_os("DEWRITE_PORTABLE").is_some_and(|v| !v.is_empty() && v != "0");
+            PORTABLE_ONLY.store(u8::from(forced), Ordering::Relaxed);
+            forced
+        }
+    }
+}
+
+/// Override backend selection for engines constructed *after* this call:
+/// `true` forces the portable T-table path, `false` re-enables hardware
+/// dispatch. Intended for tests and determinism checks.
+pub fn set_portable_only(portable: bool) {
+    PORTABLE_ONLY.store(u8::from(portable), Ordering::Relaxed);
+}
+
+/// Which backend an [`Aes128`] instance ended up on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AesBackend {
+    /// Precomputed T-tables (portable fast path).
+    TTable,
+    /// x86 AES-NI instructions.
+    AesNi,
+}
+
+impl std::fmt::Display for AesBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AesBackend::TTable => "t-table",
+            AesBackend::AesNi => "aes-ni",
+        })
+    }
+}
+
+#[derive(Clone)]
+enum Backend {
+    Soft(Aes128Soft),
+    #[cfg(target_arch = "x86_64")]
+    Ni(crate::aesni::Aes128Ni),
+}
+
+/// The default AES-128 block engine (hardware when available, T-tables
+/// otherwise). Drop-in replacement for the old from-scratch `Aes128`; the
+/// reference implementation lives on as [`Aes128Reference`].
+///
+/// ```
+/// use dewrite_crypto::{Aes128, Aes128Reference};
+/// let key = [7u8; 16];
+/// let fast = Aes128::new(&key);
+/// let oracle = Aes128Reference::new(&key);
+/// let pt = [0x42u8; 16];
+/// assert_eq!(fast.encrypt_block(&pt), oracle.encrypt_block(&pt));
+/// assert_eq!(fast.decrypt_block(&fast.encrypt_block(&pt)), pt);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    backend: Backend,
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes128")
+            .field("backend", &self.backend_kind())
+            .finish()
+    }
+}
+
+impl Aes128 {
+    /// Build the fastest engine the host (and the portable override)
+    /// allows.
+    pub fn new(key: &[u8; 16]) -> Self {
+        if !portable_only() {
+            if let Some(hw) = Self::hardware(key) {
+                return hw;
+            }
+        }
+        Self::portable(key)
+    }
+
+    /// Build the portable T-table engine regardless of CPU features.
+    pub fn portable(key: &[u8; 16]) -> Self {
+        Aes128 {
+            backend: Backend::Soft(Aes128Soft::new(key)),
+        }
+    }
+
+    /// Build the hardware engine, or `None` when the CPU lacks AES-NI.
+    /// Ignores the portable override (callers use it to benchmark backends
+    /// side by side).
+    pub fn hardware(key: &[u8; 16]) -> Option<Self> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("aes") {
+                // SAFETY: the `aes` feature was just detected.
+                #[allow(unsafe_code)]
+                let ni = unsafe { crate::aesni::Aes128Ni::new(key) };
+                return Some(Aes128 {
+                    backend: Backend::Ni(ni),
+                });
+            }
+        }
+        let _ = key;
+        None
+    }
+
+    /// The backend this instance dispatches to.
+    pub fn backend_kind(&self) -> AesBackend {
+        match &self.backend {
+            Backend::Soft(_) => AesBackend::TTable,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Ni(_) => AesBackend::AesNi,
+        }
+    }
+
+    /// Encrypt one 16-byte block.
+    #[inline]
+    pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        match &self.backend {
+            Backend::Soft(s) => s.encrypt_block(plaintext),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Ni(ni) => {
+                // SAFETY: a `Ni` backend is only ever constructed after
+                // feature detection.
+                #[allow(unsafe_code)]
+                unsafe {
+                    ni.encrypt_block(plaintext)
+                }
+            }
+        }
+    }
+
+    /// Decrypt one 16-byte block.
+    #[inline]
+    pub fn decrypt_block(&self, ciphertext: &[u8; 16]) -> [u8; 16] {
+        match &self.backend {
+            Backend::Soft(s) => s.decrypt_block(ciphertext),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Ni(ni) => {
+                // SAFETY: a `Ni` backend is only ever constructed after
+                // feature detection.
+                #[allow(unsafe_code)]
+                unsafe {
+                    ni.decrypt_block(ciphertext)
+                }
+            }
+        }
+    }
+
+    /// Encrypt a block with the reference oracle (differential-test
+    /// convenience).
+    pub fn reference(key: &[u8; 16]) -> Aes128Reference {
+        Aes128Reference::new(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn portable_override_is_honored() {
+        set_portable_only(true);
+        let aes = Aes128::new(&[1u8; 16]);
+        assert_eq!(aes.backend_kind(), AesBackend::TTable);
+        set_portable_only(false);
+        // With the override off, the backend is whatever the host offers;
+        // both must round-trip.
+        let aes = Aes128::new(&[1u8; 16]);
+        let pt = [9u8; 16];
+        assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+    }
+
+    #[test]
+    fn backends_agree_on_fips_vector() {
+        let key: [u8; 16] = (0x00..0x10u8).collect::<Vec<_>>().try_into().unwrap();
+        let pt: [u8; 16] = (0..16u8)
+            .map(|i| i * 0x11)
+            .collect::<Vec<_>>()
+            .try_into()
+            .unwrap();
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, //
+            0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a,
+        ];
+        assert_eq!(Aes128::portable(&key).encrypt_block(&pt), expected);
+        if let Some(hw) = Aes128::hardware(&key) {
+            assert_eq!(hw.encrypt_block(&pt), expected);
+        }
+    }
+
+    proptest! {
+        // The dispatched engine (whatever backend it lands on) must match
+        // the reference oracle bit-for-bit.
+        #[test]
+        fn dispatched_matches_oracle(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+            let fast = Aes128::new(&key);
+            let oracle = Aes128Reference::new(&key);
+            prop_assert_eq!(fast.encrypt_block(&block), oracle.encrypt_block(&block));
+            prop_assert_eq!(fast.decrypt_block(&block), oracle.decrypt_block(&block));
+        }
+
+        // Hardware and portable backends agree with each other directly.
+        #[test]
+        fn hardware_matches_portable(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+            if let Some(hw) = Aes128::hardware(&key) {
+                let soft = Aes128::portable(&key);
+                prop_assert_eq!(hw.encrypt_block(&block), soft.encrypt_block(&block));
+                prop_assert_eq!(hw.decrypt_block(&block), soft.decrypt_block(&block));
+            }
+        }
+    }
+}

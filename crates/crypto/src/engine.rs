@@ -1,7 +1,7 @@
 //! Counter-mode and direct encryption engines over cache lines.
 
-use crate::aes::Aes128;
 use crate::counter::LineCounter;
+use crate::Aes128;
 
 /// Latency of encrypting one 256 B line through the AES pipeline, in ns
 /// (§IV-A of the paper: "we set the latency of AES encryption to 96 ns per
@@ -59,27 +59,78 @@ impl CounterModeEngine {
         self.aes.encrypt_block(&seed)
     }
 
-    /// Generate the full one-time pad for a line of `len` bytes.
+    /// Write the one-time pad for a line of `out.len()` bytes into `out`,
+    /// without allocating.
     ///
     /// Exposed so callers that overlap pad generation with an NVM read (the
     /// counter-cache-hit fast path) can model the two steps separately.
-    pub fn one_time_pad(&self, addr: u64, counter: LineCounter, len: usize) -> Vec<u8> {
-        let mut pad = Vec::with_capacity(len);
-        for block_idx in 0..len.div_ceil(16) {
-            pad.extend_from_slice(&self.pad_block(addr, counter, block_idx as u32));
+    pub fn one_time_pad_into(&self, addr: u64, counter: LineCounter, out: &mut [u8]) {
+        for (block_idx, chunk) in out.chunks_mut(16).enumerate() {
+            let pad = self.pad_block(addr, counter, block_idx as u32);
+            chunk.copy_from_slice(&pad[..chunk.len()]);
         }
-        pad.truncate(len);
+    }
+
+    /// Generate the full one-time pad for a line of `len` bytes.
+    ///
+    /// Allocating convenience wrapper over [`Self::one_time_pad_into`]; hot
+    /// paths should hold a scratch buffer and call the `_into` form.
+    pub fn one_time_pad(&self, addr: u64, counter: LineCounter, len: usize) -> Vec<u8> {
+        let mut pad = vec![0u8; len];
+        self.one_time_pad_into(addr, counter, &mut pad);
         pad
     }
 
+    /// Encrypt `plaintext` for storage at `addr` under `counter`, writing the
+    /// ciphertext into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != plaintext.len()`.
+    pub fn encrypt_line_into(
+        &self,
+        plaintext: &[u8],
+        addr: u64,
+        counter: LineCounter,
+        out: &mut [u8],
+    ) {
+        assert_eq!(
+            out.len(),
+            plaintext.len(),
+            "ciphertext buffer must match plaintext length"
+        );
+        for (block_idx, (pt, ct)) in plaintext.chunks(16).zip(out.chunks_mut(16)).enumerate() {
+            let pad = self.pad_block(addr, counter, block_idx as u32);
+            for ((c, p), k) in ct.iter_mut().zip(pt.iter()).zip(pad.iter()) {
+                *c = p ^ k;
+            }
+        }
+    }
+
+    /// Decrypt `ciphertext` read from `addr` under `counter` into `out`.
+    ///
+    /// XOR is an involution, so this is the same operation as encryption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != ciphertext.len()`.
+    pub fn decrypt_line_into(
+        &self,
+        ciphertext: &[u8],
+        addr: u64,
+        counter: LineCounter,
+        out: &mut [u8],
+    ) {
+        self.encrypt_line_into(ciphertext, addr, counter, out);
+    }
+
     /// Encrypt `plaintext` for storage at `addr` under `counter`.
+    ///
+    /// Allocating convenience wrapper over [`Self::encrypt_line_into`].
     pub fn encrypt_line(&self, plaintext: &[u8], addr: u64, counter: LineCounter) -> Vec<u8> {
-        let pad = self.one_time_pad(addr, counter, plaintext.len());
-        plaintext
-            .iter()
-            .zip(pad.iter())
-            .map(|(p, k)| p ^ k)
-            .collect()
+        let mut out = vec![0u8; plaintext.len()];
+        self.encrypt_line_into(plaintext, addr, counter, &mut out);
+        out
     }
 
     /// Decrypt `ciphertext` read from `addr` under `counter`.
@@ -128,43 +179,78 @@ impl DirectEngine {
         t
     }
 
-    /// Encrypt `data` (padded internally to 16-byte blocks) stored at `addr`.
-    pub fn encrypt(&self, data: &[u8], addr: u64) -> Vec<u8> {
-        let mut out = Vec::with_capacity(data.len().div_ceil(16) * 16);
-        for (i, chunk) in data.chunks(16).enumerate() {
+    /// Encrypt `data` (padded to 16-byte blocks) stored at `addr`, writing
+    /// the ciphertext into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` is not `data.len()` rounded up to a multiple of
+    /// 16 (the ciphertext length).
+    pub fn encrypt_into(&self, data: &[u8], addr: u64, out: &mut [u8]) {
+        assert_eq!(
+            out.len(),
+            data.len().div_ceil(16) * 16,
+            "ciphertext buffer must be the block-padded data length"
+        );
+        for (i, (chunk, ct)) in data.chunks(16).zip(out.chunks_exact_mut(16)).enumerate() {
             let mut block = [0u8; 16];
             block[..chunk.len()].copy_from_slice(chunk);
             let tweak = Self::tweak(addr, i as u32);
             for (b, t) in block.iter_mut().zip(tweak.iter()) {
                 *b ^= t;
             }
-            out.extend_from_slice(&self.aes.encrypt_block(&block));
+            ct.copy_from_slice(&self.aes.encrypt_block(&block));
         }
+    }
+
+    /// Encrypt `data` (padded internally to 16-byte blocks) stored at `addr`.
+    ///
+    /// Allocating convenience wrapper over [`Self::encrypt_into`].
+    pub fn encrypt(&self, data: &[u8], addr: u64) -> Vec<u8> {
+        let mut out = vec![0u8; data.len().div_ceil(16) * 16];
+        self.encrypt_into(data, addr, &mut out);
         out
     }
 
-    /// Decrypt `data` read from `addr`.
+    /// Decrypt `data` read from `addr` into `out` without allocating.
     ///
     /// # Panics
     ///
     /// Panics if `data.len()` is not a multiple of 16 — direct-encrypted
-    /// metadata is always written in whole blocks.
-    pub fn decrypt(&self, data: &[u8], addr: u64) -> Vec<u8> {
+    /// metadata is always written in whole blocks — or if
+    /// `out.len() != data.len()`.
+    pub fn decrypt_into(&self, data: &[u8], addr: u64, out: &mut [u8]) {
         assert!(
             data.len().is_multiple_of(16),
             "direct-encrypted data must be block aligned, got {} bytes",
             data.len()
         );
-        let mut out = Vec::with_capacity(data.len());
-        for (i, chunk) in data.chunks_exact(16).enumerate() {
+        assert_eq!(out.len(), data.len(), "plaintext buffer must match data");
+        for (i, (chunk, pt_out)) in data
+            .chunks_exact(16)
+            .zip(out.chunks_exact_mut(16))
+            .enumerate()
+        {
             let block: [u8; 16] = chunk.try_into().expect("chunks_exact yields 16");
             let mut pt = self.aes.decrypt_block(&block);
             let tweak = Self::tweak(addr, i as u32);
             for (b, t) in pt.iter_mut().zip(tweak.iter()) {
                 *b ^= t;
             }
-            out.extend_from_slice(&pt);
+            pt_out.copy_from_slice(&pt);
         }
+    }
+
+    /// Decrypt `data` read from `addr`.
+    ///
+    /// Allocating convenience wrapper over [`Self::decrypt_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of 16.
+    pub fn decrypt(&self, data: &[u8], addr: u64) -> Vec<u8> {
+        let mut out = vec![0u8; data.len()];
+        self.decrypt_into(data, addr, &mut out);
         out
     }
 }
@@ -249,6 +335,43 @@ mod tests {
         let d = DirectEngine::new(&[1; 16]);
         let data = [0xEEu8; 16];
         assert_ne!(d.encrypt(&data, 0x0), d.encrypt(&data, 0x10));
+    }
+
+    #[test]
+    fn into_buffer_forms_match_allocating_forms() {
+        let e = engine();
+        let pt: Vec<u8> = (0..256).map(|i| (i * 13 % 251) as u8).collect();
+        let c = LineCounter::from_value(7);
+
+        let mut ct_buf = [0u8; 256];
+        e.encrypt_line_into(&pt, 0xF00, c, &mut ct_buf);
+        assert_eq!(ct_buf.to_vec(), e.encrypt_line(&pt, 0xF00, c));
+
+        let mut pad_buf = [0u8; 256];
+        e.one_time_pad_into(0xF00, c, &mut pad_buf);
+        assert_eq!(pad_buf.to_vec(), e.one_time_pad(0xF00, c, 256));
+
+        let mut rt = [0u8; 256];
+        e.decrypt_line_into(&ct_buf, 0xF00, c, &mut rt);
+        assert_eq!(rt.to_vec(), pt);
+
+        let d = DirectEngine::new(&[3; 16]);
+        let data = [0x5Au8; 48];
+        let mut dct = [0u8; 48];
+        d.encrypt_into(&data, 0x80, &mut dct);
+        assert_eq!(dct.to_vec(), d.encrypt(&data, 0x80));
+        let mut dpt = [0u8; 48];
+        d.decrypt_into(&dct, 0x80, &mut dpt);
+        assert_eq!(dpt, data);
+    }
+
+    #[test]
+    fn otp_into_handles_ragged_tail() {
+        let e = engine();
+        let c = LineCounter::from_value(2);
+        let mut buf = [0u8; 37];
+        e.one_time_pad_into(0x40, c, &mut buf);
+        assert_eq!(buf.to_vec(), e.one_time_pad(0x40, c, 37));
     }
 
     proptest! {

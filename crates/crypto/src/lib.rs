@@ -12,14 +12,19 @@
 //!   memory access, which is acceptable because metadata-cache hit rates are
 //!   high.
 //!
-//! The block cipher is a from-scratch AES-128 ([`Aes128`], FIPS-197 test
-//! vectors in the test suite). Real ciphertext is produced so that diffusion
-//! effects — the reason bit-level write-reduction schemes fail on encrypted
-//! NVM — are *measured* rather than assumed by downstream experiments.
+//! The block cipher is AES-128 with three interchangeable backends behind
+//! the [`Aes128`] dispatcher: precomputed T-tables (portable fast path),
+//! AES-NI (runtime-detected on x86-64), and a from-scratch FIPS-197
+//! implementation ([`Aes128Reference`]) retained as the oracle every fast
+//! backend is differentially tested against. All backends produce identical
+//! ciphertext; backend choice only changes *host* speed, never simulated
+//! results. Real ciphertext is produced so that diffusion effects — the
+//! reason bit-level write-reduction schemes fail on encrypted NVM — are
+//! *measured* rather than assumed by downstream experiments.
 //!
-//! Hardware costs follow §IV-A: 96 ns AES latency per 256 B line
-//! ([`AES_LINE_LATENCY_NS`]) and 5.9 nJ per 128-bit block
-//! ([`AES_BLOCK_ENERGY_PJ`]).
+//! Simulated hardware costs follow §IV-A and are independent of the host
+//! backend: 96 ns AES latency per 256 B line ([`AES_LINE_LATENCY_NS`]) and
+//! 5.9 nJ per 128-bit block ([`AES_BLOCK_ENERGY_PJ`]).
 //!
 //! # Example
 //!
@@ -35,15 +40,20 @@
 //! assert_eq!(engine.decrypt_line(&ciphertext, 0x8000, counter), plaintext);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aes;
+#[cfg(target_arch = "x86_64")]
+mod aesni;
 mod counter;
+mod dispatch;
 mod engine;
+mod ttable;
 
-pub use aes::Aes128;
+pub use aes::Aes128Reference;
 pub use counter::{LineCounter, COUNTER_BITS, COUNTER_MAX};
+pub use dispatch::{portable_only, set_portable_only, Aes128, AesBackend};
 pub use engine::{
     aes_line_energy_pj, CounterModeEngine, DirectEngine, AES_BLOCK_ENERGY_PJ, AES_LINE_LATENCY_NS,
     OTP_XOR_LATENCY_NS,

@@ -29,16 +29,20 @@
 //! assert_eq!(hasher.cost().latency_ns, 15);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod crc32;
+#[cfg(target_arch = "x86_64")]
+mod crc32_hw;
 mod md5;
+mod portable;
 mod sha1;
 mod traits;
 
-pub use crc32::{Crc32, Crc32c};
+pub use crc32::{Crc32, Crc32c, CrcBackend};
 pub use md5::{md5_digest, Md5};
+pub use portable::{portable_only, set_portable_only};
 pub use sha1::{sha1_digest, Sha1};
 pub use traits::{HashAlgorithm, HashCost, LineHasher};
 
