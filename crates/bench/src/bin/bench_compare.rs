@@ -11,10 +11,17 @@
 //! * **per-stage mean timings** of any (app, scheme) row.
 //!
 //! Usage:
-//!   bench_compare OLD/runs.json NEW/runs.json [--tolerance PCT]
+//!   bench_compare OLD/runs.json NEW/runs.json [--tolerance PCT] [--allow-missing]
 //!
 //! Tolerance defaults to 2% — simulated ns are deterministic, so any drift
 //! beyond float-formatting noise is a real behavior change.
+//!
+//! An app or (app, scheme) row present in only one of the two files is
+//! reported in both directions (dropped from NEW, or new in NEW with no
+//! OLD baseline) and fails the comparison, since a silently shrinking or
+//! incomparable matrix can mask regressions. Pass `--allow-missing` to
+//! downgrade those to warnings (e.g. when a PR intentionally adds or
+//! retires a workload).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -69,6 +76,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tolerance = 2.0f64;
+    let mut allow_missing = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
@@ -79,12 +87,16 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if a == "--allow-missing" {
+            allow_missing = true;
         } else {
             paths.push(a.clone());
         }
     }
     let [old_path, new_path] = paths.as_slice() else {
-        eprintln!("usage: bench_compare OLD/runs.json NEW/runs.json [--tolerance PCT]");
+        eprintln!(
+            "usage: bench_compare OLD/runs.json NEW/runs.json [--tolerance PCT] [--allow-missing]"
+        );
         return ExitCode::from(2);
     };
     let tol = tolerance / 100.0;
@@ -98,6 +110,7 @@ fn main() -> ExitCode {
     };
 
     let mut regressions: Vec<String> = Vec::new();
+    let mut missing: Vec<String> = Vec::new();
     let mut compared = 0usize;
 
     // Headline: per-app write speedup must not shrink.
@@ -105,7 +118,7 @@ fn main() -> ExitCode {
     let new_speedups = speedups(&new);
     for (app, old_s) in &old_speedups {
         let Some(new_s) = new_speedups.get(app) else {
-            regressions.push(format!("{app}: speedup row missing from {new_path}"));
+            missing.push(format!("{app}: speedup row missing from {new_path}"));
             continue;
         };
         compared += 1;
@@ -116,13 +129,27 @@ fn main() -> ExitCode {
             ));
         }
     }
+    for app in new_speedups.keys() {
+        if !old_speedups.contains_key(app) {
+            missing.push(format!(
+                "{app}: present only in {new_path} — no {old_path} baseline to compare"
+            ));
+        }
+    }
 
     // Per-row: p99 write latency and per-stage means must not grow.
     let old_rows = index(&old);
     let new_rows = index(&new);
+    for key @ (app, scheme) in new_rows.keys() {
+        if !old_rows.contains_key(key) {
+            missing.push(format!(
+                "{app}/{scheme}: present only in {new_path} — no {old_path} baseline to compare"
+            ));
+        }
+    }
     for ((app, scheme), o) in &old_rows {
         let Some(n) = new_rows.get(&(app.clone(), scheme.clone())) else {
-            regressions.push(format!("{app}/{scheme}: row missing from {new_path}"));
+            missing.push(format!("{app}/{scheme}: row missing from {new_path}"));
             continue;
         };
         compared += 1;
@@ -151,13 +178,29 @@ fn main() -> ExitCode {
     }
 
     println!("compared {compared} rows at ±{tolerance}% tolerance");
-    if regressions.is_empty() {
+    if !missing.is_empty() {
+        let label = if allow_missing { "WARNING" } else { "MISSING" };
+        eprintln!("\n{} incomparable entr(ies):", missing.len());
+        for m in &missing {
+            eprintln!("  {label} {m}");
+        }
+        if allow_missing {
+            eprintln!("  (tolerated by --allow-missing)");
+        }
+    }
+    let missing_fails = !missing.is_empty() && !allow_missing;
+    if regressions.is_empty() && !missing_fails {
         println!("no regressions");
         ExitCode::SUCCESS
     } else {
-        eprintln!("\n{} regression(s):", regressions.len());
-        for r in &regressions {
-            eprintln!("  REGRESSION {r}");
+        if !regressions.is_empty() {
+            eprintln!("\n{} regression(s):", regressions.len());
+            for r in &regressions {
+                eprintln!("  REGRESSION {r}");
+            }
+        }
+        if missing_fails {
+            eprintln!("comparison matrices differ; pass --allow-missing if intentional");
         }
         ExitCode::FAILURE
     }

@@ -32,6 +32,7 @@ struct Options {
     persistence: MetadataPersistence,
     stt: bool,
     json: bool,
+    folded: bool,
 }
 
 impl Default for Options {
@@ -49,6 +50,7 @@ impl Default for Options {
             persistence: MetadataPersistence::BatteryBacked,
             stt: false,
             json: false,
+            folded: false,
         }
     }
 }
@@ -67,6 +69,9 @@ fn usage() -> ExitCode {
     eprintln!("  --persistence P     battery | write-through | epoch:N");
     eprintln!("  --stt               use STT-RAM timing instead of PCM");
     eprintln!("  --json              print the full report as JSON instead of text");
+    eprintln!(
+        "  --folded            print the stage breakdown as collapsed stacks (flamegraph.pl input)"
+    );
     ExitCode::FAILURE
 }
 
@@ -119,6 +124,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--stt" => o.stt = true,
             "--json" => o.json = true,
+            "--folded" => o.folded = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -262,7 +268,9 @@ fn main() -> ExitCode {
 
     match report {
         Ok(r) => {
-            if opts.json {
+            if opts.folded {
+                print!("{}", r.stage_breakdown.folded(&r.scheme));
+            } else if opts.json {
                 let mut j = r.to_json();
                 if let Json::Obj(fields) = &mut j {
                     fields.push(("dewrite_cache".into(), dewrite_cache.unwrap_or(Json::Null)));

@@ -48,3 +48,60 @@ fn repeated_fast_runs_are_identical() {
     let b = report_json(SchemeKind::DeWrite, false);
     assert_eq!(a, b);
 }
+
+// --- sharded engine: thread-count-independent determinism -----------------
+
+use dewrite_engine::{run as engine_run, EngineConfig, EngineRun};
+use dewrite_trace::{TraceGenerator, TraceRecord};
+
+/// A threaded engine run over a fixed mcf-shaped trace.
+fn engine_trace(ops: usize, seed: u64) -> (Vec<TraceRecord>, u64, u64) {
+    let mut profile = app_by_name("mcf").expect("known app");
+    profile.working_set_lines = 4096;
+    profile.content_pool_size = 128;
+    let mut gen = TraceGenerator::new(profile, 256, seed);
+    let lines = gen.required_lines();
+    let mut records = gen.warmup_records();
+    records.extend(gen.by_ref().take(ops));
+    let writes = records.iter().filter(|r| r.op.is_write()).count() as u64;
+    (records, lines, writes)
+}
+
+fn engine_go(records: &[TraceRecord], lines: u64, writes: u64, shards: usize) -> EngineRun {
+    let mut config = EngineConfig::for_workload(shards, 256, lines, writes);
+    config.scrub = true;
+    engine_run(&config, "mcf", records.to_vec())
+}
+
+#[test]
+fn engine_merged_report_is_bit_identical_across_threaded_runs() {
+    // Same seed + same shard count => the merged simulated RunReport must
+    // be bit-identical run to run, even though real threads race on wall
+    // time, queue occupancy, and interleaving.
+    let (records, lines, writes) = engine_trace(6000, SEED);
+    let a = engine_go(&records, lines, writes, 4);
+    let b = engine_go(&records, lines, writes, 4);
+    assert_eq!(a.merged, b.merged, "merged RunReport drifted across runs");
+    assert_eq!(
+        a.merged.to_json().to_string(),
+        b.merged.to_json().to_string(),
+        "serialized merged RunReport drifted across runs"
+    );
+}
+
+#[test]
+fn engine_scrub_finds_no_orphans_under_cross_thread_stress() {
+    // Hammer 8 shards with a dup-heavy trace, then audit every shard's
+    // tables: no orphaned counters, no dangling inverted rows, no leaked
+    // free-space bits.
+    let (records, lines, writes) = engine_trace(20_000, SEED ^ 0xBEEF);
+    let result = engine_go(&records, lines, writes, 8);
+    assert_eq!(result.ops, records.len() as u64, "ops were lost");
+    for shard in &result.shards {
+        match &shard.scrub {
+            Some(Ok(_)) => {}
+            Some(Err(e)) => panic!("shard {} failed scrub: {e}", shard.shard),
+            None => panic!("shard {} was not scrubbed", shard.shard),
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Golden-file test for `sim --folded`: the collapsed-stack export must be
+//! byte-stable for a fixed app/scheme/seed, and must parse as valid
+//! flamegraph.pl input (`frames... count`, count last on the line).
+
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/folded_mcf_dewrite.txt");
+
+fn run_folded(extra: &[&str]) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sim"));
+    cmd.args([
+        "--app", "mcf", "--writes", "5000", "--seed", "1", "--folded",
+    ]);
+    cmd.args(extra);
+    let out = cmd.output().expect("spawn sim");
+    assert!(
+        out.status.success(),
+        "sim failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn folded_output_matches_golden() {
+    let got = run_folded(&["--scheme", "dewrite"]);
+    assert_eq!(
+        got, GOLDEN,
+        "sim --folded drifted from the committed golden file; if the \
+         pipeline model changed intentionally, regenerate \
+         crates/bench/tests/golden/folded_mcf_dewrite.txt"
+    );
+}
+
+#[test]
+fn folded_output_is_valid_collapsed_stack_format() {
+    let got = run_folded(&["--scheme", "dewrite"]);
+    assert!(!got.is_empty());
+    for line in got.lines() {
+        // flamegraph.pl input: semicolon-separated frames, then a space
+        // and a numeric sample count as the final token.
+        let (stack, count) = line.rsplit_once(' ').expect("`stack count` shape");
+        assert!(
+            stack.contains(';'),
+            "expected root;stage frames in {line:?}"
+        );
+        count.parse::<u64>().expect("numeric sample count");
+    }
+}
+
+#[test]
+fn folded_omits_stages_that_never_occurred() {
+    // The CME baseline has no dedup pipeline, so its folded export must
+    // not fabricate digest/probe/compare/verify frames.
+    let got = run_folded(&["--scheme", "baseline"]);
+    assert!(!got.is_empty());
+    for absent in ["digest", "hash_probe", "compare", "verify_read"] {
+        assert!(
+            !got.contains(absent),
+            "baseline fabricated a {absent} frame:\n{got}"
+        );
+    }
+    assert!(got.contains(";encrypt "), "baseline still encrypts:\n{got}");
+}

@@ -85,6 +85,95 @@ impl RunReport {
             baseline.energy.total_pj() as f64,
         )
     }
+
+    /// Fold another report into this one, treating the two as **parallel
+    /// partitions of the same run** (engine shards): counters, latency
+    /// summaries, histograms, stages and energy add; `cycles` takes the
+    /// maximum (shards run concurrently, so elapsed time is the slowest
+    /// partition) and `ipc` is recomputed; `bit_flip_ratio` is weighted by
+    /// array writes; `dewrite` metrics add with accuracy weighted by
+    /// writes. `scheme`/`app` keep `self`'s labels.
+    ///
+    /// Every combining operation is exact integer/`u64` arithmetic except
+    /// the two weighted `f64` means, so folding shard reports **in a fixed
+    /// order** yields bit-identical results regardless of how the shards
+    /// were scheduled — the property the engine's determinism tests pin.
+    pub fn merge(&mut self, other: &RunReport) {
+        let self_writes = self.base.writes;
+        let other_writes = other.base.writes;
+
+        self.instructions += other.instructions;
+        self.cycles = if self.cycles >= other.cycles {
+            self.cycles
+        } else {
+            other.cycles
+        };
+        self.ipc = ratio(self.instructions as f64, self.cycles);
+
+        self.write_latency.merge(&other.write_latency);
+        self.write_latency_eliminated
+            .merge(&other.write_latency_eliminated);
+        self.write_latency_stored.merge(&other.write_latency_stored);
+        self.read_latency.merge(&other.read_latency);
+        self.write_critical.merge(&other.write_critical);
+        self.write_latency_hist.merge(&other.write_latency_hist);
+        self.read_latency_hist.merge(&other.read_latency_hist);
+        self.stage_breakdown.merge(&other.stage_breakdown);
+
+        self.base.writes += other.base.writes;
+        self.base.writes_eliminated += other.base.writes_eliminated;
+        self.base.reads += other.base.reads;
+        self.base.aes_line_ops += other.base.aes_line_ops;
+        self.base.hash_ops += other.base.hash_ops;
+        self.base.verify_reads += other.base.verify_reads;
+        self.base.meta_nvm_reads += other.base.meta_nvm_reads;
+        self.base.meta_nvm_writes += other.base.meta_nvm_writes;
+
+        self.energy.nvm_read_pj += other.energy.nvm_read_pj;
+        self.energy.nvm_write_pj += other.energy.nvm_write_pj;
+        self.energy.aes_pj += other.energy.aes_pj;
+        self.energy.dedup_pj += other.energy.dedup_pj;
+
+        let (a, b) = (self.nvm_data_writes, other.nvm_data_writes);
+        if a + b > 0 {
+            self.bit_flip_ratio =
+                (self.bit_flip_ratio * a as f64 + other.bit_flip_ratio * b as f64) / (a + b) as f64;
+        }
+        self.nvm_data_writes += other.nvm_data_writes;
+
+        self.dewrite = match (self.dewrite.take(), &other.dewrite) {
+            (Some(mut m), Some(o)) => {
+                m.dup_eliminated += o.dup_eliminated;
+                m.pna_skips += o.pna_skips;
+                m.pna_missed_dups += o.pna_missed_dups;
+                m.saturated_skips += o.saturated_skips;
+                m.false_matches += o.false_matches;
+                m.parallel_writes += o.parallel_writes;
+                m.direct_writes += o.direct_writes;
+                m.wasted_encryptions += o.wasted_encryptions;
+                m.saved_encryptions += o.saved_encryptions;
+                if self_writes + other_writes > 0 {
+                    m.predictor_accuracy = (m.predictor_accuracy * self_writes as f64
+                        + o.predictor_accuracy * other_writes as f64)
+                        / (self_writes + other_writes) as f64;
+                }
+                Some(m)
+            }
+            (slf, None) => slf,
+            (None, Some(o)) => Some(*o),
+        };
+    }
+
+    /// Fold per-shard reports into one aggregate, in input (shard) order.
+    /// Returns `None` for an empty slice.
+    pub fn merge_all<'a>(reports: impl IntoIterator<Item = &'a RunReport>) -> Option<RunReport> {
+        let mut it = reports.into_iter();
+        let mut merged = it.next()?.clone();
+        for r in it {
+            merged.merge(r);
+        }
+        Some(merged)
+    }
 }
 
 fn ratio(num: f64, den: f64) -> f64 {
@@ -125,6 +214,42 @@ mod tests {
         assert!((dewrite.write_speedup_vs(&baseline) - 4.0).abs() < 1e-12);
         assert!((dewrite.read_speedup_vs(&baseline) - 3.0).abs() < 1e-12);
         assert!((dewrite.relative_ipc_vs(&baseline) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_folds_partitions() {
+        let mut a = report(100, 50, 1.0);
+        a.instructions = 1_000;
+        a.cycles = 500.0;
+        a.nvm_data_writes = 40;
+        a.bit_flip_ratio = 0.5;
+        let mut b = report(300, 150, 1.0);
+        b.instructions = 3_000;
+        b.cycles = 1_500.0;
+        b.nvm_data_writes = 60;
+        b.bit_flip_ratio = 0.25;
+
+        a.merge(&b);
+        assert_eq!(a.base.writes, 200);
+        assert_eq!(a.base.writes_eliminated, 108);
+        assert_eq!(a.instructions, 4_000);
+        assert_eq!(a.cycles, 1_500.0, "parallel partitions: slowest wins");
+        assert!((a.ipc - 4_000.0 / 1_500.0).abs() < 1e-12);
+        assert_eq!(a.write_latency.count(), 2);
+        assert_eq!(a.write_latency.mean_ns(), 200.0);
+        assert_eq!(a.nvm_data_writes, 100);
+        assert!((a.bit_flip_ratio - 0.35).abs() < 1e-12, "write-weighted");
+    }
+
+    #[test]
+    fn merge_all_in_order_equals_pairwise() {
+        let shards: Vec<RunReport> = (1..=3u64).map(|i| report(i * 100, i * 10, 1.0)).collect();
+        let merged = RunReport::merge_all(&shards).expect("non-empty");
+        let mut manual = shards[0].clone();
+        manual.merge(&shards[1]);
+        manual.merge(&shards[2]);
+        assert_eq!(merged, manual);
+        assert_eq!(RunReport::merge_all([].iter()), None);
     }
 
     #[test]

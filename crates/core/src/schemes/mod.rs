@@ -92,7 +92,13 @@ pub struct BaseMetrics {
 }
 
 /// The secure-memory front-end interface all schemes share.
-pub trait SecureMemory {
+///
+/// `Send` is a supertrait: every scheme owns plain data (tables, device,
+/// caches) plus `Send` trait objects, so a controller instance can be
+/// moved onto a worker thread. Concurrency follows the shard-ownership
+/// model (one exclusive controller per shard thread, see `dewrite-engine`)
+/// rather than shared mutation — the API deliberately stays `&mut self`.
+pub trait SecureMemory: Send {
     /// Human-readable scheme name for reports.
     fn name(&self) -> String;
 

@@ -129,7 +129,10 @@ impl WriteEvent {
 
 /// Receiver for [`WriteEvent`]s, installed on a scheme via
 /// [`SecureMemory::set_event_sink`](crate::SecureMemory::set_event_sink).
-pub trait EventSink {
+///
+/// `Send` is a supertrait so schemes carrying a boxed sink stay `Send` and
+/// can be moved onto engine shard threads.
+pub trait EventSink: Send {
     /// Observe one write.
     fn record(&mut self, event: &WriteEvent);
 
@@ -182,6 +185,30 @@ impl StageBreakdown {
                 self.stages[stage as usize].record(ns);
             }
         }
+    }
+
+    /// Render the breakdown as collapsed-stack ("folded") text, the input
+    /// format of `inferno` / `flamegraph.pl`: one line per
+    /// `root;stage count`, where the sample count is the stage's **total
+    /// nanoseconds**, so frame widths are proportional to time spent.
+    /// Stages that never occurred are omitted; stages appear in pipeline
+    /// order. Deterministic for deterministic runs (simulated ns), so the
+    /// output is golden-file testable.
+    pub fn folded(&self, root: &str) -> String {
+        let mut out = String::new();
+        for stage in Stage::ALL {
+            let hist = self.stage(stage);
+            if hist.count() == 0 {
+                continue;
+            }
+            out.push_str(root);
+            out.push(';');
+            out.push_str(stage.name());
+            out.push(' ');
+            out.push_str(&hist.stats().total_ns().to_string());
+            out.push('\n');
+        }
+        out
     }
 
     /// Merge another breakdown into this one.

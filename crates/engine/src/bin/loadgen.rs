@@ -1,0 +1,372 @@
+//! `loadgen` — drive the sharded engine with closed- or open-loop clients
+//! and emit `BENCH_engine.json`.
+//!
+//! ```text
+//! loadgen --app mcf --shards 4 --ops 200k --check
+//! loadgen --apps mcf,lbm,gems --sweep 1,2,4,8 --out BENCH_engine.json
+//! loadgen --app vips --mode open --rate 500k --queue-depth 256
+//! ```
+//!
+//! For every app the tool always runs `--shards 1` first: that run's dedup
+//! rate is the **global** rate (one table sees all content), so each
+//! multi-shard run can report its digest-sharding cost
+//! (`dedup_delta_vs_global`). With `--check` it also scrubs every shard's
+//! tables after the drain and asserts the multi-shard speedup when the
+//! host has enough hardware parallelism.
+
+use std::process::ExitCode;
+
+use dewrite_core::Json;
+use dewrite_engine::{run, EngineConfig, EngineRun, Pacing};
+use dewrite_trace::{app_by_name, DupOracle, TraceGenerator, TraceRecord};
+
+const DEFAULT_KEY: [u8; 16] = *b"dewrite-repro-16";
+
+struct Options {
+    apps: Vec<String>,
+    ops: usize,
+    sweep: Vec<usize>,
+    mode: String,
+    rate: f64,
+    queue_depth: usize,
+    seed: u64,
+    ws_lines: u64,
+    pool: usize,
+    out: String,
+    check: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            apps: vec!["mcf".into()],
+            ops: 200_000,
+            sweep: vec![4],
+            mode: "closed".into(),
+            rate: 1_000_000.0,
+            queue_depth: 1024,
+            seed: 0xDE_17_17_E5,
+            ws_lines: 1 << 14,
+            pool: 1024,
+            out: "BENCH_engine.json".into(),
+            check: false,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: loadgen [options]");
+    eprintln!("  --app NAME        one workload (see trace apps) [mcf]");
+    eprintln!("  --apps A,B,C      several workloads");
+    eprintln!("  --ops N           operations per run; k/m suffixes ok [200k]");
+    eprintln!("  --shards N        shard count [4]");
+    eprintln!("  --sweep N,M,...   run several shard counts");
+    eprintln!("  --mode M          closed | open [closed]");
+    eprintln!("  --rate R          open-loop issue rate, ops/s; k/m ok [1m]");
+    eprintln!("  --queue-depth N   bounded per-shard queue capacity [1024]");
+    eprintln!("  --seed N          trace RNG seed");
+    eprintln!("  --lines N         working-set lines; k/m ok [16k]");
+    eprintln!("  --pool N          recurring-content pool size [1024]");
+    eprintln!("  --out PATH        JSON output path [BENCH_engine.json]");
+    eprintln!("  --check           scrub every shard + assert multi-shard speedup");
+    ExitCode::from(2)
+}
+
+/// Parse `200`, `200k`, `2m` into a count.
+fn parse_count(v: &str) -> Result<u64, String> {
+    let (digits, mult) = match v.as_bytes().last() {
+        Some(b'k') | Some(b'K') => (&v[..v.len() - 1], 1_000),
+        Some(b'm') | Some(b'M') => (&v[..v.len() - 1], 1_000_000),
+        _ => (v, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|n| n * mult)
+        .map_err(|e| format!("{v}: {e}"))
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg.as_str() {
+            "--app" => o.apps = vec![value()?],
+            "--apps" => o.apps = value()?.split(',').map(str::to_string).collect(),
+            "--ops" => o.ops = parse_count(&value()?)? as usize,
+            "--shards" => o.sweep = vec![value()?.parse().map_err(|e| format!("--shards: {e}"))?],
+            "--sweep" => {
+                o.sweep = value()?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("--sweep: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--mode" => o.mode = value()?,
+            "--rate" => o.rate = parse_count(&value()?)? as f64,
+            "--queue-depth" => {
+                o.queue_depth = value()?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?
+            }
+            "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--lines" => o.ws_lines = parse_count(&value()?)?,
+            "--pool" => o.pool = value()?.parse().map_err(|e| format!("--pool: {e}"))?,
+            "--out" => o.out = value()?,
+            "--check" => o.check = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if o.sweep.is_empty() || o.sweep.iter().any(|&s| s == 0 || s > 16) {
+        return Err("shard counts must be in 1..=16".into());
+    }
+    if o.mode != "closed" && o.mode != "open" {
+        return Err(format!("unknown mode {:?}", o.mode));
+    }
+    if o.apps.is_empty() {
+        return Err("need at least one app".into());
+    }
+    Ok(o)
+}
+
+struct AppTrace {
+    records: Vec<TraceRecord>,
+    lines: u64,
+    writes: u64,
+    oracle_dup_ratio: f64,
+}
+
+/// Generate one app's trace (warmup + `ops` records) and its ground-truth
+/// duplication ratio.
+fn generate(app: &str, o: &Options) -> Option<AppTrace> {
+    let mut profile = app_by_name(app)?;
+    profile.working_set_lines = o.ws_lines;
+    profile.content_pool_size = o.pool;
+    let mut gen = TraceGenerator::new(profile, 256, o.seed);
+    let lines = gen.required_lines();
+    let mut oracle = DupOracle::new();
+    let mut records = gen.warmup_records();
+    for rec in &records {
+        oracle.observe_warmup(rec);
+    }
+    for rec in gen.by_ref().take(o.ops) {
+        oracle.observe(&rec);
+        records.push(rec);
+    }
+    let writes = records.iter().filter(|r| r.op.is_write()).count() as u64;
+    Some(AppTrace {
+        records,
+        lines,
+        writes,
+        oracle_dup_ratio: oracle.stats().dup_ratio(),
+    })
+}
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+fn flt(f: f64) -> Json {
+    Json::Num(f)
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+fn run_json(engine_run: &EngineRun, global_rate: f64) -> Json {
+    let host = engine_run.host_latency();
+    let m = &engine_run.merged;
+    let per_shard: Vec<Json> = engine_run
+        .shards
+        .iter()
+        .map(|s| {
+            let mut fields = vec![
+                ("shard", num(s.shard as u64)),
+                ("ops", num(s.ops)),
+                ("dedup_rate", flt(s.dedup_rate)),
+                ("queue_depth_peak", num(s.queue_depth_peak as u64)),
+                ("queue_depth_mean", flt(s.queue_depth_mean)),
+            ];
+            if let Some(Ok(checked)) = &s.scrub {
+                fields.push(("scrub_lines", num(*checked)));
+            }
+            obj(fields)
+        })
+        .collect();
+    obj(vec![
+        ("shards", num(engine_run.shards.len() as u64)),
+        ("ops", num(engine_run.ops)),
+        ("wall_ms", flt(engine_run.wall_ns as f64 / 1e6)),
+        ("ops_per_sec", flt(engine_run.ops_per_sec())),
+        ("host_p50_ns", num(host.p50_ns())),
+        ("host_p95_ns", num(host.p95_ns())),
+        ("host_p99_ns", num(host.p99_ns())),
+        ("dedup_rate", flt(engine_run.dedup_rate())),
+        (
+            "dedup_delta_vs_global",
+            flt(engine_run.dedup_rate() - global_rate),
+        ),
+        (
+            "sim",
+            obj(vec![
+                ("writes", num(m.base.writes)),
+                ("writes_eliminated", num(m.base.writes_eliminated)),
+                ("reads", num(m.base.reads)),
+                ("nvm_data_writes", num(m.nvm_data_writes)),
+                ("aes_line_ops", num(m.base.aes_line_ops)),
+                ("verify_reads", num(m.base.verify_reads)),
+                ("write_mean_ns", flt(m.write_latency.mean_ns())),
+                ("write_p99_ns", num(m.write_latency_hist.p99_ns())),
+                (
+                    "predictor_accuracy",
+                    flt(m.dewrite.map_or(0.0, |d| d.predictor_accuracy)),
+                ),
+            ]),
+        ),
+        ("per_shard", Json::Arr(per_shard)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            return usage();
+        }
+    };
+
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Always measure shards=1 first: the global-dedup baseline and the
+    // speedup denominator.
+    let mut sweep = o.sweep.clone();
+    if !sweep.contains(&1) {
+        sweep.insert(0, 1);
+    }
+    sweep.sort_unstable();
+    sweep.dedup();
+
+    let pacing = if o.mode == "open" {
+        Pacing::Open {
+            ops_per_sec: o.rate,
+        }
+    } else {
+        Pacing::Closed
+    };
+
+    let mut app_objs: Vec<Json> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    for app in &o.apps {
+        let Some(trace) = generate(app, &o) else {
+            eprintln!("unknown application {app:?}");
+            return usage();
+        };
+        println!(
+            "{app}: {} ops ({} writes), oracle dup ratio {:.3}",
+            trace.records.len(),
+            trace.writes,
+            trace.oracle_dup_ratio
+        );
+
+        let mut global_rate = 0.0;
+        let mut single_ops_per_sec = 0.0;
+        let mut runs: Vec<Json> = Vec::new();
+        for &shards in &sweep {
+            let mut config = EngineConfig::for_workload(shards, 256, trace.lines, trace.writes);
+            config.queue_depth = o.queue_depth;
+            config.key = DEFAULT_KEY;
+            config.pacing = pacing;
+            config.scrub = o.check;
+            let result = run(&config, app, trace.records.clone());
+            if shards == 1 {
+                global_rate = result.dedup_rate();
+                single_ops_per_sec = result.ops_per_sec();
+            }
+            println!(
+                "  shards={shards:<2} {:>10.0} ops/s  dedup {:.3} (delta {:+.4})  p99 {} ns",
+                result.ops_per_sec(),
+                result.dedup_rate(),
+                result.dedup_rate() - global_rate,
+                result.host_latency().p99_ns(),
+            );
+            for s in &result.shards {
+                if let Some(Err(e)) = &s.scrub {
+                    failures.push(format!("{app}: shard {} scrub failed: {e}", s.shard));
+                }
+            }
+            if o.check && shards >= 4 {
+                let speedup = result.ops_per_sec() / single_ops_per_sec;
+                if parallelism >= 4 {
+                    if speedup < 1.5 {
+                        failures.push(format!(
+                            "{app}: {shards}-shard throughput only {speedup:.2}x of 1-shard \
+                             (need >= 1.5x on a {parallelism}-way host)"
+                        ));
+                    }
+                } else {
+                    println!(
+                        "  (skipping {shards}-shard speedup assertion: \
+                         available_parallelism={parallelism})"
+                    );
+                }
+            }
+            runs.push(run_json(&result, global_rate));
+        }
+        app_objs.push(obj(vec![
+            ("app", Json::Str(app.clone())),
+            ("trace_ops", num(trace.records.len() as u64)),
+            ("trace_writes", num(trace.writes)),
+            ("oracle_dup_ratio", flt(trace.oracle_dup_ratio)),
+            ("global_dedup_rate", flt(global_rate)),
+            ("runs", Json::Arr(runs)),
+        ]));
+    }
+
+    let doc = obj(vec![
+        ("schema_version", num(1)),
+        ("tool", Json::Str("loadgen".into())),
+        (
+            "config",
+            obj(vec![
+                ("ops", num(o.ops as u64)),
+                ("working_set_lines", num(o.ws_lines)),
+                ("content_pool", num(o.pool as u64)),
+                ("queue_depth", num(o.queue_depth as u64)),
+                ("mode", Json::Str(o.mode.clone())),
+                ("rate_ops_per_sec", flt(o.rate)),
+                ("seed", num(o.seed)),
+                (
+                    "sweep",
+                    Json::Arr(sweep.iter().map(|&s| num(s as u64)).collect()),
+                ),
+                ("check", Json::Bool(o.check)),
+            ]),
+        ),
+        ("available_parallelism", num(parallelism as u64)),
+        ("apps", Json::Arr(app_objs)),
+    ]);
+    if let Err(e) = std::fs::write(&o.out, format!("{doc}\n")) {
+        eprintln!("error: writing {}: {e}", o.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", o.out);
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\n{} check failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,420 @@
+//! The sharded memory-controller service: request routing, bounded
+//! per-shard queues with back-pressure, worker lifecycle, and the
+//! deterministic report merge.
+//!
+//! # Concurrency model
+//!
+//! One producer (the caller's thread) routes each trace record to its
+//! owning shard (`addr mod shards`) and pushes it onto that shard's
+//! bounded [`ArrayQueue`]; a full queue exerts **back-pressure** (the
+//! producer spins-then-yields until a slot frees). One worker thread per
+//! shard owns its [`ShardController`] exclusively and drains its queue.
+//! Queue pops are lock-free CAS operations and FSM allocation inside the
+//! controller is an atomic-bitmap word scan — no mutex anywhere on the
+//! hot path.
+//!
+//! # Determinism
+//!
+//! The producer preserves trace order, so each shard receives its
+//! subsequence of the trace in order regardless of scheduling; each
+//! shard's simulated [`RunReport`] is therefore a pure function of
+//! `(trace, seed, shard count)`. Folding the per-shard reports **in shard
+//! order** ([`RunReport::merge_all`]) yields a bit-identical merged
+//! report across repeated multi-threaded runs. Host-side measurements
+//! (wall clock, queue depths, host latency percentiles) are inherently
+//! non-deterministic and are kept in [`ShardSummary`] / [`EngineRun`]
+//! fields separate from the merged simulated report.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam_queue::ArrayQueue;
+use dewrite_core::tables::MAX_REFERENCE;
+use dewrite_core::RunReport;
+use dewrite_mem::LatencyHistogram;
+use dewrite_trace::{shard_of_line, TraceOp, TraceRecord};
+
+use crate::shard::ShardController;
+
+/// How the producer issues requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pacing {
+    /// Closed loop: issue as fast as the queues accept (back-pressure
+    /// bounds the in-flight window to the queue depth).
+    Closed,
+    /// Open loop: issue on a fixed schedule of `ops_per_sec`, independent
+    /// of service rate (queue back-pressure still blocks when full).
+    Open {
+        /// Target issue rate, operations per second.
+        ops_per_sec: f64,
+    },
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of controller shards (and worker threads).
+    pub shards: usize,
+    /// Line size in bytes.
+    pub line_size: usize,
+    /// Global workload-visible line space.
+    pub lines: u64,
+    /// Arena slots per shard (owned lines + saturated-residue slack).
+    pub slots_per_shard: u64,
+    /// Bounded request-queue capacity per shard.
+    pub queue_depth: usize,
+    /// Memory-encryption key.
+    pub key: [u8; 16],
+    /// Producer pacing mode.
+    pub pacing: Pacing,
+    /// Run a full cross-table [`ShardController::scrub`] on every shard
+    /// after the drain.
+    pub scrub: bool,
+}
+
+impl EngineConfig {
+    /// A closed-loop config sized for a workload of `lines` addressable
+    /// lines and about `expected_writes` writes: each shard gets its share
+    /// of the line space plus slack for copies stranded by reference
+    /// saturation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `lines` is zero.
+    pub fn for_workload(shards: usize, line_size: usize, lines: u64, expected_writes: u64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(lines > 0, "need a non-empty line space");
+        let owned = lines / shards as u64 + 1;
+        // Saturated entries strand one extra copy per MAX_REFERENCE dups;
+        // double the even-split estimate to absorb content skew.
+        let slack = 2 * expected_writes / (u64::from(MAX_REFERENCE) * shards as u64) + 64;
+        EngineConfig {
+            shards,
+            line_size,
+            lines,
+            slots_per_shard: owned + slack,
+            queue_depth: 1024,
+            key: *b"dewrite-repro-16",
+            pacing: Pacing::Closed,
+            scrub: false,
+        }
+    }
+}
+
+/// One queued request: a trace record plus its issue timestamp (ns since
+/// run start) for host-latency accounting.
+#[derive(Debug)]
+pub struct Request {
+    /// The operation.
+    pub rec: TraceRecord,
+    /// Nanoseconds since run start when the producer issued it.
+    pub issued_ns: u64,
+}
+
+/// Everything one shard produced.
+#[derive(Debug)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: usize,
+    /// Operations this shard processed.
+    pub ops: u64,
+    /// This shard's local dedup rate (eliminated / writes).
+    pub dedup_rate: f64,
+    /// The shard's simulated report (deterministic).
+    pub report: RunReport,
+    /// Host-side issue → completion latency (non-deterministic).
+    pub host_latency: LatencyHistogram,
+    /// Peak observed queue depth, including the popped request.
+    pub queue_depth_peak: usize,
+    /// Mean residual queue depth observed at each pop.
+    pub queue_depth_mean: f64,
+    /// Post-run scrub outcome, when requested: resident lines checked.
+    pub scrub: Option<Result<u64, String>>,
+}
+
+/// The result of one engine run.
+#[derive(Debug)]
+pub struct EngineRun {
+    /// Per-shard reports folded in shard order (deterministic).
+    pub merged: RunReport,
+    /// Per-shard detail, in shard order.
+    pub shards: Vec<ShardSummary>,
+    /// Wall-clock duration of the run, ns (non-deterministic).
+    pub wall_ns: u64,
+    /// Total operations processed.
+    pub ops: u64,
+}
+
+impl EngineRun {
+    /// Host throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// The merged dedup rate (eliminated / writes) across all shards.
+    pub fn dedup_rate(&self) -> f64 {
+        self.merged.write_reduction()
+    }
+
+    /// Host latency across all shards (issue → completion).
+    pub fn host_latency(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::new();
+        for s in &self.shards {
+            all.merge(&s.host_latency);
+        }
+        all
+    }
+}
+
+/// Spin briefly, then yield: progress even on a single hardware thread.
+fn backoff(spins: &mut u32) {
+    if *spins < 64 {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Run `records` through `config.shards` controller shards and fold the
+/// results.
+///
+/// # Panics
+///
+/// Panics if a shard worker panics (e.g. arena exhaustion) or the config
+/// is invalid.
+pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> EngineRun {
+    let shards = config.shards;
+    assert!(shards > 0, "need at least one shard");
+    assert!(
+        config.queue_depth > 0,
+        "queues must hold at least one request"
+    );
+
+    let queues: Vec<Arc<ArrayQueue<Request>>> = (0..shards)
+        .map(|_| Arc::new(ArrayQueue::new(config.queue_depth)))
+        .collect();
+    let done = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let total_ops = records.len() as u64;
+
+    let mut summaries: Vec<ShardSummary> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|id| {
+                let queue = Arc::clone(&queues[id]);
+                let done = Arc::clone(&done);
+                let mut ctrl = ShardController::new(
+                    id,
+                    shards,
+                    config.slots_per_shard,
+                    config.line_size,
+                    &config.key,
+                );
+                let want_scrub = config.scrub;
+                let app = app.to_string();
+                scope.spawn(move || {
+                    let mut host = LatencyHistogram::new();
+                    let mut peak = 0usize;
+                    let mut depth_sum = 0u64;
+                    let mut samples = 0u64;
+                    let mut spins = 0u32;
+                    loop {
+                        match queue.pop() {
+                            Some(req) => {
+                                spins = 0;
+                                let residual = queue.len();
+                                peak = peak.max(residual + 1);
+                                depth_sum += residual as u64;
+                                samples += 1;
+                                match &req.rec.op {
+                                    TraceOp::Write { addr, data } => {
+                                        ctrl.write(*addr, data, req.rec.gap_instructions);
+                                    }
+                                    TraceOp::Read { addr } => {
+                                        ctrl.read(*addr, req.rec.gap_instructions);
+                                    }
+                                }
+                                let now = start.elapsed().as_nanos() as u64;
+                                host.record(now.saturating_sub(req.issued_ns));
+                            }
+                            None => {
+                                if done.load(Ordering::Acquire) && queue.is_empty() {
+                                    break;
+                                }
+                                backoff(&mut spins);
+                            }
+                        }
+                    }
+                    let scrub = want_scrub.then(|| ctrl.scrub());
+                    ShardSummary {
+                        shard: id,
+                        ops: ctrl.ops(),
+                        dedup_rate: ctrl.dedup_rate(),
+                        report: ctrl.report(&app),
+                        host_latency: host,
+                        queue_depth_peak: peak,
+                        queue_depth_mean: if samples == 0 {
+                            0.0
+                        } else {
+                            depth_sum as f64 / samples as f64
+                        },
+                        scrub,
+                    }
+                })
+            })
+            .collect();
+
+        // Single producer: routes in trace order, so every shard sees its
+        // subsequence in order (the determinism invariant).
+        for (issued, rec) in records.into_iter().enumerate() {
+            if let Pacing::Open { ops_per_sec } = config.pacing {
+                let target_ns = (issued as f64 / ops_per_sec * 1e9) as u64;
+                let mut spins = 0u32;
+                while (start.elapsed().as_nanos() as u64) < target_ns {
+                    backoff(&mut spins);
+                }
+            }
+            let shard = shard_of_line(rec.op.addr(), shards);
+            let mut req = Request {
+                rec,
+                issued_ns: start.elapsed().as_nanos() as u64,
+            };
+            let mut spins = 0u32;
+            loop {
+                match queues[shard].push(req) {
+                    Ok(()) => break,
+                    // Full queue: closed-loop back-pressure.
+                    Err(back) => {
+                        req = back;
+                        backoff(&mut spins);
+                    }
+                }
+            }
+        }
+        done.store(true, Ordering::Release);
+
+        for h in handles {
+            summaries.push(h.join().expect("shard worker panicked"));
+        }
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    // Fold in fixed shard order: bit-identical regardless of scheduling.
+    summaries.sort_by_key(|s| s.shard);
+    let merged =
+        RunReport::merge_all(summaries.iter().map(|s| &s.report)).expect("at least one shard");
+    let processed: u64 = summaries.iter().map(|s| s.ops).sum();
+    assert_eq!(processed, total_ops, "no request may be lost");
+    EngineRun {
+        merged,
+        shards: summaries,
+        wall_ns,
+        ops: total_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dewrite_trace::{app_by_name, TraceGenerator};
+
+    /// A small mcf-derived trace (warmup + `ops` records) and the line
+    /// space it needs.
+    fn trace(ops: usize, ws_lines: u64, seed: u64) -> (Vec<TraceRecord>, u64) {
+        let mut profile = app_by_name("mcf").expect("known app");
+        profile.working_set_lines = ws_lines;
+        profile.content_pool_size = 64;
+        let mut gen = TraceGenerator::new(profile, 256, seed);
+        let lines = gen.required_lines();
+        let mut records = gen.warmup_records();
+        records.extend(gen.by_ref().take(ops));
+        (records, lines)
+    }
+
+    fn config_for(shards: usize, lines: u64, total_ops: usize) -> EngineConfig {
+        EngineConfig::for_workload(shards, 256, lines, total_ops as u64)
+    }
+
+    #[test]
+    fn all_ops_are_processed_across_shards() {
+        let (records, lines) = trace(2_000, 512, 7);
+        let total = records.len();
+        let mut config = config_for(4, lines, total);
+        config.scrub = true;
+        let run = run(&config, "mcf", records);
+        assert_eq!(run.ops, total as u64);
+        assert_eq!(run.shards.len(), 4);
+        assert_eq!(run.merged.base.writes + run.merged.base.reads, total as u64);
+        for s in &run.shards {
+            assert!(s.queue_depth_peak <= config.queue_depth);
+            match &s.scrub {
+                Some(Ok(_)) => {}
+                other => panic!("shard {} scrub: {other:?}", s.shard),
+            }
+        }
+    }
+
+    #[test]
+    fn merged_report_is_deterministic_across_runs() {
+        let (records, lines) = trace(1_500, 256, 11);
+        let config = config_for(3, lines, records.len());
+        let a = run(&config, "mcf", records.clone());
+        let b = run(&config, "mcf", records);
+        assert_eq!(a.merged, b.merged, "same seed + shards => identical merge");
+        assert_eq!(
+            a.merged.to_json().to_string(),
+            b.merged.to_json().to_string()
+        );
+    }
+
+    #[test]
+    fn single_shard_matches_sequential_controller() {
+        let (records, lines) = trace(1_000, 128, 3);
+        let config = config_for(1, lines, records.len());
+        let threaded = run(&config, "mcf", records.clone());
+
+        let mut ctrl = ShardController::new(0, 1, config.slots_per_shard, 256, &config.key);
+        for rec in &records {
+            match &rec.op {
+                TraceOp::Write { addr, data } => {
+                    ctrl.write(*addr, data, rec.gap_instructions);
+                }
+                TraceOp::Read { addr } => {
+                    ctrl.read(*addr, rec.gap_instructions);
+                }
+            }
+        }
+        assert_eq!(threaded.merged, ctrl.report("mcf"));
+    }
+
+    #[test]
+    fn open_loop_pacing_completes() {
+        let (records, lines) = trace(300, 128, 5);
+        let total = records.len();
+        let mut config = config_for(2, lines, total);
+        config.pacing = Pacing::Open {
+            ops_per_sec: 2_000_000.0,
+        };
+        let run = run(&config, "mcf", records);
+        assert_eq!(run.ops, total as u64);
+    }
+
+    #[test]
+    fn tiny_queue_exerts_back_pressure_without_loss() {
+        let (records, lines) = trace(1_000, 128, 9);
+        let total = records.len();
+        let mut config = config_for(2, lines, total);
+        config.queue_depth = 2;
+        let run = run(&config, "mcf", records);
+        assert_eq!(run.ops, total as u64);
+        for s in &run.shards {
+            assert!(s.queue_depth_peak <= 2);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! `dewrite-engine`: a sharded, multi-threaded memory-controller service
+//! over the DeWrite dedup pipeline.
+//!
+//! The paper models one memory controller; production-scale encrypted NVMM
+//! needs several operating concurrently. This crate partitions the line
+//! space across N controller shards by address interleaving. Each
+//! [`ShardController`] exclusively owns its slice's dedup state — hash +
+//! inverted-hash tables (implicitly sharded by digest, since a digest only
+//! lands where its address routed), address map + colocated CME counters
+//! (sharded by line address), a metadata cache, a 3-bit predictor, and a
+//! lock-free atomic-bitmap free-space map — so shards never share mutable
+//! state and never take a lock.
+//!
+//! Work arrives through bounded per-shard MPSC queues with back-pressure
+//! ([`run`]); per-shard simulated reports fold into one deterministic
+//! aggregate via `RunReport::merge_all`. The `loadgen` binary drives
+//! closed- and open-loop clients against 1..=16 shards and emits
+//! `BENCH_engine.json`, including the **digest-sharding cost**: a shard
+//! only dedups against content written through it, so the sharded dedup
+//! rate trails the global (1-shard) rate; the delta is reported per app.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod shard;
+
+pub use engine::{run, EngineConfig, EngineRun, Pacing, Request, ShardSummary};
+pub use shard::{ShardController, ShardWrite, MAX_CANDIDATE_COMPARES};

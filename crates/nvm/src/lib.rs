@@ -11,6 +11,9 @@
 //!   elimination relieves;
 //! * **asymmetric timing** — 75 ns reads vs 300 ns writes ([`Timing::PCM`]),
 //!   the property that makes "confirm a duplicate by reading it" cheap;
+//! * **lock-free free-space words** — an atomic one-bit-per-line bitmap
+//!   with `fetch_or`/`fetch_and` claim and release, the allocation
+//!   substrate of the sharded engine ([`AtomicBitmap`]);
 //! * **wear tracking** — per-line write counts and programmed-bit counts
 //!   ([`WearTracker`]) for the endurance results;
 //! * **energy accounting** — per-flipped-bit write energy and a bucketed
@@ -38,6 +41,7 @@ mod bank;
 mod config;
 mod device;
 mod energy;
+mod fsm_atomic;
 mod line;
 mod timing;
 mod wear;
@@ -47,6 +51,7 @@ pub use bank::{Bank, BankSet, BankSlot};
 pub use config::NvmConfig;
 pub use device::{Access, NvmDevice, NvmError};
 pub use energy::{EnergyBreakdown, EnergyParams};
+pub use fsm_atomic::AtomicBitmap;
 pub use line::{bit_flips, is_zero_line, LineAddr, DEFAULT_LINE_SIZE};
 pub use timing::Timing;
 pub use wear::WearTracker;

@@ -36,6 +36,7 @@
 mod analysis;
 mod apps;
 mod generator;
+mod partition;
 mod profile;
 mod record;
 mod zipf;
@@ -43,6 +44,7 @@ mod zipf;
 pub use analysis::{analyze, DupOracle, DupStats};
 pub use apps::{all_apps, app_by_name, worst_case, PARSEC_APPS, SPEC_APPS};
 pub use generator::TraceGenerator;
+pub use partition::{partition_records, shard_of_line};
 pub use profile::{AppProfile, Suite};
 pub use record::{TraceOp, TraceReader, TraceRecord, TraceWriter, TRACE_MAGIC, TRACE_VERSION};
 pub use zipf::Zipf;
