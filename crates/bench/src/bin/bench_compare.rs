@@ -12,9 +12,18 @@
 //!
 //! Usage:
 //!   bench_compare OLD/runs.json NEW/runs.json [--tolerance PCT] [--allow-missing]
+//!   bench_compare OLD/BENCH_engine.json NEW/BENCH_engine.json [--tolerance PCT]
 //!
-//! Tolerance defaults to 2% — simulated ns are deterministic, so any drift
-//! beyond float-formatting noise is a real behavior change.
+//! When both inputs are `loadgen` exports (a top-level object with
+//! `"tool": "loadgen"`) the tool switches to **engine mode**: for every
+//! (app, shard count) row it requires the new `ops_per_sec` to stay above
+//! `old * (1 - tol)` and the new `host_p99_ns` to stay below
+//! `old * (1 + tol)`. Engine numbers are host wall clock, so the default
+//! tolerance is a loose 15% there.
+//!
+//! In simulated mode tolerance defaults to 2% — simulated ns are
+//! deterministic, so any drift beyond float-formatting noise is a real
+//! behavior change. Mixing one export of each kind is an error.
 //!
 //! An app or (app, scheme) row present in only one of the two files is
 //! reported in both directions (dropped from NEW, or new in NEW with no
@@ -28,15 +37,70 @@ use std::process::ExitCode;
 
 use dewrite_core::{Json, RunReport, Stage};
 
-fn load(path: &str) -> Result<Vec<RunReport>, String> {
+fn load_json(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_reports(path: &str, json: &Json) -> Result<Vec<RunReport>, String> {
     let arr = json
         .as_arr()
-        .ok_or_else(|| format!("{path}: not an array"))?;
+        .ok_or_else(|| format!("{path}: not an array (nor a loadgen export)"))?;
     arr.iter()
         .map(|j| RunReport::from_json(j).map_err(|e| format!("{path}: {e}")))
         .collect()
+}
+
+/// Is this a `loadgen` engine export rather than a `RunReport` array?
+fn is_engine_export(json: &Json) -> bool {
+    json.get("tool").and_then(Json::as_str) == Some("loadgen")
+}
+
+/// One engine-mode comparison row: host throughput and tail latency.
+struct EngineRow {
+    ops_per_sec: f64,
+    host_p99_ns: u64,
+}
+
+/// Flatten a loadgen export into (app, shards) → row.
+fn engine_rows(path: &str, json: &Json) -> Result<BTreeMap<(String, u64), EngineRow>, String> {
+    let apps = json
+        .get("apps")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: loadgen export has no `apps` array"))?;
+    let mut rows = BTreeMap::new();
+    for app_obj in apps {
+        let app = app_obj
+            .get("app")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: app entry without a name"))?;
+        let runs = app_obj
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}: {app}: no `runs` array"))?;
+        for run in runs {
+            let shards = run
+                .get("shards")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}: {app}: run without `shards`"))?;
+            let ops_per_sec = run
+                .get("ops_per_sec")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: {app}/{shards}: no `ops_per_sec`"))?;
+            let host_p99_ns = run
+                .get("host_p99_ns")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}: {app}/{shards}: no `host_p99_ns`"))?;
+            rows.insert(
+                (app.to_string(), shards),
+                EngineRow {
+                    ops_per_sec,
+                    host_p99_ns,
+                },
+            );
+        }
+    }
+    Ok(rows)
 }
 
 /// Key rows by (app, scheme); keep insertion-stable order via BTreeMap.
@@ -75,13 +139,13 @@ fn speedups(reports: &[RunReport]) -> BTreeMap<String, f64> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
-    let mut tolerance = 2.0f64;
+    let mut tolerance: Option<f64> = None;
     let mut allow_missing = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
             match it.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(t) => tolerance = t,
+                Some(t) => tolerance = Some(t),
                 None => {
                     eprintln!("--tolerance needs a numeric percentage");
                     return ExitCode::from(2);
@@ -99,80 +163,145 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     };
-    let tol = tolerance / 100.0;
-
-    let (old, new) = match (load(old_path), load(new_path)) {
+    let (old_json, new_json) = match (load_json(old_path), load_json(new_path)) {
         (Ok(o), Ok(n)) => (o, n),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    let engine_mode = is_engine_export(&old_json) || is_engine_export(&new_json);
+    if engine_mode && !(is_engine_export(&old_json) && is_engine_export(&new_json)) {
+        eprintln!("error: {old_path} and {new_path} are different export kinds");
+        return ExitCode::from(2);
+    }
+    // Host wall-clock numbers (engine mode) are far noisier than
+    // deterministic simulated ns.
+    let tolerance = tolerance.unwrap_or(if engine_mode { 15.0 } else { 2.0 });
+    let tol = tolerance / 100.0;
 
     let mut regressions: Vec<String> = Vec::new();
     let mut missing: Vec<String> = Vec::new();
     let mut compared = 0usize;
 
-    // Headline: per-app write speedup must not shrink.
-    let old_speedups = speedups(&old);
-    let new_speedups = speedups(&new);
-    for (app, old_s) in &old_speedups {
-        let Some(new_s) = new_speedups.get(app) else {
-            missing.push(format!("{app}: speedup row missing from {new_path}"));
-            continue;
-        };
-        compared += 1;
-        println!("{app:<16} write speedup {old_s:.3}x -> {new_s:.3}x");
-        if *new_s < old_s * (1.0 - tol) {
-            regressions.push(format!(
-                "{app}: write speedup regressed {old_s:.3}x -> {new_s:.3}x"
-            ));
-        }
-    }
-    for app in new_speedups.keys() {
-        if !old_speedups.contains_key(app) {
-            missing.push(format!(
-                "{app}: present only in {new_path} — no {old_path} baseline to compare"
-            ));
-        }
-    }
-
-    // Per-row: p99 write latency and per-stage means must not grow.
-    let old_rows = index(&old);
-    let new_rows = index(&new);
-    for key @ (app, scheme) in new_rows.keys() {
-        if !old_rows.contains_key(key) {
-            missing.push(format!(
-                "{app}/{scheme}: present only in {new_path} — no {old_path} baseline to compare"
-            ));
-        }
-    }
-    for ((app, scheme), o) in &old_rows {
-        let Some(n) = new_rows.get(&(app.clone(), scheme.clone())) else {
-            missing.push(format!("{app}/{scheme}: row missing from {new_path}"));
-            continue;
-        };
-        compared += 1;
-        let (op99, np99) = (o.write_latency_hist.p99_ns(), n.write_latency_hist.p99_ns());
-        if op99 > 0 && (np99 as f64) > (op99 as f64) * (1.0 + tol) {
-            regressions.push(format!(
-                "{app}/{scheme}: p99 write latency regressed {op99} ns -> {np99} ns"
-            ));
-        }
-        for stage in Stage::ALL {
-            let (os, ns) = (
-                o.stage_breakdown.stage(stage),
-                n.stage_breakdown.stage(stage),
-            );
-            if os.count() == 0 {
-                continue;
+    if engine_mode {
+        let (old_rows, new_rows) = match (
+            engine_rows(old_path, &old_json),
+            engine_rows(new_path, &new_json),
+        ) {
+            (Ok(o), Ok(n)) => (o, n),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
             }
-            let (om, nm) = (os.mean_ns(), ns.mean_ns());
-            if om > 0.0 && nm > om * (1.0 + tol) {
-                regressions.push(format!(
-                    "{app}/{scheme}: stage {} mean regressed {om:.1} ns -> {nm:.1} ns",
-                    stage.name()
+        };
+        for key @ (app, shards) in new_rows.keys() {
+            if !old_rows.contains_key(key) {
+                missing.push(format!(
+                    "{app}/{shards} shards: present only in {new_path} — \
+                     no {old_path} baseline to compare"
                 ));
+            }
+        }
+        for ((app, shards), o) in &old_rows {
+            let Some(n) = new_rows.get(&(app.clone(), *shards)) else {
+                missing.push(format!(
+                    "{app}/{shards} shards: row missing from {new_path}"
+                ));
+                continue;
+            };
+            compared += 1;
+            println!(
+                "{app:<12} shards={shards:<2} {:>11.0} -> {:>11.0} ops/s   p99 {} -> {} ns",
+                o.ops_per_sec, n.ops_per_sec, o.host_p99_ns, n.host_p99_ns
+            );
+            if n.ops_per_sec < o.ops_per_sec * (1.0 - tol) {
+                regressions.push(format!(
+                    "{app}/{shards} shards: throughput regressed {:.0} -> {:.0} ops/s",
+                    o.ops_per_sec, n.ops_per_sec
+                ));
+            }
+            if o.host_p99_ns > 0 && (n.host_p99_ns as f64) > (o.host_p99_ns as f64) * (1.0 + tol) {
+                regressions.push(format!(
+                    "{app}/{shards} shards: host p99 regressed {} -> {} ns",
+                    o.host_p99_ns, n.host_p99_ns
+                ));
+            }
+        }
+    } else {
+        let (old, new) = match (
+            load_reports(old_path, &old_json),
+            load_reports(new_path, &new_json),
+        ) {
+            (Ok(o), Ok(n)) => (o, n),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+
+        // Headline: per-app write speedup must not shrink.
+        let old_speedups = speedups(&old);
+        let new_speedups = speedups(&new);
+        for (app, old_s) in &old_speedups {
+            let Some(new_s) = new_speedups.get(app) else {
+                missing.push(format!("{app}: speedup row missing from {new_path}"));
+                continue;
+            };
+            compared += 1;
+            println!("{app:<16} write speedup {old_s:.3}x -> {new_s:.3}x");
+            if *new_s < old_s * (1.0 - tol) {
+                regressions.push(format!(
+                    "{app}: write speedup regressed {old_s:.3}x -> {new_s:.3}x"
+                ));
+            }
+        }
+        for app in new_speedups.keys() {
+            if !old_speedups.contains_key(app) {
+                missing.push(format!(
+                    "{app}: present only in {new_path} — no {old_path} baseline to compare"
+                ));
+            }
+        }
+
+        // Per-row: p99 write latency and per-stage means must not grow.
+        let old_rows = index(&old);
+        let new_rows = index(&new);
+        for key @ (app, scheme) in new_rows.keys() {
+            if !old_rows.contains_key(key) {
+                missing.push(format!(
+                    "{app}/{scheme}: present only in {new_path} — \
+                     no {old_path} baseline to compare"
+                ));
+            }
+        }
+        for ((app, scheme), o) in &old_rows {
+            let Some(n) = new_rows.get(&(app.clone(), scheme.clone())) else {
+                missing.push(format!("{app}/{scheme}: row missing from {new_path}"));
+                continue;
+            };
+            compared += 1;
+            let (op99, np99) = (o.write_latency_hist.p99_ns(), n.write_latency_hist.p99_ns());
+            if op99 > 0 && (np99 as f64) > (op99 as f64) * (1.0 + tol) {
+                regressions.push(format!(
+                    "{app}/{scheme}: p99 write latency regressed {op99} ns -> {np99} ns"
+                ));
+            }
+            for stage in Stage::ALL {
+                let (os, ns) = (
+                    o.stage_breakdown.stage(stage),
+                    n.stage_breakdown.stage(stage),
+                );
+                if os.count() == 0 {
+                    continue;
+                }
+                let (om, nm) = (os.mean_ns(), ns.mean_ns());
+                if om > 0.0 && nm > om * (1.0 + tol) {
+                    regressions.push(format!(
+                        "{app}/{scheme}: stage {} mean regressed {om:.1} ns -> {nm:.1} ns",
+                        stage.name()
+                    ));
+                }
             }
         }
     }

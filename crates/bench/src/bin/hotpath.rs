@@ -241,6 +241,32 @@ fn main() {
         );
     }
 
+    // --- 256 B verify compare (equal lines: the full-length worst case a
+    // --- confirmed duplicate pays) ---
+    let line_copy = line.clone();
+    push(
+        "compare_256B",
+        "seed",
+        256,
+        measure(budget_ns, || {
+            u64::from(dewrite_core::lines_equal_portable(
+                std::hint::black_box(&line),
+                std::hint::black_box(&line_copy),
+            ))
+        }),
+    );
+    push(
+        "compare_256B",
+        "fast",
+        256,
+        measure(budget_ns, || {
+            u64::from(dewrite_core::lines_equal_chunked(
+                std::hint::black_box(&line),
+                std::hint::black_box(&line_copy),
+            ))
+        }),
+    );
+
     // --- Headline speedups vs the seed engines ---
     let ns_of = |name: &str, engine: &str| {
         samples
@@ -268,10 +294,15 @@ fn main() {
         Some(seed) if crc_fast_ns.is_finite() => seed / crc_fast_ns,
         _ => 0.0,
     };
+    let compare_speedup = match (ns_of("compare_256B", "seed"), ns_of("compare_256B", "fast")) {
+        (Some(seed), Some(fast)) => seed / fast,
+        _ => 0.0,
+    };
 
     eprintln!();
     eprintln!("line_encrypt_256B speedup vs seed: {line_speedup:.2}x (target >= 3x)");
     eprintln!("crc_256B digest speedup vs seed:   {crc_speedup:.2}x (target >= 4x)");
+    eprintln!("compare_256B speedup vs seed:      {compare_speedup:.2}x");
 
     let report = Json::Obj(vec![
         ("schema_version".into(), Json::Num(1.0)),
@@ -296,6 +327,7 @@ fn main() {
             Json::Obj(vec![
                 ("line_encrypt_256B_vs_seed".into(), Json::Num(line_speedup)),
                 ("crc_256B_vs_seed".into(), Json::Num(crc_speedup)),
+                ("compare_256B_vs_seed".into(), Json::Num(compare_speedup)),
             ]),
         ),
     ]);

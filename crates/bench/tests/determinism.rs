@@ -90,6 +90,78 @@ fn engine_merged_report_is_bit_identical_across_threaded_runs() {
 }
 
 #[test]
+fn engine_merged_report_is_batch_and_producer_invariant() {
+    // With coalescing off, the simulated merge is a pure function of
+    // (trace, shard count): batch size and producer count only change how
+    // requests move through the queues, never what the controllers see.
+    let (records, lines, writes) = engine_trace(6000, SEED ^ 0x0BA7);
+    for shards in [1usize, 2, 4] {
+        let mut config = EngineConfig::for_workload(shards, 256, lines, writes);
+        config.scrub = true;
+        config.batch = 1;
+        config.producers = 1;
+        let baseline = engine_run(&config, "mcf", records.to_vec());
+        let baseline_json = baseline.merged.to_json().to_string();
+        for (batch, producers) in [(8usize, 2usize), (64, 0), (64, 4)] {
+            config.batch = batch;
+            config.producers = producers;
+            let other = engine_run(&config, "mcf", records.to_vec());
+            assert_eq!(
+                baseline_json,
+                other.merged.to_json().to_string(),
+                "shards {shards}: batch {batch} x producers {producers} \
+                 changed the merged report"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_coalescing_accounts_every_write_and_scrubs_clean() {
+    use dewrite_nvm::LineAddr;
+    use dewrite_trace::TraceOp;
+
+    // A hand-built rewrite storm: every line in a tiny window is written
+    // repeatedly, so a coalescing buffer must absorb most of the traffic.
+    let mut records = Vec::new();
+    for round in 0..200u64 {
+        for addr in 0..16u64 {
+            let data: Vec<u8> = (0..256).map(|i| (round ^ addr ^ i as u64) as u8).collect();
+            records.push(TraceRecord {
+                gap_instructions: 3,
+                op: TraceOp::Write {
+                    addr: LineAddr::new(addr),
+                    data,
+                },
+            });
+        }
+    }
+    let writes = records.len() as u64;
+    let mut config = EngineConfig::for_workload(2, 256, 16, writes);
+    config.scrub = true;
+    config.coalesce = 8;
+    let result = engine_run(&config, "storm", records);
+    for shard in &result.shards {
+        match &shard.scrub {
+            Some(Ok(_)) => {}
+            other => panic!("shard {} scrub: {other:?}", shard.shard),
+        }
+    }
+    let b = &result.merged.base;
+    assert_eq!(b.writes, writes);
+    assert!(
+        b.coalesced_writes > 0,
+        "a 16-line rewrite storm must coalesce"
+    );
+    assert_eq!(
+        b.writes_eliminated + b.coalesced_writes + result.merged.nvm_data_writes,
+        b.writes,
+        "refcount audit: every write dedups, coalesces, or stores exactly once"
+    );
+    assert_eq!(result.merged.write_latency.count(), b.writes);
+}
+
+#[test]
 fn engine_scrub_finds_no_orphans_under_cross_thread_stress() {
     // Hammer 8 shards with a dup-heavy trace, then audit every shard's
     // tables: no orphaned counters, no dangling inverted rows, no leaked

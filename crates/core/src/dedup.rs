@@ -16,6 +16,7 @@
 
 use dewrite_nvm::LineAddr;
 
+use crate::compare::lines_equal;
 use crate::tables::{AddrMapTable, FreeSpaceTable, HashTable, InvertedTable, MAX_REFERENCE};
 
 /// Outcome of applying a write to the index.
@@ -153,7 +154,7 @@ impl DedupIndex {
                 continue;
             }
             comparisons += 1;
-            if content_of(entry.real) == data {
+            if lines_equal(&content_of(entry.real), data) {
                 return DupLookup {
                     matched: Some(entry.real),
                     comparisons,
@@ -199,7 +200,7 @@ impl DedupIndex {
         self.hash_table
             .candidates(digest)
             .iter()
-            .find(|e| e.reference != MAX_REFERENCE && content_of(e.real) == data)
+            .find(|e| e.reference != MAX_REFERENCE && lines_equal(&content_of(e.real), data))
             .map(|e| e.real)
     }
 

@@ -332,6 +332,17 @@ fn f64_field(j: &Json, key: &str) -> Result<f64, String> {
     field(j, key, Json::as_f64)
 }
 
+/// A `u64` field that defaults to zero when absent — for counters added
+/// after schema version 1 shipped, so older exports still parse.
+fn u64_field_or_zero(j: &Json, key: &str) -> Result<u64, String> {
+    match j.get(key) {
+        None => Ok(0),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("field `{key}` is not a u64")),
+    }
+}
+
 fn lat_to_json(s: &LatencyStats) -> Json {
     Json::Obj(vec![
         ("count".into(), num(s.count())),
@@ -418,6 +429,7 @@ fn base_to_json(b: &BaseMetrics) -> Json {
     Json::Obj(vec![
         ("writes".into(), num(b.writes)),
         ("writes_eliminated".into(), num(b.writes_eliminated)),
+        ("coalesced_writes".into(), num(b.coalesced_writes)),
         ("reads".into(), num(b.reads)),
         ("aes_line_ops".into(), num(b.aes_line_ops)),
         ("hash_ops".into(), num(b.hash_ops)),
@@ -431,6 +443,7 @@ fn base_from_json(j: &Json) -> Result<BaseMetrics, String> {
     Ok(BaseMetrics {
         writes: u64_field(j, "writes")?,
         writes_eliminated: u64_field(j, "writes_eliminated")?,
+        coalesced_writes: u64_field_or_zero(j, "coalesced_writes")?,
         reads: u64_field(j, "reads")?,
         aes_line_ops: u64_field(j, "aes_line_ops")?,
         hash_ops: u64_field(j, "hash_ops")?,

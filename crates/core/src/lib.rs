@@ -40,6 +40,7 @@
 
 pub mod bitlevel;
 pub mod colocate;
+mod compare;
 mod config;
 mod dedup;
 pub mod json;
@@ -55,6 +56,7 @@ pub use bitlevel::{
     dcw_flips, fnw_flips, CmeLine, DeuceLine, DEUCE_EPOCH, DEUCE_WORD_BYTES, FNW_GROUP_BITS,
 };
 pub use colocate::{ColocatedStore, ColocationStats};
+pub use compare::{lines_equal, lines_equal_chunked, lines_equal_portable};
 pub use config::{
     BitEncoding, DeWriteConfig, MetaCacheConfig, MetadataPersistence, SystemConfig, WriteMode,
 };

@@ -122,6 +122,7 @@ impl RunReport {
 
         self.base.writes += other.base.writes;
         self.base.writes_eliminated += other.base.writes_eliminated;
+        self.base.coalesced_writes += other.base.coalesced_writes;
         self.base.reads += other.base.reads;
         self.base.aes_line_ops += other.base.aes_line_ops;
         self.base.hash_ops += other.base.hash_ops;

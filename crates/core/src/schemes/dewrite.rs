@@ -32,6 +32,7 @@ use dewrite_hashes::LineHasher;
 use dewrite_mem::CacheStats;
 use dewrite_nvm::{LineAddr, NvmDevice, NvmError, Timing};
 
+use crate::compare::lines_equal;
 use crate::config::{DeWriteConfig, MetadataPersistence, SystemConfig, WriteMode};
 use crate::dedup::{DedupIndex, WriteOutcome};
 use crate::predictor::HistoryPredictor;
@@ -581,7 +582,7 @@ impl DeWrite {
             // read (Table I charges the duplicate path 15 + 75 + 1 ns).
             t += timing.compare_ns;
             compare_ns += timing.compare_ns;
-            if content == data {
+            if lines_equal(&content, data) {
                 return ConfirmOutcome {
                     matched: Some(entry.real),
                     done_ns: t,
@@ -800,7 +801,7 @@ impl SecureMemory for DeWrite {
                 self.index
                     .candidates_for(digest, init)
                     .iter()
-                    .find(|e| e.reference != MAX_REFERENCE && decrypt(e.real) == data)
+                    .find(|e| e.reference != MAX_REFERENCE && lines_equal(&decrypt(e.real), data))
                     .map(|e| e.real)
             };
             if missed.is_some() {

@@ -77,6 +77,10 @@ pub struct BaseMetrics {
     pub writes: u64,
     /// Writes whose NVM write was eliminated.
     pub writes_eliminated: u64,
+    /// Writes absorbed by controller write-queue coalescing (a newer write
+    /// to the same line landed before this one drained). Zero unless a
+    /// coalescing window is enabled (`dewrite-engine`).
+    pub coalesced_writes: u64,
     /// Reads served.
     pub reads: u64,
     /// AES line encryptions performed (energy-relevant).

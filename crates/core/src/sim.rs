@@ -257,6 +257,7 @@ fn delta_base(
     crate::schemes::BaseMetrics {
         writes: after.writes - before.writes,
         writes_eliminated: after.writes_eliminated - before.writes_eliminated,
+        coalesced_writes: after.coalesced_writes - before.coalesced_writes,
         reads: after.reads - before.reads,
         aes_line_ops: after.aes_line_ops - before.aes_line_ops,
         hash_ops: after.hash_ops - before.hash_ops,

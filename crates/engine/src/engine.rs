@@ -4,26 +4,33 @@
 //!
 //! # Concurrency model
 //!
-//! One producer (the caller's thread) routes each trace record to its
-//! owning shard (`addr mod shards`) and pushes it onto that shard's
-//! bounded [`ArrayQueue`]; a full queue exerts **back-pressure** (the
-//! producer spins-then-yields until a slot frees). One worker thread per
-//! shard owns its [`ShardController`] exclusively and drains its queue.
-//! Queue pops are lock-free CAS operations and FSM allocation inside the
+//! One or more producer threads route trace records to their owning
+//! shards (`addr mod shards`) and push them onto the shards' bounded
+//! [`ArrayQueue`]s in amortized batches ([`ArrayQueue::push_batch`]: one
+//! reserve CAS per batch, not per request); a full queue exerts
+//! **back-pressure** (the producer spins, yields, then sleep-parks with an
+//! exponentially growing pause, and the blocked time is surfaced as
+//! [`ShardSummary::producer_stall_ns`]). One worker thread per shard owns
+//! its [`ShardController`] exclusively and drains up to
+//! [`EngineConfig::batch`] requests per wakeup ([`ArrayQueue::pop_batch`]).
+//! Queue claims are lock-free CAS operations and FSM allocation inside the
 //! controller is an atomic-bitmap word scan — no mutex anywhere on the
 //! hot path.
 //!
 //! # Determinism
 //!
-//! The producer preserves trace order, so each shard receives its
-//! subsequence of the trace in order regardless of scheduling; each
-//! shard's simulated [`RunReport`] is therefore a pure function of
-//! `(trace, seed, shard count)`. Folding the per-shard reports **in shard
+//! Each shard is fed by exactly one producer (shard `s` belongs to
+//! producer `s mod producers`), each producer walks its slice of the trace
+//! in order, and per-shard staging buffers are flushed FIFO — so every
+//! shard receives its subsequence of the trace in order regardless of
+//! producer count, batch size, or scheduling; each shard's simulated
+//! [`RunReport`] is therefore a pure function of `(trace, seed, shard
+//! count, coalescing window)`. Folding the per-shard reports **in shard
 //! order** ([`RunReport::merge_all`]) yields a bit-identical merged
 //! report across repeated multi-threaded runs. Host-side measurements
-//! (wall clock, queue depths, host latency percentiles) are inherently
-//! non-deterministic and are kept in [`ShardSummary`] / [`EngineRun`]
-//! fields separate from the merged simulated report.
+//! (wall clock, queue depths, host latency percentiles, producer stalls)
+//! are inherently non-deterministic and are kept in [`ShardSummary`] /
+//! [`EngineRun`] fields separate from the merged simulated report.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -71,6 +78,18 @@ pub struct EngineConfig {
     /// Run a full cross-table [`ShardController::scrub`] on every shard
     /// after the drain.
     pub scrub: bool,
+    /// Requests a worker drains per wakeup, and the producers' staging
+    /// chunk (clamped to `queue_depth`). 1 reproduces the one-at-a-time
+    /// seed behavior.
+    pub batch: usize,
+    /// Per-shard write-coalescing window
+    /// ([`ShardController::set_coalesce_window`]); 0 (the default)
+    /// disables coalescing and keeps reports bit-identical to the
+    /// unbuffered controller.
+    pub coalesce: usize,
+    /// Submission threads; 0 picks one per two shards. Clamped to
+    /// `1..=shards` (a shard is always fed by exactly one producer).
+    pub producers: usize,
 }
 
 impl EngineConfig {
@@ -98,7 +117,20 @@ impl EngineConfig {
             key: *b"dewrite-repro-16",
             pacing: Pacing::Closed,
             scrub: false,
+            batch: 64,
+            coalesce: 0,
+            producers: 0,
         }
+    }
+
+    /// The number of submission threads a run will actually use.
+    pub fn effective_producers(&self) -> usize {
+        let requested = if self.producers == 0 {
+            self.shards.div_ceil(2)
+        } else {
+            self.producers
+        };
+        requested.clamp(1, self.shards)
     }
 }
 
@@ -129,6 +161,9 @@ pub struct ShardSummary {
     pub queue_depth_peak: usize,
     /// Mean residual queue depth observed at each pop.
     pub queue_depth_mean: f64,
+    /// Host nanoseconds the feeding producer spent blocked on this shard's
+    /// full queue (non-deterministic).
+    pub producer_stall_ns: u64,
     /// Post-run scrub outcome, when requested: resident lines checked.
     pub scrub: Option<Result<u64, String>>,
 }
@@ -181,6 +216,55 @@ fn backoff(spins: &mut u32) {
     }
 }
 
+/// Producer-side back-off: spin, then yield, then sleep-park with an
+/// exponentially growing pause capped at 256 µs. A producer blocked on a
+/// full queue is waiting on the shard that is the actual bottleneck —
+/// parking gets it off the core so that shard's worker can have it.
+struct ProducerBackoff {
+    rounds: u32,
+}
+
+impl ProducerBackoff {
+    const SPIN: u32 = 64;
+    const YIELD: u32 = 16;
+    const MAX_SLEEP_EXP: u32 = 8; // 2^8 µs = 256 µs
+
+    fn new() -> Self {
+        ProducerBackoff { rounds: 0 }
+    }
+
+    fn reset(&mut self) {
+        self.rounds = 0;
+    }
+
+    fn wait(&mut self) {
+        if self.rounds < Self::SPIN {
+            std::hint::spin_loop();
+        } else if self.rounds < Self::SPIN + Self::YIELD {
+            std::thread::yield_now();
+        } else {
+            let exp = (self.rounds - Self::SPIN - Self::YIELD).min(Self::MAX_SLEEP_EXP);
+            std::thread::sleep(std::time::Duration::from_micros(1 << exp));
+        }
+        self.rounds = self.rounds.saturating_add(1);
+    }
+}
+
+/// Push every staged request, in order, blocking while the queue is full.
+/// Time spent blocked accrues to `stall_ns`.
+fn flush_to_queue(queue: &ArrayQueue<Request>, staged: &mut Vec<Request>, stall_ns: &mut u64) {
+    let mut parker = ProducerBackoff::new();
+    while !staged.is_empty() {
+        if queue.push_batch(staged) == 0 {
+            let blocked = Instant::now();
+            parker.wait();
+            *stall_ns += blocked.elapsed().as_nanos() as u64;
+        } else {
+            parker.reset();
+        }
+    }
+}
+
 /// Run `records` through `config.shards` controller shards and fold the
 /// results.
 ///
@@ -195,6 +279,9 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
         config.queue_depth > 0,
         "queues must hold at least one request"
     );
+    assert!(config.batch > 0, "workers must drain at least one request");
+    let producers = config.effective_producers();
+    let batch = config.batch;
 
     let queues: Vec<Arc<ArrayQueue<Request>>> = (0..shards)
         .map(|_| Arc::new(ArrayQueue::new(config.queue_depth)))
@@ -203,7 +290,17 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
     let start = Instant::now();
     let total_ops = records.len() as u64;
 
+    // Partition the trace by owning producer (shard mod producers),
+    // preserving trace order within each slice; records keep their global
+    // trace index so open-loop pacing stays on the trace-wide schedule.
+    let mut feeds: Vec<Vec<(u64, TraceRecord)>> = (0..producers).map(|_| Vec::new()).collect();
+    for (i, rec) in records.into_iter().enumerate() {
+        let shard = shard_of_line(rec.op.addr(), shards);
+        feeds[shard % producers].push((i as u64, rec));
+    }
+
     let mut summaries: Vec<ShardSummary> = Vec::with_capacity(shards);
+    let mut stalls_by_shard = vec![0u64; shards];
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..shards)
             .map(|id| {
@@ -216,6 +313,7 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
                     config.line_size,
                     &config.key,
                 );
+                ctrl.set_coalesce_window(config.coalesce);
                 let want_scrub = config.scrub;
                 let app = app.to_string();
                 scope.spawn(move || {
@@ -224,33 +322,40 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
                     let mut depth_sum = 0u64;
                     let mut samples = 0u64;
                     let mut spins = 0u32;
+                    let mut buf: Vec<Request> = Vec::with_capacity(batch);
                     loop {
-                        match queue.pop() {
-                            Some(req) => {
-                                spins = 0;
-                                let residual = queue.len();
-                                peak = peak.max(residual + 1);
-                                depth_sum += residual as u64;
-                                samples += 1;
-                                match &req.rec.op {
-                                    TraceOp::Write { addr, data } => {
-                                        ctrl.write(*addr, data, req.rec.gap_instructions);
-                                    }
-                                    TraceOp::Read { addr } => {
-                                        ctrl.read(*addr, req.rec.gap_instructions);
-                                    }
-                                }
-                                let now = start.elapsed().as_nanos() as u64;
-                                host.record(now.saturating_sub(req.issued_ns));
+                        // One reserve CAS claims up to `batch` requests.
+                        let n = queue.pop_batch(&mut buf, batch);
+                        if n == 0 {
+                            if done.load(Ordering::Acquire) && queue.is_empty() {
+                                break;
                             }
-                            None => {
-                                if done.load(Ordering::Acquire) && queue.is_empty() {
-                                    break;
+                            backoff(&mut spins);
+                            continue;
+                        }
+                        spins = 0;
+                        // `len()` races with producer refills of the slots
+                        // this pop just freed; the instantaneous depth can
+                        // never actually exceed capacity, so clamp.
+                        let residual = queue.len();
+                        peak = peak.max((residual + n).min(queue.capacity()));
+                        depth_sum += residual as u64;
+                        samples += 1;
+                        for req in buf.drain(..) {
+                            let gap = req.rec.gap_instructions;
+                            match req.rec.op {
+                                TraceOp::Write { addr, data } => {
+                                    ctrl.submit_write(addr, &data, gap);
                                 }
-                                backoff(&mut spins);
+                                TraceOp::Read { addr } => {
+                                    ctrl.read(addr, gap);
+                                }
                             }
+                            let now = start.elapsed().as_nanos() as u64;
+                            host.record(now.saturating_sub(req.issued_ns));
                         }
                     }
+                    ctrl.flush_writes();
                     let scrub = want_scrub.then(|| ctrl.scrub());
                     ShardSummary {
                         shard: id,
@@ -264,37 +369,62 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
                         } else {
                             depth_sum as f64 / samples as f64
                         },
+                        producer_stall_ns: 0,
                         scrub,
                     }
                 })
             })
             .collect();
 
-        // Single producer: routes in trace order, so every shard sees its
-        // subsequence in order (the determinism invariant).
-        for (issued, rec) in records.into_iter().enumerate() {
-            if let Pacing::Open { ops_per_sec } = config.pacing {
-                let target_ns = (issued as f64 / ops_per_sec * 1e9) as u64;
-                let mut spins = 0u32;
-                while (start.elapsed().as_nanos() as u64) < target_ns {
-                    backoff(&mut spins);
-                }
-            }
-            let shard = shard_of_line(rec.op.addr(), shards);
-            let mut req = Request {
-                rec,
-                issued_ns: start.elapsed().as_nanos() as u64,
-            };
-            let mut spins = 0u32;
-            loop {
-                match queues[shard].push(req) {
-                    Ok(()) => break,
-                    // Full queue: closed-loop back-pressure.
-                    Err(back) => {
-                        req = back;
-                        backoff(&mut spins);
+        // Producers: each walks its slice of the trace in order and stages
+        // requests per shard, flushing `chunk` at a time — every shard
+        // still sees its subsequence of the trace in order (the
+        // determinism invariant), since a shard is fed by exactly one
+        // producer and the staging buffers are FIFO.
+        let producer_handles: Vec<_> = feeds
+            .into_iter()
+            .map(|feed| {
+                let queues: Vec<Arc<ArrayQueue<Request>>> = queues.iter().map(Arc::clone).collect();
+                let pacing = config.pacing;
+                let queue_depth = config.queue_depth;
+                scope.spawn(move || -> Vec<u64> {
+                    let mut stalls = vec![0u64; shards];
+                    let mut staged: Vec<Vec<Request>> = (0..shards).map(|_| Vec::new()).collect();
+                    // Open loop must put each record in flight at its
+                    // scheduled instant; only closed loop may amortize.
+                    let chunk = match pacing {
+                        Pacing::Open { .. } => 1,
+                        Pacing::Closed => batch.min(queue_depth),
+                    };
+                    for (issued, rec) in feed {
+                        if let Pacing::Open { ops_per_sec } = pacing {
+                            let target_ns = (issued as f64 / ops_per_sec * 1e9) as u64;
+                            let mut spins = 0u32;
+                            while (start.elapsed().as_nanos() as u64) < target_ns {
+                                backoff(&mut spins);
+                            }
+                        }
+                        let shard = shard_of_line(rec.op.addr(), shards);
+                        staged[shard].push(Request {
+                            rec,
+                            issued_ns: start.elapsed().as_nanos() as u64,
+                        });
+                        if staged[shard].len() >= chunk {
+                            flush_to_queue(&queues[shard], &mut staged[shard], &mut stalls[shard]);
+                        }
                     }
-                }
+                    for shard in 0..shards {
+                        flush_to_queue(&queues[shard], &mut staged[shard], &mut stalls[shard]);
+                    }
+                    stalls
+                })
+            })
+            .collect();
+
+        for h in producer_handles {
+            let stalls = h.join().expect("producer panicked");
+            for (shard, ns) in stalls.into_iter().enumerate() {
+                stalls_by_shard[shard] += ns;
             }
         }
         done.store(true, Ordering::Release);
@@ -307,6 +437,9 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
 
     // Fold in fixed shard order: bit-identical regardless of scheduling.
     summaries.sort_by_key(|s| s.shard);
+    for s in &mut summaries {
+        s.producer_stall_ns = stalls_by_shard[s.shard];
+    }
     let merged =
         RunReport::merge_all(summaries.iter().map(|s| &s.report)).expect("at least one shard");
     let processed: u64 = summaries.iter().map(|s| s.ops).sum();
@@ -391,6 +524,56 @@ mod tests {
             }
         }
         assert_eq!(threaded.merged, ctrl.report("mcf"));
+    }
+
+    #[test]
+    fn batch_size_and_producer_count_do_not_change_the_merge() {
+        let (records, lines) = trace(1_500, 256, 13);
+        let mut config = config_for(4, lines, records.len());
+        config.batch = 1;
+        config.producers = 1;
+        let baseline = run(&config, "mcf", records.clone());
+        for (batch, producers) in [(8, 2), (64, 4), (64, 0)] {
+            config.batch = batch;
+            config.producers = producers;
+            let other = run(&config, "mcf", records.clone());
+            assert_eq!(
+                baseline.merged, other.merged,
+                "batch {batch} x producers {producers} changed the simulated report"
+            );
+        }
+    }
+
+    #[test]
+    fn effective_producers_clamps_sanely() {
+        let mut c = config_for(4, 64, 100);
+        assert_eq!(c.effective_producers(), 2, "auto: one per two shards");
+        c.producers = 9;
+        assert_eq!(c.effective_producers(), 4, "never more than shards");
+        c.shards = 1;
+        assert_eq!(c.effective_producers(), 1);
+    }
+
+    #[test]
+    fn coalescing_run_scrubs_clean_and_accounts_every_write() {
+        let (records, lines) = trace(2_000, 64, 17); // small ws => rewrites
+        let total = records.len();
+        let mut config = config_for(2, lines, total);
+        config.coalesce = 16;
+        config.scrub = true;
+        let r = run(&config, "mcf", records);
+        assert_eq!(r.ops, total as u64);
+        for s in &r.shards {
+            assert!(matches!(s.scrub, Some(Ok(_))), "shard {} scrub", s.shard);
+        }
+        let b = &r.merged.base;
+        assert!(b.coalesced_writes > 0, "tight working set must coalesce");
+        assert_eq!(
+            b.writes_eliminated + b.coalesced_writes + r.merged.nvm_data_writes,
+            b.writes,
+            "every write dedups, coalesces, or stores"
+        );
+        assert_eq!(r.merged.write_latency.count(), b.writes);
     }
 
     #[test]

@@ -22,15 +22,15 @@
 
 use dewrite_core::tables::{HashTable, InvertedTable, MAX_REFERENCE};
 use dewrite_core::{
-    BaseMetrics, DeWriteMetrics, HistoryPredictor, RunReport, Stage, StageBreakdown, WriteEvent,
-    WritePath,
+    lines_equal, BaseMetrics, DeWriteMetrics, HistoryPredictor, RunReport, Stage, StageBreakdown,
+    WriteEvent, WritePath,
 };
 use dewrite_crypto::{aes_line_energy_pj, CounterModeEngine, LineCounter, AES_LINE_LATENCY_NS};
 use dewrite_hashes::{HashAlgorithm, LineHasher};
 use dewrite_mem::{CacheConfig, LatencyHistogram, LatencyStats, MetadataCache};
 use dewrite_nvm::{AtomicBitmap, EnergyBreakdown, EnergyParams, LineAddr};
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Candidate-compare cap per write (§III-B2: bounded verify cost).
 pub const MAX_CANDIDATE_COMPARES: usize = 4;
@@ -53,6 +53,13 @@ pub struct ShardWrite {
     pub eliminated: bool,
     /// Simulated full write latency, ns.
     pub sim_ns: u64,
+}
+
+/// A write parked in the controller write queue, waiting to drain.
+struct PendingWrite {
+    addr: LineAddr,
+    data: Vec<u8>,
+    gap: u32,
 }
 
 /// One shard of the sharded memory-controller service.
@@ -81,6 +88,15 @@ pub struct ShardController {
     predictor: HistoryPredictor,
 
     scratch: Vec<u8>,
+
+    /// Controller write-queue coalescing window; 0 = disabled (every
+    /// submitted write applies immediately, bit-identical to the
+    /// unbuffered controller).
+    coalesce_window: usize,
+    /// Parked writes, FIFO by first submission, at most one per address.
+    pending: VecDeque<PendingWrite>,
+    /// Recycled line buffers so a steady-state window allocates nothing.
+    spare_bufs: Vec<Vec<u8>>,
 
     base: BaseMetrics,
     dewrite: DeWriteMetrics,
@@ -129,6 +145,9 @@ impl ShardController {
             meta: MetadataCache::new(CacheConfig::with_capacity((slots as usize / 4).max(64))),
             predictor: HistoryPredictor::new(3),
             scratch: vec![0u8; line_size],
+            coalesce_window: 0,
+            pending: VecDeque::new(),
+            spare_bufs: Vec::new(),
             base: BaseMetrics::default(),
             dewrite: DeWriteMetrics::default(),
             stages: StageBreakdown::default(),
@@ -166,6 +185,107 @@ impl ShardController {
             0.0
         } else {
             self.base.writes_eliminated as f64 / self.base.writes as f64
+        }
+    }
+
+    /// Set the controller write-queue coalescing window (0 disables it,
+    /// the default). With a window of `n`, up to `n` writes park in a FIFO
+    /// queue; a newer write to a parked address absorbs the parked one —
+    /// the line is programmed once, with the newest value — and the
+    /// absorbed submission is counted in
+    /// [`BaseMetrics::coalesced_writes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if writes are currently parked — resize only between runs
+    /// (or call [`ShardController::flush_writes`] first).
+    pub fn set_coalesce_window(&mut self, window: usize) {
+        assert!(
+            self.pending.is_empty(),
+            "cannot resize the coalescing window with {} writes parked",
+            self.pending.len()
+        );
+        self.coalesce_window = window;
+    }
+
+    /// The configured coalescing window (0 = disabled).
+    pub fn coalesce_window(&self) -> usize {
+        self.coalesce_window
+    }
+
+    /// Writes currently parked in the coalescing buffer.
+    pub fn pending_writes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submit one write through the coalescing buffer.
+    ///
+    /// With the window disabled this is exactly [`ShardController::write`].
+    /// Otherwise the write parks; if an older write to the same address is
+    /// already parked, that older value is absorbed (metadata-latency only:
+    /// a write-queue slot update, no array traffic) and the newer value
+    /// takes its place in FIFO position. A full buffer drains its oldest
+    /// entry first. Returns the applied write's outcome only when this
+    /// submission caused an immediate full write (window disabled);
+    /// parked/absorbed submissions return `None`.
+    pub fn submit_write(&mut self, addr: LineAddr, data: &[u8], gap: u32) -> Option<ShardWrite> {
+        if self.coalesce_window == 0 {
+            return Some(self.write(addr, data, gap));
+        }
+        debug_assert_eq!(
+            addr.index() as usize % self.shards,
+            self.id,
+            "write routed to the wrong shard"
+        );
+        assert_eq!(data.len(), self.line_size, "write must be one full line");
+        if let Some(parked) = self.pending.iter_mut().find(|p| p.addr == addr) {
+            // Absorb: account the overwritten submission now, as a
+            // write-queue combine. It consumed its slot in the program
+            // order (ops, instructions, writes) but costs only a queue
+            // update — no digest, no array write, no stage event.
+            let absorbed_gap = parked.gap;
+            parked.data.copy_from_slice(data);
+            parked.gap = gap;
+            self.ops += 1;
+            self.instructions += u64::from(absorbed_gap) + 1;
+            self.base.writes += 1;
+            self.base.coalesced_writes += 1;
+            self.write_latency.record(META_NS);
+            self.write_hist.record(META_NS);
+            self.write_critical.record(META_NS);
+            self.sim_ns += META_NS;
+            return None;
+        }
+        if self.pending.len() == self.coalesce_window {
+            let oldest = self.pending.pop_front().expect("window > 0, buffer full");
+            self.apply_pending(oldest);
+        }
+        let mut buf = self
+            .spare_bufs
+            .pop()
+            .unwrap_or_else(|| vec![0u8; self.line_size]);
+        buf.copy_from_slice(data);
+        self.pending.push_back(PendingWrite {
+            addr,
+            data: buf,
+            gap,
+        });
+        None
+    }
+
+    /// Drain one parked write through the full write path.
+    fn apply_pending(&mut self, parked: PendingWrite) {
+        let PendingWrite { addr, data, gap } = parked;
+        self.write(addr, &data, gap);
+        self.spare_bufs.push(data);
+    }
+
+    /// Drain every parked write, oldest first. Must run before
+    /// [`ShardController::scrub`] or [`ShardController::report`] at end of
+    /// feed; a no-op when the window is disabled or the buffer is empty.
+    pub fn flush_writes(&mut self) {
+        while let Some(parked) = self.pending.pop_front() {
+            self.apply_pending(parked);
         }
     }
 
@@ -228,6 +348,10 @@ impl ShardController {
             addr.index() as usize % self.shards,
             self.id,
             "write routed to the wrong shard"
+        );
+        debug_assert!(
+            self.pending.iter().all(|p| p.addr != addr),
+            "direct write() would reorder past a parked coalesced write; use submit_write"
         );
         assert_eq!(data.len(), self.line_size, "write must be one full line");
         self.ops += 1;
@@ -296,7 +420,7 @@ impl ShardController {
                 self.energy.nvm_read_pj += self.energy_params.read_line_pj;
                 self.energy.dedup_pj += self.energy_params.compare_pj;
                 self.decrypt_slot(real.index());
-                if self.scratch.as_slice() == data {
+                if lines_equal(&self.scratch, data) {
                     dup_slot = Some(real.index());
                     break;
                 }
@@ -412,6 +536,16 @@ impl ShardController {
             self.id,
             "read routed to the wrong shard"
         );
+        // Read-after-write through the write queue: a parked write to this
+        // address must land first so the read observes it (per-address
+        // order is what coalescing preserves; cross-address drain order is
+        // the queue's business).
+        if !self.pending.is_empty() {
+            if let Some(i) = self.pending.iter().position(|p| p.addr == addr) {
+                let parked = self.pending.remove(i).expect("position() found it");
+                self.apply_pending(parked);
+            }
+        }
         self.ops += 1;
         self.instructions += u64::from(gap) + 1;
         self.base.reads += 1;
@@ -459,6 +593,13 @@ impl ShardController {
     ///
     /// Returns a description of the first violated invariant.
     pub fn scrub(&mut self) -> Result<u64, String> {
+        if !self.pending.is_empty() {
+            return Err(format!(
+                "shard {}: {} unflushed writes parked in the coalescing buffer",
+                self.id,
+                self.pending.len()
+            ));
+        }
         let occupied = self.fsm.occupied();
         let occupied_set: std::collections::HashSet<u64> = occupied.iter().copied().collect();
 
@@ -670,6 +811,83 @@ mod tests {
     #[should_panic(expected = "one full line")]
     fn wrong_line_size_rejected() {
         shard().write(LineAddr::new(0), &[0u8; 3], 0);
+    }
+
+    #[test]
+    fn coalescing_absorbs_rewrites_and_keeps_the_invariant() {
+        let mut s = shard();
+        s.set_coalesce_window(8);
+        // Three writes to the same line: the first two are absorbed by
+        // their successors, only line(3) ever drains.
+        for tag in 1..=3u8 {
+            assert!(s.submit_write(LineAddr::new(7), &line(tag), 5).is_none());
+        }
+        // Distinct addresses park independently.
+        s.submit_write(LineAddr::new(1), &line(9), 5);
+        assert_eq!(s.pending_writes(), 2);
+        assert!(s.scrub().is_err(), "scrub refuses unflushed writes");
+        s.flush_writes();
+        assert_eq!(s.pending_writes(), 0);
+        assert_eq!(s.scrub().unwrap(), 2);
+        let r = s.report("coalesce");
+        assert_eq!(r.base.writes, 4);
+        assert_eq!(r.base.coalesced_writes, 2);
+        assert_eq!(
+            r.base.writes_eliminated + r.base.coalesced_writes + r.nvm_data_writes,
+            r.base.writes,
+            "every write dedups, coalesces, or stores"
+        );
+        assert_eq!(r.write_latency.count(), 4);
+        assert_eq!(r.instructions, 4 * 6, "absorbed gaps still retire");
+    }
+
+    #[test]
+    fn coalescing_read_flushes_only_its_address() {
+        let mut s = shard();
+        s.set_coalesce_window(4);
+        let mut data = line(5);
+        data[0] ^= 0xFF;
+        s.submit_write(LineAddr::new(2), &line(1), 0);
+        s.submit_write(LineAddr::new(2), &data, 0); // absorbs line(1)
+        s.submit_write(LineAddr::new(3), &line(6), 0);
+        let before = s.read_sink();
+        s.read(LineAddr::new(2), 0);
+        assert_ne!(s.read_sink(), before, "read saw the newest parked value");
+        assert_eq!(s.pending_writes(), 1, "address 3 stays parked");
+        s.flush_writes();
+        assert!(s.scrub().is_ok());
+    }
+
+    #[test]
+    fn coalescing_full_window_evicts_oldest_first() {
+        let mut s = shard();
+        s.set_coalesce_window(2);
+        s.submit_write(LineAddr::new(0), &line(1), 0);
+        s.submit_write(LineAddr::new(1), &line(2), 0);
+        // Window full: address 0 (oldest) drains to make room.
+        s.submit_write(LineAddr::new(2), &line(3), 0);
+        assert_eq!(s.pending_writes(), 2);
+        let r = s.report("evict");
+        assert_eq!(r.nvm_data_writes, 1, "exactly the evicted write stored");
+        s.flush_writes();
+        assert_eq!(s.scrub().unwrap(), 3);
+    }
+
+    #[test]
+    fn zero_window_submit_is_plain_write() {
+        let mut a = shard();
+        let mut b = shard();
+        for i in 0..20u64 {
+            let w = a.submit_write(LineAddr::new(i % 6), &line((i % 3) as u8), 1);
+            let x = b.write(LineAddr::new(i % 6), &line((i % 3) as u8), 1);
+            assert_eq!(w, Some(x));
+        }
+        a.flush_writes(); // no-op
+        assert_eq!(
+            a.report("z").to_json().to_string(),
+            b.report("z").to_json().to_string(),
+            "window 0 is bit-identical to the unbuffered controller"
+        );
     }
 
     #[test]
