@@ -23,15 +23,15 @@ fn bench_dedup_index(c: &mut Criterion) {
                 Some(real) if idx.reference_of(real).is_some_and(|r| r < 255) => {
                     idx.apply_duplicate(addr, real);
                 }
-                _ => {
-                    if idx.resolve(addr).is_none()
-                        || idx
-                            .reference_of(idx.resolve(addr).expect("written"))
-                            .is_some()
-                    {
+                _ => match idx.resolve(addr) {
+                    None => {
                         idx.apply_store(addr, digest);
                     }
-                }
+                    Some(real) if idx.reference_of(real).is_some() => {
+                        idx.apply_store(addr, digest);
+                    }
+                    Some(_) => {}
+                },
             }
             i += 1;
         });

@@ -13,6 +13,7 @@
 //! Usage:
 //!   bench_compare OLD/runs.json NEW/runs.json [--tolerance PCT] [--allow-missing]
 //!   bench_compare OLD/BENCH_engine.json NEW/BENCH_engine.json [--tolerance PCT]
+//!   bench_compare --hotpath OLD/BENCH_hotpath.json NEW/BENCH_hotpath.json
 //!
 //! When both inputs are `loadgen` exports (a top-level object with
 //! `"tool": "loadgen"`) the tool switches to **engine mode**: for every
@@ -21,9 +22,20 @@
 //! `old * (1 + tol)`. Engine numbers are host wall clock, so the default
 //! tolerance is a loose 15% there.
 //!
+//! When both inputs are `hotpath` exports (a top-level object with
+//! `"bench": "hotpath"`) the tool switches to **hotpath mode**: for every
+//! (name, engine) row the new `ns_per_op` must stay below
+//! `old * (1 + tol)`. The `--hotpath` flag asserts this mode (erroring on
+//! other inputs); detection also happens automatically. Hotpath numbers
+//! are best-batch host wall clock — stable, but cross-machine and
+//! quick-vs-full comparisons still need slack, so the default tolerance
+//! is a loose 50% there: the gate exists to catch structural regressions
+//! (a probe going quadratic, an allocation sneaking into the hot loop),
+//! not single-digit jitter.
+//!
 //! In simulated mode tolerance defaults to 2% — simulated ns are
 //! deterministic, so any drift beyond float-formatting noise is a real
-//! behavior change. Mixing one export of each kind is an error.
+//! behavior change. Mixing export kinds is an error.
 //!
 //! An app or (app, scheme) row present in only one of the two files is
 //! reported in both directions (dropped from NEW, or new in NEW with no
@@ -54,6 +66,36 @@ fn load_reports(path: &str, json: &Json) -> Result<Vec<RunReport>, String> {
 /// Is this a `loadgen` engine export rather than a `RunReport` array?
 fn is_engine_export(json: &Json) -> bool {
     json.get("tool").and_then(Json::as_str) == Some("loadgen")
+}
+
+/// Is this a `hotpath` kernel-benchmark export?
+fn is_hotpath_export(json: &Json) -> bool {
+    json.get("bench").and_then(Json::as_str) == Some("hotpath")
+}
+
+/// Flatten a hotpath export into (name, engine) → ns_per_op.
+fn hotpath_rows(path: &str, json: &Json) -> Result<BTreeMap<(String, String), f64>, String> {
+    let results = json
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: hotpath export has no `results` array"))?;
+    let mut rows = BTreeMap::new();
+    for row in results {
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: result row without `name`"))?;
+        let engine = row
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: {name}: result row without `engine`"))?;
+        let ns_per_op = row
+            .get("ns_per_op")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: {name}/{engine}: no `ns_per_op`"))?;
+        rows.insert((name.to_string(), engine.to_string()), ns_per_op);
+    }
+    Ok(rows)
 }
 
 /// One engine-mode comparison row: host throughput and tail latency.
@@ -141,6 +183,7 @@ fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut tolerance: Option<f64> = None;
     let mut allow_missing = false;
+    let mut expect_hotpath = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
@@ -153,13 +196,15 @@ fn main() -> ExitCode {
             }
         } else if a == "--allow-missing" {
             allow_missing = true;
+        } else if a == "--hotpath" {
+            expect_hotpath = true;
         } else {
             paths.push(a.clone());
         }
     }
     let [old_path, new_path] = paths.as_slice() else {
         eprintln!(
-            "usage: bench_compare OLD/runs.json NEW/runs.json [--tolerance PCT] [--allow-missing]"
+            "usage: bench_compare [--hotpath] OLD.json NEW.json [--tolerance PCT] [--allow-missing]"
         );
         return ExitCode::from(2);
     };
@@ -175,16 +220,64 @@ fn main() -> ExitCode {
         eprintln!("error: {old_path} and {new_path} are different export kinds");
         return ExitCode::from(2);
     }
-    // Host wall-clock numbers (engine mode) are far noisier than
-    // deterministic simulated ns.
-    let tolerance = tolerance.unwrap_or(if engine_mode { 15.0 } else { 2.0 });
+    let hotpath_mode = is_hotpath_export(&old_json) || is_hotpath_export(&new_json);
+    if hotpath_mode && !(is_hotpath_export(&old_json) && is_hotpath_export(&new_json)) {
+        eprintln!("error: {old_path} and {new_path} are different export kinds");
+        return ExitCode::from(2);
+    }
+    if expect_hotpath && !hotpath_mode {
+        eprintln!("error: --hotpath given but the inputs are not hotpath exports");
+        return ExitCode::from(2);
+    }
+    // Host wall-clock numbers (engine and hotpath modes) are far noisier
+    // than deterministic simulated ns; hotpath baselines additionally
+    // cross machines and quick/full budgets.
+    let tolerance = tolerance.unwrap_or(if hotpath_mode {
+        50.0
+    } else if engine_mode {
+        15.0
+    } else {
+        2.0
+    });
     let tol = tolerance / 100.0;
 
     let mut regressions: Vec<String> = Vec::new();
     let mut missing: Vec<String> = Vec::new();
     let mut compared = 0usize;
 
-    if engine_mode {
+    if hotpath_mode {
+        let (old_rows, new_rows) = match (
+            hotpath_rows(old_path, &old_json),
+            hotpath_rows(new_path, &new_json),
+        ) {
+            (Ok(o), Ok(n)) => (o, n),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for key @ (name, engine) in new_rows.keys() {
+            if !old_rows.contains_key(key) {
+                missing.push(format!(
+                    "{name}/{engine}: present only in {new_path} — \
+                     no {old_path} baseline to compare"
+                ));
+            }
+        }
+        for ((name, engine), old_ns) in &old_rows {
+            let Some(new_ns) = new_rows.get(&(name.clone(), engine.clone())) else {
+                missing.push(format!("{name}/{engine}: row missing from {new_path}"));
+                continue;
+            };
+            compared += 1;
+            println!("{name:<20} {engine:<12} {old_ns:>9.1} -> {new_ns:>9.1} ns/op");
+            if *new_ns > old_ns * (1.0 + tol) {
+                regressions.push(format!(
+                    "{name}/{engine}: ns/op regressed {old_ns:.1} -> {new_ns:.1}"
+                ));
+            }
+        }
+    } else if engine_mode {
         let (old_rows, new_rows) = match (
             engine_rows(old_path, &old_json),
             engine_rows(new_path, &new_json),

@@ -73,6 +73,59 @@ fn engine_go(records: &[TraceRecord], lines: u64, writes: u64, shards: usize) ->
     engine_run(&config, "mcf", records.to_vec())
 }
 
+// --- golden reports: flat-table refactors must not move simulated ns -------
+
+/// Compare `actual` against the committed golden file, byte for byte.
+///
+/// The goldens were captured from the seed (pre-flat-table) structures, so
+/// any simulated-time drift introduced by a host-side data-structure change
+/// fails here. Regenerate deliberately with
+/// `DEWRITE_REGEN_GOLDEN=1 cargo test -p dewrite-bench --test determinism`.
+fn golden_check(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("DEWRITE_REGEN_GOLDEN").is_ok() {
+        std::fs::write(&path, format!("{actual}\n")).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {path}: {e}; regenerate with DEWRITE_REGEN_GOLDEN=1")
+    });
+    assert_eq!(
+        expected.trim_end(),
+        actual,
+        "{name} drifted from the pre-refactor golden report; if the change \
+         is intentional, regenerate with DEWRITE_REGEN_GOLDEN=1 cargo test \
+         -p dewrite-bench --test determinism"
+    );
+}
+
+#[test]
+fn sim_reports_match_pre_refactor_goldens() {
+    golden_check(
+        "report_sim_dewrite.json",
+        &report_json(SchemeKind::DeWrite, false),
+    );
+    golden_check(
+        "report_sim_baseline.json",
+        &report_json(SchemeKind::Baseline, false),
+    );
+}
+
+#[test]
+fn engine_merged_reports_match_pre_refactor_goldens() {
+    let (records, lines, writes) = engine_trace(6000, SEED);
+    for shards in [1usize, 2, 4] {
+        let run = engine_go(&records, lines, writes, shards);
+        for s in &run.shards {
+            assert!(matches!(s.scrub, Some(Ok(_))), "shard {} scrub", s.shard);
+        }
+        golden_check(
+            &format!("report_engine_{shards}shard.json"),
+            &run.merged.to_json().to_string(),
+        );
+    }
+}
+
 #[test]
 fn engine_merged_report_is_bit_identical_across_threaded_runs() {
     // Same seed + same shard count => the merged simulated RunReport must

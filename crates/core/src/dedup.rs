@@ -84,8 +84,8 @@ impl DedupIndex {
         assert!(domains >= 1 && domains <= lines.max(1), "bad domain count");
         DedupIndex {
             hash_table: HashTable::new(),
-            addr_map: AddrMapTable::new(),
-            inverted: InvertedTable::new(),
+            addr_map: AddrMapTable::new(lines),
+            inverted: InvertedTable::new(lines),
             fsm: FreeSpaceTable::new(lines),
             written: vec![false; lines as usize],
             domains,
@@ -145,8 +145,8 @@ impl DedupIndex {
         mut content_of: impl FnMut(LineAddr) -> Vec<u8>,
     ) -> DupLookup {
         let mut comparisons = 0;
-        let candidates: Vec<_> = self.hash_table.candidates(digest).to_vec();
-        for entry in candidates {
+        let candidates = self.hash_table.candidates(digest);
+        for &entry in &candidates {
             if entry.reference == MAX_REFERENCE {
                 // Saturated: visible in the entry itself, skipped without a
                 // comparison (§III-B2).

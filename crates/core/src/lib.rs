@@ -47,6 +47,8 @@ pub mod json;
 mod metrics;
 mod predictor;
 mod schemes;
+#[doc(hidden)]
+pub mod seed;
 mod sim;
 mod snapshot;
 pub mod tables;

@@ -1,4 +1,4 @@
-//! The four deduplication data structures (§III-B2).
+//! The four deduplication data structures (§III-B2), laid out flat.
 //!
 //! This module implements the *functional* layer of the tables — exact
 //! contents and invariants. Timing (metadata-cache hits, NVM accesses,
@@ -12,8 +12,27 @@
 //!   resident line is overwritten or freed.
 //! * [`FreeSpaceTable`] — one bit per line; allocation prefers a caller-
 //!   provided home line for locality.
-
-use std::collections::HashMap;
+//!
+//! # Memory layout
+//!
+//! These structures sit on the critical write path of every simulated and
+//! engine write, so they are flat, cache-line-friendly memory rather than
+//! pointer-chasing maps (see DESIGN.md, "Flat table memory layout"):
+//!
+//! * [`HashTable`] is a SwissTable-style open-addressing table: one control
+//!   byte per slot (a 7-bit tag, or empty/tombstone), probed a 16-byte
+//!   group at a time with a portable u64 SWAR scan (`DEWRITE_PORTABLE=1`
+//!   forces a byte loop), with inline `{digest, real, reference}` slots and
+//!   amortised rehash. CRC-collision chains are successive probe hits
+//!   instead of per-digest heap `Vec`s, and each entry carries its virtual
+//!   bucket position so candidate order — observable through match
+//!   selection — reproduces the seed `Vec`-bucket order exactly.
+//! * [`AddrMapTable`] and [`InvertedTable`] are dense `Box<[...]>` arrays
+//!   indexed by `LineAddr` with a presence bitmap: the line space is
+//!   bounded and known at construction, so no hashing at all.
+//!
+//! The seed map-backed implementations are retained in [`crate::seed`] as
+//! oracles for differential tests and the `hotpath` speedup baseline.
 
 use dewrite_nvm::LineAddr;
 
@@ -31,24 +50,498 @@ pub struct HashEntry {
     pub reference: u8,
 }
 
+/// Slots per probe group: two u64 SWAR words of control bytes.
+const GROUP: usize = 16;
+/// Control byte: slot has never held an entry (probe chains stop here).
+const CTRL_EMPTY: u8 = 0x80;
+/// Control byte: tombstone — the slot held an entry that was removed
+/// (probe chains continue past it; inserts may reuse it).
+const CTRL_DELETED: u8 = 0xFF;
+/// Smallest table: 2 groups = 32 slots.
+const MIN_GROUPS: usize = 2;
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+/// Gathers one bit per byte lane (at bit `8k`) into bits `56..64`: byte
+/// `7-k` is `1 << k`, and every product column sums distinct powers of two,
+/// so no carry ever crosses a column.
+const SWAR_GATHER: u64 = 0x0102_0408_1020_4080;
+
+/// Collapse a word with per-lane high bits (`0x80` or `0x00` per byte)
+/// into an 8-bit mask, bit `k` = lane `k`.
+#[inline]
+fn swar_gather_high_bits(hits: u64) -> u8 {
+    (((hits >> 7).wrapping_mul(SWAR_GATHER)) >> 56) as u8
+}
+
+/// Exact per-lane "empty" bits (at bit `8k + 7`): the only control bytes
+/// with the high bit set are `CTRL_EMPTY` (`0x80`, bit 0 clear) and
+/// `CTRL_DELETED` (`0xFF`, bit 0 set), so high-and-not-low is empty.
+#[inline]
+fn swar_empty_bits(word: u64) -> u64 {
+    (word & SWAR_HI) & !((word & SWAR_LO) << 7)
+}
+
+/// Whether group scans must use the byte-loop fallback (the process-wide
+/// `DEWRITE_PORTABLE=1` switch shared with the crypto/compare kernels).
+#[inline]
+fn portable_scan() -> bool {
+    dewrite_hashes::portable_only()
+}
+
+/// Per-lane hit bits (at bit `8k + 7`) for bytes of `word` equal to
+/// `tag`, computed with the SWAR zero-byte trick. Lanes *above* a true
+/// match may be false positives — callers verify every lane — but the
+/// lowest set lane is always a true match and no true match is ever
+/// missed. The lookup path iterates this form directly (lane =
+/// `trailing_zeros() / 8`) to skip the gather multiply.
+#[inline]
+fn swar_match_bits(word: u64, tag: u8) -> u64 {
+    let x = word ^ (SWAR_LO.wrapping_mul(u64::from(tag)));
+    x.wrapping_sub(SWAR_LO) & !x & SWAR_HI
+}
+
+/// [`swar_match_bits`] gathered to one bit per byte lane (bit `i` =
+/// lane `i`) for the insert path, which juggles three masks at once.
+#[inline]
+fn swar_match_lanes(word: u64, tag: u8) -> u8 {
+    swar_gather_high_bits(swar_match_bits(word, tag))
+}
+
+/// Candidate entries for one digest, in exact seed-bucket order
+/// (insertion order perturbed by swap-remove deletes).
+///
+/// Dereferences to `[HashEntry]`. Allocation-free for up to
+/// [`Candidates::INLINE`] entries — larger chains (many same-digest
+/// collisions or saturated residues) spill to a heap buffer.
+#[derive(Debug, Clone)]
+pub struct Candidates {
+    inline: [HashEntry; Self::INLINE],
+    len: usize,
+    spill: Vec<HashEntry>,
+}
+
+impl Candidates {
+    /// Entries held without heap allocation.
+    pub const INLINE: usize = 2;
+
+    const PLACEHOLDER: HashEntry = HashEntry {
+        real: LineAddr::new(0),
+        reference: 0,
+    };
+
+    fn empty() -> Self {
+        Candidates {
+            inline: [Self::PLACEHOLDER; Self::INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    fn single(entry: HashEntry) -> Self {
+        Candidates {
+            inline: [entry, Self::PLACEHOLDER],
+            len: 1,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Place `entry` at its virtual bucket position. Positions form a
+    /// permutation of `0..bucket_len`, so placement *is* the sort.
+    fn place(&mut self, pos: usize, entry: HashEntry) {
+        if self.spill.is_empty() && pos < Self::INLINE {
+            self.inline[pos] = entry;
+        } else {
+            if self.spill.is_empty() {
+                self.spill = self.inline[..self.len.min(Self::INLINE)].to_vec();
+            }
+            if self.spill.len() <= pos {
+                self.spill.resize(pos + 1, Self::PLACEHOLDER);
+            }
+            self.spill[pos] = entry;
+        }
+        self.len = self.len.max(pos + 1);
+    }
+
+    /// The candidates as a slice, in bucket order.
+    #[inline]
+    pub fn as_slice(&self) -> &[HashEntry] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl std::ops::Deref for Candidates {
+    type Target = [HashEntry];
+    fn deref(&self) -> &[HashEntry] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Candidates {
+    type Item = &'a HashEntry;
+    type IntoIter = std::slice::Iter<'a, HashEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// The digest-indexed duplicate-lookup table.
-#[derive(Debug, Clone, Default)]
+///
+/// SwissTable-style open addressing over struct-of-arrays slots: control
+/// bytes (7-bit tag / empty / tombstone) are probed 16 at a time; a slot
+/// holds `{digest, real, reference, pos}` inline where `pos` is the entry's
+/// virtual position in its digest's bucket (seed-order reproduction — see
+/// module docs). All entries of one digest share one probe chain, so CRC
+/// collisions are successive probe hits.
+#[derive(Debug, Clone)]
 pub struct HashTable {
-    buckets: HashMap<u32, Vec<HashEntry>>,
+    ctrl: Box<[u8]>,
+    slots: Box<[Slot]>,
+    groups: usize,
     entries: usize,
+    /// Slots that are not `CTRL_EMPTY` (live entries + tombstones) — the
+    /// load the probe-termination guarantee depends on.
+    used: usize,
     collision_buckets: u64,
     saturated_hits: u64,
+}
+
+/// One slot's payload, kept as a single array-of-structs entry so that
+/// verifying a probe candidate touches one cache line, not four.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    digest: u32,
+    /// Virtual position in the digest's bucket (seed-order reproduction).
+    pos: u32,
+    real: u64,
+    reference: u8,
+}
+
+impl Default for HashTable {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl HashTable {
     /// An empty table.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_groups(MIN_GROUPS)
     }
 
-    /// All entries whose content hashes to `digest` (collision candidates).
-    pub fn candidates(&self, digest: u32) -> &[HashEntry] {
-        self.buckets.get(&digest).map_or(&[], Vec::as_slice)
+    fn with_groups(groups: usize) -> Self {
+        let slots = groups * GROUP;
+        HashTable {
+            ctrl: vec![CTRL_EMPTY; slots].into_boxed_slice(),
+            slots: vec![Slot::default(); slots].into_boxed_slice(),
+            groups,
+            entries: 0,
+            used: 0,
+            collision_buckets: 0,
+            saturated_hits: 0,
+        }
+    }
+
+    #[inline]
+    fn hash(digest: u32) -> u64 {
+        u64::from(digest).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// 7-bit control tag (high bit clear, so full slots never look
+    /// empty/deleted).
+    #[inline]
+    fn tag(h: u64) -> u8 {
+        ((h >> 57) & 0x7F) as u8
+    }
+
+    #[inline]
+    fn start_group(&self, h: u64) -> usize {
+        ((h >> 32) as usize) & (self.groups - 1)
+    }
+
+    /// The two SWAR words of group `g`'s control bytes, loaded with a
+    /// single bounds check.
+    #[inline]
+    fn group_words(&self, g: usize) -> (u64, u64) {
+        let base = g * GROUP;
+        let bytes: &[u8; GROUP] = self.ctrl[base..base + GROUP]
+            .try_into()
+            .expect("16-byte group");
+        (
+            u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+            u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes")),
+        )
+    }
+
+    /// One-load lookup scan of group `g`: two per-word candidate-lane
+    /// masks (a hit bit at `8k + 7` per lane, exact on the portable path,
+    /// superset-with-verification on the SWAR path — iterated directly so
+    /// the hot path never pays the gather multiplies) and whether the
+    /// group holds an empty (never-used) slot — probe chains terminate in
+    /// such a group. The empty test is exact on both paths.
+    #[inline]
+    fn scan_lookup(&self, g: usize, tag: u8, portable: bool) -> ([u64; 2], bool) {
+        if portable {
+            let base = g * GROUP;
+            let mut words = [0u64; 2];
+            let mut has_empty = false;
+            for lane in 0..GROUP {
+                let b = self.ctrl[base + lane];
+                if b == tag {
+                    words[lane / 8] |= 0x80 << ((lane % 8) * 8);
+                }
+                has_empty |= b == CTRL_EMPTY;
+            }
+            (words, has_empty)
+        } else {
+            let (lo, hi) = self.group_words(g);
+            let words = [swar_match_bits(lo, tag), swar_match_bits(hi, tag)];
+            let has_empty = (swar_empty_bits(lo) | swar_empty_bits(hi)) != 0;
+            (words, has_empty)
+        }
+    }
+
+    /// [`scan_lookup`](Self::scan_lookup) plus the exact 16-bit mask of
+    /// non-full (empty or tombstone) lanes — insert reuses the first.
+    #[inline]
+    fn scan_insert(&self, g: usize, tag: u8, portable: bool) -> (u32, u32, bool) {
+        if portable {
+            let base = g * GROUP;
+            let mut matches = 0u32;
+            let mut free = 0u32;
+            let mut has_empty = false;
+            for lane in 0..GROUP {
+                let b = self.ctrl[base + lane];
+                if b == tag {
+                    matches |= 1 << lane;
+                }
+                if b & 0x80 != 0 {
+                    free |= 1 << lane;
+                }
+                has_empty |= b == CTRL_EMPTY;
+            }
+            (matches, free, has_empty)
+        } else {
+            let (lo, hi) = self.group_words(g);
+            let matches =
+                u32::from(swar_match_lanes(lo, tag)) | (u32::from(swar_match_lanes(hi, tag)) << 8);
+            let free = u32::from(swar_gather_high_bits(lo & SWAR_HI))
+                | (u32::from(swar_gather_high_bits(hi & SWAR_HI)) << 8);
+            let has_empty = (swar_empty_bits(lo) | swar_empty_bits(hi)) != 0;
+            (matches, free, has_empty)
+        }
+    }
+
+    /// Find the slot holding `(digest, real)`, probing until the chain's
+    /// terminating empty group.
+    #[inline]
+    fn find_slot(&self, digest: u32, real: u64) -> Option<usize> {
+        let portable = portable_scan();
+        let h = Self::hash(digest);
+        let tag = Self::tag(h);
+        let mut g = self.start_group(h);
+        let mut stride = 0usize;
+        loop {
+            let (words, has_empty) = self.scan_lookup(g, tag, portable);
+            for (w, mut hits) in words.into_iter().enumerate() {
+                while hits != 0 {
+                    let lane = (hits.trailing_zeros() >> 3) as usize;
+                    hits &= hits - 1;
+                    let slot = g * GROUP + w * 8 + lane;
+                    let s = &self.slots[slot];
+                    if self.ctrl[slot] == tag && s.digest == digest && s.real == real {
+                        return Some(slot);
+                    }
+                }
+            }
+            if has_empty {
+                return None;
+            }
+            stride += 1;
+            g = (g + stride) & (self.groups - 1);
+        }
+    }
+
+    /// All entries whose content hashes to `digest` (collision candidates),
+    /// in exact seed-bucket order.
+    ///
+    /// Buckets of zero or one entry — the overwhelmingly common case — are
+    /// returned straight off the probe walk; multi-entry chains (CRC
+    /// collisions, saturated residues) fall back to a second walk that
+    /// sorts by virtual bucket position.
+    #[inline]
+    pub fn candidates(&self, digest: u32) -> Candidates {
+        let portable = portable_scan();
+        let h = Self::hash(digest);
+        let tag = Self::tag(h);
+        let start = self.start_group(h);
+        let mut g = start;
+        let mut stride = 0usize;
+        let mut single: Option<HashEntry> = None;
+        loop {
+            let (words, has_empty) = self.scan_lookup(g, tag, portable);
+            for (w, mut hits) in words.into_iter().enumerate() {
+                while hits != 0 {
+                    let lane = (hits.trailing_zeros() >> 3) as usize;
+                    hits &= hits - 1;
+                    let slot = g * GROUP + w * 8 + lane;
+                    let s = &self.slots[slot];
+                    if self.ctrl[slot] == tag && s.digest == digest {
+                        if single.is_some() {
+                            return self.candidates_multi(digest, tag, start, portable);
+                        }
+                        // A one-entry bucket's position is necessarily 0.
+                        single = Some(HashEntry {
+                            real: LineAddr::new(s.real),
+                            reference: s.reference,
+                        });
+                    }
+                }
+            }
+            if has_empty {
+                return match single {
+                    None => Candidates::empty(),
+                    Some(entry) => Candidates::single(entry),
+                };
+            }
+            stride += 1;
+            g = (g + stride) & (self.groups - 1);
+        }
+    }
+
+    /// [`candidates`](Self::candidates) slow path: re-walk the chain and
+    /// place every entry at its virtual bucket position.
+    fn candidates_multi(&self, digest: u32, tag: u8, start: usize, portable: bool) -> Candidates {
+        let mut out = Candidates::empty();
+        let mut g = start;
+        let mut stride = 0usize;
+        loop {
+            let (words, has_empty) = self.scan_lookup(g, tag, portable);
+            for (w, mut hits) in words.into_iter().enumerate() {
+                while hits != 0 {
+                    let lane = (hits.trailing_zeros() >> 3) as usize;
+                    hits &= hits - 1;
+                    let slot = g * GROUP + w * 8 + lane;
+                    let s = &self.slots[slot];
+                    if self.ctrl[slot] == tag && s.digest == digest {
+                        out.place(
+                            s.pos as usize,
+                            HashEntry {
+                                real: LineAddr::new(s.real),
+                                reference: s.reference,
+                            },
+                        );
+                    }
+                }
+            }
+            if has_empty {
+                return out;
+            }
+            stride += 1;
+            g = (g + stride) & (self.groups - 1);
+        }
+    }
+
+    /// Grow (or retension, dropping tombstones) into a fresh table.
+    fn rehash(&mut self, new_groups: usize) {
+        let old = std::mem::replace(self, Self::with_groups(new_groups));
+        self.collision_buckets = old.collision_buckets;
+        self.saturated_hits = old.saturated_hits;
+        for slot in 0..old.ctrl.len() {
+            if old.ctrl[slot] & 0x80 != 0 {
+                continue;
+            }
+            let h = Self::hash(old.slots[slot].digest);
+            let target = self.raw_free_slot(h);
+            self.ctrl[target] = Self::tag(h);
+            self.slots[target] = old.slots[slot];
+            self.entries += 1;
+            self.used += 1;
+        }
+    }
+
+    /// First free slot on `h`'s probe chain in a table known to hold no
+    /// tombstones and no duplicate of the key being placed (rehash fill).
+    fn raw_free_slot(&self, h: u64) -> usize {
+        let mut g = self.start_group(h);
+        let mut stride = 0usize;
+        loop {
+            // Free lanes are exactly the control high bits; no tag scan.
+            let (lo, hi) = self.group_words(g);
+            let free = u32::from(swar_gather_high_bits(lo & SWAR_HI))
+                | (u32::from(swar_gather_high_bits(hi & SWAR_HI)) << 8);
+            if free != 0 {
+                return g * GROUP + free.trailing_zeros() as usize;
+            }
+            stride += 1;
+            g = (g + stride) & (self.groups - 1);
+        }
+    }
+
+    /// Shared insert: walks `digest`'s whole probe chain once, counting
+    /// same-digest entries (the new entry's bucket position), asserting
+    /// `real` is absent, and taking the first reusable slot.
+    fn insert_impl(&mut self, digest: u32, real: LineAddr, reference: u8) {
+        // Amortised growth: keep at least 1/8 of slots truly empty so
+        // probe chains terminate and stay short.
+        if (self.used + 1) * 8 > self.ctrl.len() * 7 {
+            let new_groups = if (self.entries + 1) * 8 > self.ctrl.len() * 7 {
+                self.groups * 2
+            } else {
+                self.groups // tombstone purge only
+            };
+            self.rehash(new_groups);
+        }
+        let portable = portable_scan();
+        let h = Self::hash(digest);
+        let tag = Self::tag(h);
+        let mut g = self.start_group(h);
+        let mut stride = 0usize;
+        let mut bucket_len = 0usize;
+        let mut target: Option<usize> = None;
+        loop {
+            let (mut mask, free, has_empty) = self.scan_insert(g, tag, portable);
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let slot = g * GROUP + lane;
+                let s = &self.slots[slot];
+                if self.ctrl[slot] == tag && s.digest == digest {
+                    assert!(
+                        s.real != real.index(),
+                        "line {real} already indexed under digest {digest:#x}"
+                    );
+                    bucket_len += 1;
+                }
+            }
+            if target.is_none() && free != 0 {
+                target = Some(g * GROUP + free.trailing_zeros() as usize);
+            }
+            if has_empty {
+                break;
+            }
+            stride += 1;
+            g = (g + stride) & (self.groups - 1);
+        }
+        let slot = target.expect("the terminating group has an empty slot");
+        if self.ctrl[slot] == CTRL_EMPTY {
+            self.used += 1;
+        }
+        self.ctrl[slot] = tag;
+        self.slots[slot] = Slot {
+            digest,
+            pos: bucket_len as u32,
+            real: real.index(),
+            reference,
+        };
+        self.entries += 1;
+        if bucket_len == 1 {
+            // The bucket just reached two entries (seed: `bucket.len() == 2`).
+            self.collision_buckets += 1;
+        }
     }
 
     /// Insert a new resident line with reference count 1.
@@ -58,16 +551,7 @@ impl HashTable {
     /// Panics if `real` is already present under `digest` — the caller must
     /// clean stale entries first (that is what the inverted table is for).
     pub fn insert(&mut self, digest: u32, real: LineAddr) {
-        let bucket = self.buckets.entry(digest).or_default();
-        assert!(
-            !bucket.iter().any(|e| e.real == real),
-            "line {real} already indexed under digest {digest:#x}"
-        );
-        bucket.push(HashEntry { real, reference: 1 });
-        if bucket.len() == 2 {
-            self.collision_buckets += 1;
-        }
-        self.entries += 1;
+        self.insert_impl(digest, real, 1);
     }
 
     /// Recovery-path insert with an explicit starting reference (0 is
@@ -77,16 +561,7 @@ impl HashTable {
     ///
     /// Panics if `real` is already present under `digest`.
     pub(crate) fn insert_with_reference(&mut self, digest: u32, real: LineAddr, reference: u8) {
-        let bucket = self.buckets.entry(digest).or_default();
-        assert!(
-            !bucket.iter().any(|e| e.real == real),
-            "line {real} already indexed under digest {digest:#x}"
-        );
-        bucket.push(HashEntry { real, reference });
-        if bucket.len() == 2 {
-            self.collision_buckets += 1;
-        }
-        self.entries += 1;
+        self.insert_impl(digest, real, reference);
     }
 
     /// Increment the reference of `real` under `digest`. Returns `false`
@@ -96,17 +571,56 @@ impl HashTable {
     ///
     /// Panics if the entry does not exist.
     pub fn add_reference(&mut self, digest: u32, real: LineAddr) -> bool {
-        let entry = self
-            .buckets
-            .get_mut(&digest)
-            .and_then(|b| b.iter_mut().find(|e| e.real == real))
+        let slot = self
+            .find_slot(digest, real.index())
             .expect("add_reference on missing hash entry");
-        if entry.reference == MAX_REFERENCE {
+        if self.slots[slot].reference == MAX_REFERENCE {
             self.saturated_hits += 1;
             return false;
         }
-        entry.reference += 1;
+        self.slots[slot].reference += 1;
         true
+    }
+
+    /// Tombstone `slot` and re-number its digest's bucket exactly as the
+    /// seed `Vec::swap_remove` did: the bucket's last entry (highest
+    /// position) takes the removed entry's position.
+    fn remove_slot(&mut self, slot: usize, digest: u32) {
+        let portable = portable_scan();
+        let removed_pos = self.slots[slot].pos;
+        self.ctrl[slot] = CTRL_DELETED;
+        self.entries -= 1;
+        let h = Self::hash(digest);
+        let tag = Self::tag(h);
+        let mut g = self.start_group(h);
+        let mut stride = 0usize;
+        let mut last: Option<usize> = None;
+        loop {
+            let (words, has_empty) = self.scan_lookup(g, tag, portable);
+            for (w, mut hits) in words.into_iter().enumerate() {
+                while hits != 0 {
+                    let lane = (hits.trailing_zeros() >> 3) as usize;
+                    hits &= hits - 1;
+                    let s = g * GROUP + w * 8 + lane;
+                    if self.ctrl[s] == tag
+                        && self.slots[s].digest == digest
+                        && last.is_none_or(|l| self.slots[s].pos > self.slots[l].pos)
+                    {
+                        last = Some(s);
+                    }
+                }
+            }
+            if has_empty {
+                break;
+            }
+            stride += 1;
+            g = (g + stride) & (self.groups - 1);
+        }
+        if let Some(l) = last {
+            if self.slots[l].pos > removed_pos {
+                self.slots[l].pos = removed_pos;
+            }
+        }
     }
 
     /// Decrement the reference of `real` under `digest`. Returns the new
@@ -117,26 +631,16 @@ impl HashTable {
     ///
     /// Panics if the entry does not exist.
     pub fn release_reference(&mut self, digest: u32, real: LineAddr) -> u8 {
-        let bucket = self
-            .buckets
-            .get_mut(&digest)
-            .expect("release_reference on missing digest");
-        let idx = bucket
-            .iter()
-            .position(|e| e.real == real)
+        let slot = self
+            .find_slot(digest, real.index())
             .expect("release_reference on missing hash entry");
-        let entry = &mut bucket[idx];
-        if entry.reference == MAX_REFERENCE {
+        if self.slots[slot].reference == MAX_REFERENCE {
             return MAX_REFERENCE;
         }
-        entry.reference -= 1;
-        let remaining = entry.reference;
+        self.slots[slot].reference -= 1;
+        let remaining = self.slots[slot].reference;
         if remaining == 0 {
-            bucket.swap_remove(idx);
-            self.entries -= 1;
-            if bucket.is_empty() {
-                self.buckets.remove(&digest);
-            }
+            self.remove_slot(slot, digest);
         }
         remaining
     }
@@ -149,28 +653,17 @@ impl HashTable {
     ///
     /// Panics if the entry does not exist.
     pub fn remove(&mut self, digest: u32, real: LineAddr) {
-        let bucket = self
-            .buckets
-            .get_mut(&digest)
-            .expect("remove on missing digest");
-        let idx = bucket
-            .iter()
-            .position(|e| e.real == real)
+        let slot = self
+            .find_slot(digest, real.index())
             .expect("remove on missing hash entry");
-        bucket.swap_remove(idx);
-        self.entries -= 1;
-        if bucket.is_empty() {
-            self.buckets.remove(&digest);
-        }
+        self.remove_slot(slot, digest);
     }
 
     /// The reference count of `real` under `digest`, if present.
+    #[inline]
     pub fn reference(&self, digest: u32, real: LineAddr) -> Option<u8> {
-        self.buckets
-            .get(&digest)?
-            .iter()
-            .find(|e| e.real == real)
-            .map(|e| e.reference)
+        self.find_slot(digest, real.index())
+            .map(|s| self.slots[s].reference)
     }
 
     /// Total entries across all buckets.
@@ -200,11 +693,62 @@ impl HashTable {
     }
 
     /// Iterate over `(digest, entry)` pairs (reference-count distribution,
-    /// Fig. 7).
-    pub fn iter(&self) -> impl Iterator<Item = (u32, &HashEntry)> {
-        self.buckets
+    /// Fig. 7). Slot order, which is not meaningful — like the seed's map
+    /// iteration order was not.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, HashEntry)> + '_ {
+        self.ctrl
             .iter()
-            .flat_map(|(&d, bucket)| bucket.iter().map(move |e| (d, e)))
+            .enumerate()
+            .filter(|(_, &c)| c & 0x80 == 0)
+            .map(|(slot, _)| {
+                let s = &self.slots[slot];
+                (
+                    s.digest,
+                    HashEntry {
+                        real: LineAddr::new(s.real),
+                        reference: s.reference,
+                    },
+                )
+            })
+    }
+}
+
+/// One-bit-per-index presence bitmap for the dense tables.
+#[derive(Debug, Clone)]
+struct PresenceBitmap {
+    words: Box<[u64]>,
+}
+
+impl PresenceBitmap {
+    fn new(len: u64) -> Self {
+        PresenceBitmap {
+            words: vec![0u64; (len as usize).div_ceil(64)].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, idx: u64) -> bool {
+        self.words[(idx >> 6) as usize] & (1u64 << (idx & 63)) != 0
+    }
+
+    /// Set the bit; returns whether it was newly set.
+    #[inline]
+    fn set(&mut self, idx: u64) -> bool {
+        let word = &mut self.words[(idx >> 6) as usize];
+        let bit = 1u64 << (idx & 63);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Clear the bit; returns whether it was set.
+    #[inline]
+    fn clear(&mut self, idx: u64) -> bool {
+        let word = &mut self.words[(idx >> 6) as usize];
+        let bit = 1u64 << (idx & 63);
+        let was = *word & bit != 0;
+        *word &= !bit;
+        was
     }
 }
 
@@ -213,25 +757,50 @@ impl HashTable {
 /// A line absent from the table is *not deduplicated*: its data lives in its
 /// home location (realAddr = initAddr). This matches the paper's colocation
 /// observation — absent/"null" slots hold the encryption counter instead.
-#[derive(Debug, Clone, Default)]
+///
+/// The line space is bounded and known at construction, so this is a dense
+/// `Box<[u64]>` indexed by `LineAddr` with a presence bitmap — no hashing.
+#[derive(Debug, Clone)]
 pub struct AddrMapTable {
-    map: HashMap<u64, LineAddr>,
+    real: Box<[u64]>,
+    present: PresenceBitmap,
+    len: usize,
 }
 
 impl AddrMapTable {
-    /// An empty table.
-    pub fn new() -> Self {
-        Self::default()
+    /// An empty table over `lines` initial addresses.
+    pub fn new(lines: u64) -> Self {
+        AddrMapTable {
+            real: vec![0u64; lines as usize].into_boxed_slice(),
+            present: PresenceBitmap::new(lines),
+            len: 0,
+        }
     }
 
     /// Resolve `init` to the physical line holding its data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` is outside the constructed line space.
+    #[inline]
     pub fn resolve(&self, init: LineAddr) -> LineAddr {
-        self.map.get(&init.index()).copied().unwrap_or(init)
+        let idx = init.index();
+        assert!((idx as usize) < self.real.len(), "line {init} out of range");
+        // Unconditional load keeps the select branchless: on mixed
+        // mapped/unmapped streams the data-dependent branch would
+        // mispredict half the time and serialise behind the bitmap word.
+        let real = LineAddr::new(self.real[idx as usize]);
+        if self.present.get(idx) {
+            real
+        } else {
+            init
+        }
     }
 
     /// Whether `init` is deduplicated (mapped away from home).
+    #[inline]
     pub fn is_mapped(&self, init: LineAddr) -> bool {
-        self.map.contains_key(&init.index())
+        self.present.get(init.index())
     }
 
     /// Map `init` to `real`.
@@ -242,60 +811,90 @@ impl AddrMapTable {
     /// absence.
     pub fn map_to(&mut self, init: LineAddr, real: LineAddr) {
         assert_ne!(init, real, "identity mappings are implicit");
-        self.map.insert(init.index(), real);
+        let idx = init.index();
+        self.real[idx as usize] = real.index();
+        if self.present.set(idx) {
+            self.len += 1;
+        }
     }
 
     /// Remove `init`'s mapping (its data is back in its home line).
     pub fn unmap(&mut self, init: LineAddr) {
-        self.map.remove(&init.index());
+        if self.present.clear(init.index()) {
+            self.len -= 1;
+        }
     }
 
     /// Number of deduplicated (mapped) lines.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether no lines are deduplicated.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 }
 
 /// The realAddr → digest table for stale-hash cleaning.
-#[derive(Debug, Clone, Default)]
+///
+/// Dense `Box<[u32]>` indexed by `LineAddr` with a presence bitmap, like
+/// [`AddrMapTable`].
+#[derive(Debug, Clone)]
 pub struct InvertedTable {
-    map: HashMap<u64, u32>,
+    digest: Box<[u32]>,
+    present: PresenceBitmap,
+    len: usize,
 }
 
 impl InvertedTable {
-    /// An empty table.
-    pub fn new() -> Self {
-        Self::default()
+    /// An empty table over `lines` physical lines.
+    pub fn new(lines: u64) -> Self {
+        InvertedTable {
+            digest: vec![0u32; lines as usize].into_boxed_slice(),
+            present: PresenceBitmap::new(lines),
+            len: 0,
+        }
     }
 
     /// The digest of the content resident at `real`, if any.
     pub fn digest_of(&self, real: LineAddr) -> Option<u32> {
-        self.map.get(&real.index()).copied()
+        let idx = real.index();
+        if self.present.get(idx) {
+            Some(self.digest[idx as usize])
+        } else {
+            None
+        }
     }
 
     /// Record that `real` now holds content with `digest`.
     pub fn set(&mut self, real: LineAddr, digest: u32) {
-        self.map.insert(real.index(), digest);
+        let idx = real.index();
+        self.digest[idx as usize] = digest;
+        if self.present.set(idx) {
+            self.len += 1;
+        }
     }
 
     /// Clear the record for `real` (line freed). Returns the stale digest.
     pub fn clear(&mut self, real: LineAddr) -> Option<u32> {
-        self.map.remove(&real.index())
+        let idx = real.index();
+        if self.present.clear(idx) {
+            self.len -= 1;
+            Some(self.digest[idx as usize])
+        } else {
+            None
+        }
     }
 
     /// Number of resident (hash-indexed) lines.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether no lines are recorded.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 }
 
@@ -406,7 +1005,7 @@ mod tests {
         assert!(t.candidates(0xAB).is_empty());
         t.insert(0xAB, l(3));
         assert_eq!(
-            t.candidates(0xAB),
+            t.candidates(0xAB).as_slice(),
             &[HashEntry {
                 real: l(3),
                 reference: 1
@@ -482,11 +1081,259 @@ mod tests {
         assert_eq!(seen, vec![(1, 10), (2, 20), (2, 21)]);
     }
 
+    #[test]
+    fn growth_keeps_every_entry_findable() {
+        // Far past the initial 32-slot capacity, through several rehashes,
+        // with colliding digests to stress shared probe chains.
+        let mut t = HashTable::new();
+        for i in 0..2000u64 {
+            t.insert((i % 257) as u32, l(i));
+        }
+        assert_eq!(t.len(), 2000);
+        for i in 0..2000u64 {
+            assert_eq!(t.reference((i % 257) as u32, l(i)), Some(1), "i={i}");
+        }
+        for d in 0..257u32 {
+            let n = t.candidates(d).len();
+            assert!((7..=8).contains(&n), "digest {d} has {n} candidates");
+        }
+    }
+
+    #[test]
+    fn tombstones_do_not_break_probe_chains() {
+        let mut t = HashTable::new();
+        // Build a long shared chain, punch holes in the middle, then
+        // verify the tail is still reachable and ordered.
+        for i in 0..20u64 {
+            t.insert(7, l(i));
+        }
+        for i in (0..20u64).step_by(2) {
+            t.remove(7, l(i));
+        }
+        assert_eq!(t.candidates(7).len(), 10);
+        for i in (1..20u64).step_by(2) {
+            assert_eq!(t.reference(7, l(i)), Some(1), "i={i}");
+        }
+        // Reinserting reuses tombstoned slots without losing anyone.
+        for i in 100..110u64 {
+            t.insert(7, l(i));
+        }
+        assert_eq!(t.candidates(7).len(), 20);
+    }
+
+    #[test]
+    fn candidate_order_matches_seed_swap_remove_semantics() {
+        // Seed: bucket [a b c d], swap_remove(b) -> [a d c]. The flat
+        // table must reproduce that exact order.
+        let mut t = HashTable::new();
+        for i in 0..4u64 {
+            t.insert(9, l(i));
+        }
+        t.remove(9, l(1));
+        let order: Vec<u64> = t.candidates(9).iter().map(|e| e.real.index()).collect();
+        assert_eq!(order, vec![0, 3, 2]);
+        // Removing the (current) last entry moves nobody.
+        t.remove(9, l(2));
+        let order: Vec<u64> = t.candidates(9).iter().map(|e| e.real.index()).collect();
+        assert_eq!(order, vec![0, 3]);
+    }
+
+    #[test]
+    fn portable_and_swar_scans_agree() {
+        let build = || {
+            let mut t = HashTable::new();
+            for i in 0..300u64 {
+                t.insert((i % 31) as u32, l(i));
+            }
+            for i in (0..300u64).step_by(3) {
+                t.remove((i % 31) as u32, l(i));
+            }
+            t
+        };
+        dewrite_hashes::set_portable_only(false);
+        let fast = build();
+        let fast_c: Vec<Vec<u64>> = (0..31u32)
+            .map(|d| fast.candidates(d).iter().map(|e| e.real.index()).collect())
+            .collect();
+        dewrite_hashes::set_portable_only(true);
+        let portable = build();
+        let portable_c: Vec<Vec<u64>> = (0..31u32)
+            .map(|d| {
+                portable
+                    .candidates(d)
+                    .iter()
+                    .map(|e| e.real.index())
+                    .collect()
+            })
+            .collect();
+        // Either scan path must also read the other's table identically.
+        let cross: Vec<Vec<u64>> = (0..31u32)
+            .map(|d| fast.candidates(d).iter().map(|e| e.real.index()).collect())
+            .collect();
+        dewrite_hashes::set_portable_only(false);
+        assert_eq!(fast_c, portable_c);
+        assert_eq!(fast_c, cross);
+    }
+
+    // ---- differential proptests vs the seed oracles -------------------
+
+    /// One randomized hash-table op.
+    #[derive(Debug, Clone)]
+    enum HashOp {
+        Insert(u32, u64),
+        InsertWithRef(u32, u64, u8),
+        AddRef(u32, u64),
+        Release(u32, u64),
+        Remove(u32, u64),
+    }
+
+    fn hash_op_strategy() -> impl Strategy<Value = HashOp> {
+        // Tiny digest/line spaces force collisions, shared chains, and
+        // repeated remove/reinsert of the same keys.
+        let d = 0u32..4;
+        let r = 0u64..12;
+        prop_oneof![
+            (d.clone(), r.clone()).prop_map(|(d, r)| HashOp::Insert(d, r)),
+            (
+                d.clone(),
+                r.clone(),
+                prop_oneof![Just(0u8), Just(1), Just(254), Just(255)]
+            )
+                .prop_map(|(d, r, c)| HashOp::InsertWithRef(d, r, c)),
+            (d.clone(), r.clone()).prop_map(|(d, r)| HashOp::AddRef(d, r)),
+            (d.clone(), r.clone()).prop_map(|(d, r)| HashOp::Release(d, r)),
+            (d, r).prop_map(|(d, r)| HashOp::Remove(d, r)),
+        ]
+    }
+
+    /// Observable state must match the seed oracle after *every* op:
+    /// candidate order, reference counts, len, and all statistics.
+    fn assert_hash_tables_agree(seed: &crate::seed::SeedHashTable, flat: &HashTable) {
+        assert_eq!(seed.len(), flat.len());
+        assert_eq!(seed.is_empty(), flat.is_empty());
+        assert_eq!(seed.collision_buckets(), flat.collision_buckets());
+        assert_eq!(seed.saturated_hits(), flat.saturated_hits());
+        for d in 0..4u32 {
+            assert_eq!(
+                seed.candidates(d),
+                flat.candidates(d).as_slice(),
+                "candidate order for digest {d}"
+            );
+            for r in 0..12u64 {
+                assert_eq!(seed.reference(d, l(r)), flat.reference(d, l(r)));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn hash_table_matches_seed_oracle(ops in proptest::collection::vec(hash_op_strategy(), 0..120)) {
+            let mut seed = crate::seed::SeedHashTable::new();
+            let mut flat = HashTable::new();
+            for op in ops {
+                match op {
+                    HashOp::Insert(d, r) => {
+                        if seed.reference(d, l(r)).is_none() {
+                            seed.insert(d, l(r));
+                            flat.insert(d, l(r));
+                        }
+                    }
+                    HashOp::InsertWithRef(d, r, c) => {
+                        if seed.reference(d, l(r)).is_none() {
+                            seed.insert_with_reference(d, l(r), c);
+                            flat.insert_with_reference(d, l(r), c);
+                        }
+                    }
+                    HashOp::AddRef(d, r) => {
+                        if seed.reference(d, l(r)).is_some() {
+                            prop_assert_eq!(seed.add_reference(d, l(r)), flat.add_reference(d, l(r)));
+                        }
+                    }
+                    HashOp::Release(d, r) => {
+                        // Reference 0 is a transient recovery state; the
+                        // product re-links (add_reference) before anything
+                        // can release, so releasing at 0 is out of model.
+                        if seed.reference(d, l(r)).is_some_and(|c| c > 0) {
+                            prop_assert_eq!(
+                                seed.release_reference(d, l(r)),
+                                flat.release_reference(d, l(r))
+                            );
+                        }
+                    }
+                    HashOp::Remove(d, r) => {
+                        if seed.reference(d, l(r)).is_some() {
+                            seed.remove(d, l(r));
+                            flat.remove(d, l(r));
+                        }
+                    }
+                }
+                assert_hash_tables_agree(&seed, &flat);
+            }
+        }
+
+        #[test]
+        fn hash_table_matches_seed_through_saturation(extra in 0usize..40) {
+            // Drive one entry to 255 and beyond: saturation behavior
+            // (rejected add_reference, sticky release) must match exactly.
+            let mut seed = crate::seed::SeedHashTable::new();
+            let mut flat = HashTable::new();
+            seed.insert(1, l(0));
+            flat.insert(1, l(0));
+            for _ in 0..(MAX_REFERENCE as usize - 1 + extra) {
+                prop_assert_eq!(seed.add_reference(1, l(0)), flat.add_reference(1, l(0)));
+            }
+            prop_assert_eq!(seed.release_reference(1, l(0)), flat.release_reference(1, l(0)));
+            assert_hash_tables_agree(&seed, &flat);
+        }
+
+        #[test]
+        fn addr_map_matches_seed_oracle(
+            ops in proptest::collection::vec((0u64..32, 0u64..32, any::<bool>()), 0..200)
+        ) {
+            let mut seed = crate::seed::SeedAddrMapTable::new();
+            let mut flat = AddrMapTable::new(32);
+            for (init, real, map) in ops {
+                if map && init != real {
+                    seed.map_to(l(init), l(real));
+                    flat.map_to(l(init), l(real));
+                } else if !map {
+                    seed.unmap(l(init));
+                    flat.unmap(l(init));
+                }
+                prop_assert_eq!(seed.len(), flat.len());
+                for i in 0..32u64 {
+                    prop_assert_eq!(seed.resolve(l(i)), flat.resolve(l(i)));
+                    prop_assert_eq!(seed.is_mapped(l(i)), flat.is_mapped(l(i)));
+                }
+            }
+        }
+
+        #[test]
+        fn inverted_matches_seed_oracle(
+            ops in proptest::collection::vec((0u64..32, 0u32..8, any::<bool>()), 0..200)
+        ) {
+            let mut seed = crate::seed::SeedInvertedTable::new();
+            let mut flat = InvertedTable::new(32);
+            for (real, digest, set) in ops {
+                if set {
+                    seed.set(l(real), digest);
+                    flat.set(l(real), digest);
+                } else {
+                    prop_assert_eq!(seed.clear(l(real)), flat.clear(l(real)));
+                }
+                prop_assert_eq!(seed.len(), flat.len());
+                for i in 0..32u64 {
+                    prop_assert_eq!(seed.digest_of(l(i)), flat.digest_of(l(i)));
+                }
+            }
+        }
+    }
+
     // ---- AddrMapTable ----
 
     #[test]
     fn addr_map_defaults_to_identity() {
-        let m = AddrMapTable::new();
+        let m = AddrMapTable::new(16);
         assert_eq!(m.resolve(l(4)), l(4));
         assert!(!m.is_mapped(l(4)));
         assert!(m.is_empty());
@@ -494,7 +1341,7 @@ mod tests {
 
     #[test]
     fn addr_map_roundtrip() {
-        let mut m = AddrMapTable::new();
+        let mut m = AddrMapTable::new(16);
         m.map_to(l(4), l(9));
         assert_eq!(m.resolve(l(4)), l(9));
         assert!(m.is_mapped(l(4)));
@@ -506,7 +1353,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "identity mappings")]
     fn addr_map_rejects_identity() {
-        let mut m = AddrMapTable::new();
+        let mut m = AddrMapTable::new(16);
         m.map_to(l(4), l(4));
     }
 
@@ -514,7 +1361,7 @@ mod tests {
 
     #[test]
     fn inverted_set_get_clear() {
-        let mut t = InvertedTable::new();
+        let mut t = InvertedTable::new(8);
         assert_eq!(t.digest_of(l(1)), None);
         t.set(l(1), 0xDEAD);
         assert_eq!(t.digest_of(l(1)), Some(0xDEAD));

@@ -20,7 +20,7 @@
 //! a shard's final state — and its [`RunReport`] — is a pure function of
 //! its input feed.
 
-use dewrite_core::tables::{HashTable, InvertedTable, MAX_REFERENCE};
+use dewrite_core::tables::{HashEntry, HashTable, InvertedTable, MAX_REFERENCE};
 use dewrite_core::{
     lines_equal, BaseMetrics, DeWriteMetrics, HistoryPredictor, RunReport, Stage, StageBreakdown,
     WriteEvent, WritePath,
@@ -34,6 +34,9 @@ use std::collections::{HashMap, VecDeque};
 
 /// Candidate-compare cap per write (§III-B2: bounded verify cost).
 pub const MAX_CANDIDATE_COMPARES: usize = 4;
+
+/// Sentinel in the dense address map: address has no mapping.
+const SLOT_NONE: u64 = u64::MAX;
 
 /// Simulated PCM array read latency, ns.
 const ARRAY_READ_NS: u64 = 75;
@@ -76,8 +79,11 @@ pub struct ShardController {
     inverted: InvertedTable,
     fsm: AtomicBitmap,
     /// Global initial address → local slot, for every line this shard has
-    /// accepted a write for.
-    addr_map: HashMap<u64, u64>,
+    /// accepted a write for. Dense: owned addresses are exactly
+    /// `{a : a mod shards == id}`, so `a / shards` is a unique index.
+    /// [`SLOT_NONE`] marks unmapped; grown on demand for address spaces
+    /// larger than the arena.
+    addr_map: Vec<u64>,
     /// Per-slot CME write counters, colocated with the address map.
     /// Monotonic for the shard's lifetime — pad uniqueness survives slot
     /// reuse.
@@ -137,9 +143,9 @@ impl ShardController {
             hasher: HashAlgorithm::Crc32.hasher(),
             crypt: CounterModeEngine::new(key),
             hash: HashTable::new(),
-            inverted: InvertedTable::new(),
+            inverted: InvertedTable::new(slots),
             fsm: AtomicBitmap::new(slots),
-            addr_map: HashMap::new(),
+            addr_map: vec![SLOT_NONE; slots as usize],
             counters: vec![0u32; slots as usize],
             store: vec![0u8; slots as usize * line_size],
             meta: MetadataCache::new(CacheConfig::with_capacity((slots as usize / 4).max(64))),
@@ -319,12 +325,37 @@ impl ShardController {
             .decrypt_line_into(&self.store[range], addr, ctr, &mut self.scratch);
     }
 
+    /// Dense address-map index of a global address this shard owns.
+    fn map_index(&self, addr: LineAddr) -> usize {
+        (addr.index() / self.shards as u64) as usize
+    }
+
+    /// The mapped local slot of `addr`, if any.
+    fn mapped_slot(&self, addr: LineAddr) -> Option<u64> {
+        self.addr_map
+            .get(self.map_index(addr))
+            .copied()
+            .filter(|&slot| slot != SLOT_NONE)
+    }
+
+    /// Map `addr` to a local slot, growing the dense map if the address
+    /// space outruns the arena size it was pre-sized to.
+    fn map_addr(&mut self, addr: LineAddr, slot: u64) {
+        let idx = self.map_index(addr);
+        if idx >= self.addr_map.len() {
+            self.addr_map.resize(idx + 1, SLOT_NONE);
+        }
+        self.addr_map[idx] = slot;
+    }
+
     /// Drop `addr`'s current mapping, releasing its slot when the last
     /// reference goes.
     fn release_previous_mapping(&mut self, addr: LineAddr) {
-        let Some(old_slot) = self.addr_map.remove(&addr.index()) else {
+        let Some(old_slot) = self.mapped_slot(addr) else {
             return;
         };
+        let idx = self.map_index(addr);
+        self.addr_map[idx] = SLOT_NONE;
         let digest = self
             .inverted
             .digest_of(LineAddr::new(old_slot))
@@ -398,14 +429,9 @@ impl ShardController {
         let mut compare_ns = 0u64;
         let mut dup_slot: Option<u64> = None;
         if !pna_skip {
-            let candidates: Vec<(LineAddr, u8)> = self
-                .hash
-                .candidates(digest)
-                .iter()
-                .map(|e| (e.real, e.reference))
-                .collect();
+            let candidates = self.hash.candidates(digest);
             let mut compared = 0usize;
-            for (real, reference) in candidates {
+            for &HashEntry { real, reference } in &candidates {
                 if compared == MAX_CANDIDATE_COMPARES {
                     break;
                 }
@@ -446,7 +472,7 @@ impl ShardController {
                 // the new reference before releasing the old one so the
                 // entry never transiently hits zero.
                 self.release_previous_mapping(addr);
-                self.addr_map.insert(addr.index(), slot);
+                self.map_addr(addr, slot);
                 true
             }
             _ => false,
@@ -493,7 +519,7 @@ impl ShardController {
             self.energy.aes_pj += aes_line_energy_pj(self.line_size);
             self.hash.insert(digest, LineAddr::new(slot));
             self.inverted.set(LineAddr::new(slot), digest);
-            self.addr_map.insert(addr.index(), slot);
+            self.map_addr(addr, slot);
 
             event.set_stage(Stage::Encrypt, AES_LINE_LATENCY_NS);
             event.set_stage(Stage::ArrayWrite, ARRAY_WRITE_NS);
@@ -550,7 +576,7 @@ impl ShardController {
         self.instructions += u64::from(gap) + 1;
         self.base.reads += 1;
         self.energy.nvm_read_pj += self.energy_params.read_line_pj;
-        let sim_ns = match self.addr_map.get(&addr.index()).copied() {
+        let sim_ns = match self.mapped_slot(addr) {
             Some(slot) => {
                 self.decrypt_slot(slot);
                 let mut fold = 0u64;
@@ -631,8 +657,12 @@ impl ShardController {
 
         // How many mapped addresses resolve to each slot.
         let mut mapped_refs: HashMap<u64, u64> = HashMap::new();
-        for (&init, &slot) in &self.addr_map {
+        for (idx, &slot) in self.addr_map.iter().enumerate() {
+            if slot == SLOT_NONE {
+                continue;
+            }
             if !occupied_set.contains(&slot) {
+                let init = idx as u64 * self.shards as u64 + self.id as u64;
                 return Err(format!(
                     "shard {}: address {init} maps to free slot {slot}",
                     self.id

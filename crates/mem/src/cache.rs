@@ -7,6 +7,27 @@
 //! replacement and support for the sequential-prefetch insertions the
 //! address-mapping / inverted-hash / FSM tables rely on (Fig. 21 sweeps both
 //! capacity and prefetch granularity).
+//!
+//! # Memory layout
+//!
+//! The cache sits on every simulated memory access, so it is flat arrays
+//! rather than per-set heap `Vec`s: one interleaved `{key, stamp}` entry
+//! (a hit reads the key and re-stamps recency in one cache line) and one
+//! flag byte (valid + dirty bits) per way, all indexed
+//! `set * associativity + way`. Nothing allocates after
+//! [`MetadataCache::new`]. A one-byte tag
+//! sidecar (a 7-bit hash of the key per way, `0x80` for a never-used way)
+//! fronts every set scan: a whole set's tags are matched with one u64 SWAR
+//! compare, so a lookup touches 8 bytes instead of 64 and full keys are
+//! only compared on tag hits. SWAR false positives and empty lanes are
+//! filtered by an exact byte compare from the word already in register, so
+//! the scan is exact on every platform — no portable fallback is needed
+//! (the few SWAR lines are duplicated from the core table scan; this crate
+//! is dependency-free, like the portable switch duplicated between
+//! `dewrite-hashes` and `dewrite-crypto`). Replacement is behaviorally
+//! identical to the seed per-set-`Vec` implementation (kept as an oracle in
+//! [`crate::seed`]): victims are chosen by unique minimum stamp, so
+//! set-internal storage order was never observable.
 
 /// Replacement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,13 +93,6 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Way {
-    key: u64,
-    dirty: bool,
-    stamp: u64,
-}
-
 /// An entry evicted from the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Evicted {
@@ -86,6 +100,37 @@ pub struct Evicted {
     pub key: u64,
     /// Whether it was dirty (must be written back to NVM).
     pub dirty: bool,
+}
+
+/// Way flag bit: slot holds an entry.
+const FLAG_VALID: u8 = 1 << 0;
+/// Way flag bit: entry differs from NVM (write-back pending).
+const FLAG_DIRTY: u8 = 1 << 1;
+
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+/// A tag word of eight never-used lanes (`0x80` per byte — the high bit is
+/// never set in a valid 7-bit tag, so empty lanes never match).
+const TAG_EMPTY_WORD: u64 = SWAR_HI;
+
+/// Per-lane hit bits (at bit `8k + 7`) for bytes of `word` equal to `tag`,
+/// via the SWAR zero-byte trick. Lanes above a true match may be false
+/// positives; callers verify every candidate lane exactly.
+#[inline]
+fn swar_match_lanes(word: u64, tag: u8) -> u64 {
+    let x = word ^ (SWAR_LO.wrapping_mul(u64::from(tag)));
+    x.wrapping_sub(SWAR_LO) & !x & SWAR_HI
+}
+
+/// One way's key and recency stamp, interleaved so the common LRU hit
+/// (compare key, refresh stamp) touches a single cache line instead of
+/// one line in a key array plus one in a stamp array.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    key: u64,
+    /// Recency/insertion stamp. Stamps come from a strictly monotonic
+    /// clock, so the eviction minimum is always unique.
+    stamp: u64,
 }
 
 /// Set-associative write-back metadata cache.
@@ -102,7 +147,19 @@ pub struct Evicted {
 #[derive(Debug, Clone)]
 pub struct MetadataCache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// Way key/stamp pairs, indexed `set * associativity + way`.
+    ways: Box<[Way]>,
+    /// Valid/dirty flag bytes, same indexing.
+    flags: Box<[u8]>,
+    /// One-byte key tags, eight lanes per u64 word, `tag_words` words per
+    /// set (lanes past the associativity are permanently `0x80`). A way is
+    /// valid iff its tag lane's high bit is clear — tags are written
+    /// exactly when a way is (re)filled and ways are never invalidated.
+    tags: Box<[u64]>,
+    /// Tag words per set: `associativity.div_ceil(8)`.
+    tag_words: usize,
+    num_sets: usize,
+    len: usize,
     clock: u64,
     stats: CacheStats,
 }
@@ -116,10 +173,17 @@ impl MetadataCache {
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.capacity > 0, "cache capacity must be nonzero");
         assert!(config.associativity > 0, "associativity must be nonzero");
-        let sets = vec![Vec::with_capacity(config.associativity); config.num_sets()];
+        let num_sets = config.num_sets();
+        let slots = num_sets * config.associativity;
+        let tag_words = config.associativity.div_ceil(8);
         MetadataCache {
             config,
-            sets,
+            ways: vec![Way { key: 0, stamp: 0 }; slots].into_boxed_slice(),
+            flags: vec![0u8; slots].into_boxed_slice(),
+            tags: vec![TAG_EMPTY_WORD; num_sets * tag_words].into_boxed_slice(),
+            tag_words,
+            num_sets,
+            len: 0,
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -130,24 +194,76 @@ impl MetadataCache {
         &self.config
     }
 
-    fn set_of(&self, key: u64) -> usize {
-        // Multiplicative hashing spreads sequential keys across sets while
-        // staying deterministic.
-        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.sets.len()
+    /// Multiplicative hashing spreads sequential keys across sets while
+    /// staying deterministic. Bits 32.. pick the set; bits 57.. are the
+    /// 7-bit way tag.
+    #[inline]
+    fn hash(key: u64) -> u64 {
+        key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// `(h >> 32) % num_sets`, with the modulo strength-reduced to a mask
+    /// for power-of-two set counts (the common geometry — a runtime `div`
+    /// costs more than the whole tag scan).
+    #[inline]
+    fn reduce_set(h: u64, num_sets: usize) -> usize {
+        let idx = (h >> 32) as usize;
+        if num_sets.is_power_of_two() {
+            idx & (num_sets - 1)
+        } else {
+            idx % num_sets
+        }
+    }
+
+    /// Slot index of `key` within its set, if resident: one SWAR tag-word
+    /// compare per eight ways, full key compare only on tag hits. Keys are
+    /// unique within a set, so any match is the match.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        let h = Self::hash(key);
+        let set = Self::reduce_set(h, self.num_sets);
+        let tag = (h >> 57) as u8;
+        let base = set * self.config.associativity;
+        let tag_base = set * self.tag_words;
+        let words = &self.tags[tag_base..tag_base + self.tag_words];
+        for (w, &word) in words.iter().enumerate() {
+            let mut hits = swar_match_lanes(word, tag);
+            while hits != 0 {
+                let lane = (hits.trailing_zeros() >> 3) as usize;
+                hits &= hits - 1;
+                // Exact byte compare from the word already in register
+                // filters SWAR false positives, empty lanes, and padding.
+                if (word >> (lane * 8)) as u8 == tag {
+                    let slot = base + w * 8 + lane;
+                    if self.ways[slot].key == key {
+                        return Some(slot);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Write `way`'s one-byte tag lane within its set's tag words.
+    #[inline]
+    fn set_tag(&mut self, set: usize, way: usize, tag: u8) {
+        let word = &mut self.tags[set * self.tag_words + way / 8];
+        let shift = (way % 8) * 8;
+        *word = (*word & !(0xFF_u64 << shift)) | (u64::from(tag) << shift);
     }
 
     /// Demand lookup. On a hit, refreshes recency (LRU) and ORs in the
     /// `write` dirty bit. Returns whether it hit.
+    #[inline]
     pub fn access(&mut self, key: u64, write: bool) -> bool {
         self.clock += 1;
-        let clock = self.clock;
-        let is_lru = self.config.replacement == Replacement::Lru;
-        let set = self.set_of(key);
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.key == key) {
-            if is_lru {
-                way.stamp = clock;
+        if let Some(slot) = self.find(key) {
+            if self.config.replacement == Replacement::Lru {
+                self.ways[slot].stamp = self.clock;
             }
-            way.dirty |= write;
+            if write {
+                self.flags[slot] |= FLAG_DIRTY;
+            }
             self.stats.hits += 1;
             true
         } else {
@@ -157,24 +273,28 @@ impl MetadataCache {
     }
 
     /// Whether `key` is resident (no statistics side effects).
+    #[inline]
     pub fn contains(&self, key: u64) -> bool {
-        let set = self.set_of(key);
-        self.sets[set].iter().any(|w| w.key == key)
+        self.find(key).is_some()
     }
 
     /// Insert `key` (demand fill). Returns the victim if one was evicted.
+    #[inline]
     pub fn insert(&mut self, key: u64, dirty: bool) -> Option<Evicted> {
         self.stats.demand_inserts += 1;
         self.insert_inner(key, dirty)
     }
 
     /// Insert a run of `count` sequential keys starting at `start`
-    /// (prefetch fill; entries arrive clean). Returns the number of dirty
+    /// (prefetch fill; entries arrive clean). The run stops at the top of
+    /// the key space instead of wrapping. Returns the number of dirty
     /// victims evicted.
     pub fn prefetch_run(&mut self, start: u64, count: usize) -> u64 {
         let mut dirty_victims = 0;
         for k in 0..count as u64 {
-            let key = start + k;
+            let Some(key) = start.checked_add(k) else {
+                break;
+            };
             if !self.contains(key) {
                 self.stats.prefetch_inserts += 1;
                 if let Some(ev) = self.insert_inner(key, false) {
@@ -190,55 +310,80 @@ impl MetadataCache {
     fn insert_inner(&mut self, key: u64, dirty: bool) -> Option<Evicted> {
         self.clock += 1;
         let clock = self.clock;
-        let set_idx = self.set_of(key);
+        let h = Self::hash(key);
+        let set = Self::reduce_set(h, self.num_sets);
+        let tag = (h >> 57) as u8;
         let assoc = self.config.associativity;
-        let set = &mut self.sets[set_idx];
+        let base = set * assoc;
 
-        if let Some(way) = set.iter_mut().find(|w| w.key == key) {
-            way.dirty |= dirty;
-            way.stamp = clock;
+        if let Some(slot) = self.find(key) {
+            // Already resident: update in place.
+            if dirty {
+                self.flags[slot] |= FLAG_DIRTY;
+            }
+            self.ways[slot].stamp = clock;
             return None;
         }
 
-        let victim = if set.len() >= assoc {
-            // Evict the way with the smallest stamp (LRU: last touch;
-            // FIFO: insertion time — stamps are only refreshed under LRU).
-            let idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.stamp)
-                .map(|(i, _)| i)
-                .expect("set is nonempty");
-            let w = set.swap_remove(idx);
-            if w.dirty {
-                self.stats.dirty_evictions += 1;
+        // First never-used way, if any (high tag-lane bit). Padding lanes
+        // are permanently 0x80, but they sit above every real way of the
+        // last word, so real free lanes are found first.
+        let mut empty: Option<usize> = None;
+        'scan: for w in 0..self.tag_words {
+            let mut free = self.tags[set * self.tag_words + w] & SWAR_HI;
+            while free != 0 {
+                let way = w * 8 + (free.trailing_zeros() >> 3) as usize;
+                free &= free - 1;
+                if way < assoc {
+                    empty = Some(way);
+                    break 'scan;
+                }
             }
-            Some(Evicted {
-                key: w.key,
-                dirty: w.dirty,
-            })
-        } else {
-            None
-        };
+        }
 
-        set.push(Way {
-            key,
-            dirty,
-            stamp: clock,
-        });
-        victim
+        let (way, evicted) = match empty {
+            Some(way) => {
+                self.len += 1;
+                (way, None)
+            }
+            None => {
+                // Evict the way with the (unique) smallest stamp — LRU: last
+                // touch; FIFO: insertion time (stamps are only refreshed
+                // under LRU). No empty way means every way is valid.
+                let mut victim = base;
+                for slot in base + 1..base + assoc {
+                    if self.ways[slot].stamp < self.ways[victim].stamp {
+                        victim = slot;
+                    }
+                }
+                let was_dirty = self.flags[victim] & FLAG_DIRTY != 0;
+                if was_dirty {
+                    self.stats.dirty_evictions += 1;
+                }
+                (
+                    victim - base,
+                    Some(Evicted {
+                        key: self.ways[victim].key,
+                        dirty: was_dirty,
+                    }),
+                )
+            }
+        };
+        let slot = base + way;
+        self.ways[slot] = Way { key, stamp: clock };
+        self.flags[slot] = FLAG_VALID | if dirty { FLAG_DIRTY } else { 0 };
+        self.set_tag(set, way, tag);
+        evicted
     }
 
     /// Clear every dirty bit, returning how many entries were dirty —
     /// the write-backs a flush (epoch persistence) must perform.
     pub fn flush_dirty(&mut self) -> u64 {
         let mut flushed = 0;
-        for set in &mut self.sets {
-            for way in set.iter_mut() {
-                if way.dirty {
-                    way.dirty = false;
-                    flushed += 1;
-                }
+        for flag in self.flags.iter_mut() {
+            if *flag & (FLAG_VALID | FLAG_DIRTY) == FLAG_VALID | FLAG_DIRTY {
+                *flag &= !FLAG_DIRTY;
+                flushed += 1;
             }
         }
         flushed
@@ -246,10 +391,9 @@ impl MetadataCache {
 
     /// Number of currently dirty entries.
     pub fn dirty_count(&self) -> u64 {
-        self.sets
+        self.flags
             .iter()
-            .flat_map(|s| s.iter())
-            .filter(|w| w.dirty)
+            .filter(|&&f| f & (FLAG_VALID | FLAG_DIRTY) == FLAG_VALID | FLAG_DIRTY)
             .count() as u64
     }
 
@@ -260,12 +404,12 @@ impl MetadataCache {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.len
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 }
 
@@ -370,6 +514,21 @@ mod tests {
     }
 
     #[test]
+    fn prefetch_stops_at_top_of_key_space() {
+        // A run starting near u64::MAX must clamp, not wrap or overflow:
+        // only the 3 representable keys are inserted.
+        let mut c = small(4, 64);
+        let dirty = c.prefetch_run(u64::MAX - 2, 10);
+        assert_eq!(dirty, 0);
+        assert_eq!(c.stats().prefetch_inserts, 3);
+        assert!(c.contains(u64::MAX - 2));
+        assert!(c.contains(u64::MAX - 1));
+        assert!(c.contains(u64::MAX));
+        assert!(!c.contains(0), "the run must not wrap around");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
     #[should_panic(expected = "capacity must be nonzero")]
     fn zero_capacity_rejected() {
         let _ = MetadataCache::new(CacheConfig::with_capacity(0));
@@ -413,7 +572,83 @@ mod tests {
         assert!(run(1024) > 0.7, "loop fits: expect high hit rate");
     }
 
+    // ---- differential proptests vs the seed per-set-Vec oracle ---------
+
+    /// One randomized cache op.
+    #[derive(Debug, Clone)]
+    enum CacheOp {
+        Access(u64, bool),
+        Insert(u64, bool),
+        Prefetch(u64, usize),
+        Flush,
+    }
+
+    fn cache_op_strategy() -> impl Strategy<Value = CacheOp> {
+        // A small key space plus a few near-u64::MAX keys keeps sets
+        // contended and exercises the prefetch clamp.
+        fn key() -> impl Strategy<Value = u64> {
+            prop_oneof![0u64..48, Just(u64::MAX - 1), Just(u64::MAX)]
+        }
+        prop_oneof![
+            (key(), any::<bool>()).prop_map(|(k, w)| CacheOp::Access(k, w)),
+            (key(), any::<bool>()).prop_map(|(k, d)| CacheOp::Insert(k, d)),
+            (key(), 0usize..12).prop_map(|(k, n)| CacheOp::Prefetch(k, n)),
+            Just(CacheOp::Flush),
+        ]
+    }
+
+    fn assert_caches_agree(
+        seed: &crate::seed::SeedMetadataCache,
+        flat: &MetadataCache,
+        keys: &[u64],
+    ) {
+        assert_eq!(seed.stats(), flat.stats());
+        assert_eq!(seed.len(), flat.len());
+        assert_eq!(seed.is_empty(), flat.is_empty());
+        assert_eq!(seed.dirty_count(), flat.dirty_count());
+        for &k in keys {
+            assert_eq!(seed.contains(k), flat.contains(k), "residency of {k}");
+        }
+    }
+
+    fn run_differential(config: CacheConfig, ops: Vec<CacheOp>) {
+        let mut seed = crate::seed::SeedMetadataCache::new(config);
+        let mut flat = MetadataCache::new(config);
+        let probe: Vec<u64> = (0..48).chain([u64::MAX - 1, u64::MAX]).collect();
+        for op in ops {
+            match op {
+                CacheOp::Access(k, w) => assert_eq!(seed.access(k, w), flat.access(k, w)),
+                CacheOp::Insert(k, d) => assert_eq!(seed.insert(k, d), flat.insert(k, d)),
+                CacheOp::Prefetch(k, n) => {
+                    assert_eq!(seed.prefetch_run(k, n), flat.prefetch_run(k, n));
+                }
+                CacheOp::Flush => assert_eq!(seed.flush_dirty(), flat.flush_dirty()),
+            }
+            assert_caches_agree(&seed, &flat, &probe);
+        }
+    }
+
     proptest! {
+        #[test]
+        fn lru_cache_matches_seed_oracle(
+            ops in proptest::collection::vec(cache_op_strategy(), 0..250)
+        ) {
+            run_differential(
+                CacheConfig { capacity: 16, associativity: 4, replacement: Replacement::Lru },
+                ops,
+            );
+        }
+
+        #[test]
+        fn fifo_cache_matches_seed_oracle(
+            ops in proptest::collection::vec(cache_op_strategy(), 0..250)
+        ) {
+            run_differential(
+                CacheConfig { capacity: 8, associativity: 2, replacement: Replacement::Fifo },
+                ops,
+            );
+        }
+
         #[test]
         fn len_never_exceeds_capacity(keys in proptest::collection::vec(any::<u64>(), 0..500)) {
             let mut c = small(4, 32);

@@ -32,6 +32,8 @@
 mod cache;
 mod core_model;
 mod hierarchy;
+#[doc(hidden)]
+pub mod seed;
 mod stats;
 
 pub use cache::{CacheConfig, CacheStats, Evicted, MetadataCache, Replacement};
