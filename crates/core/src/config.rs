@@ -147,6 +147,48 @@ pub struct DeWriteConfig {
 }
 
 impl DeWriteConfig {
+    /// Fingerprint of the *semantic* configuration: the fields that change
+    /// how durable metadata (snapshots, WAL records) must be interpreted —
+    /// write-path mode, PNA, history width, fingerprint function, counter
+    /// width, and dedup-domain count. Performance-only knobs (cache sizes,
+    /// verify buffer, persistence policy) are excluded: they can change
+    /// between a snapshot and its restore without invalidating the state.
+    ///
+    /// Stamped into every [`Snapshot`](crate::Snapshot) and WAL header;
+    /// [`DeWrite::power_on`](crate::DeWrite::power_on) rejects mismatches.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a 64 over a canonical byte encoding: stable across runs and
+        // platforms (no dependence on Hash or field layout).
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(b"dewrite-config-v1");
+        eat(&[match self.mode {
+            WriteMode::Direct => 0u8,
+            WriteMode::Parallel => 1,
+            WriteMode::Predictive => 2,
+        }]);
+        eat(&[u8::from(self.pna)]);
+        eat(&(self.history_bits as u64).to_le_bytes());
+        eat(&[match self.hasher {
+            HashAlgorithm::Crc32 => 0u8,
+            HashAlgorithm::Crc32c => 1,
+            HashAlgorithm::Md5 => 2,
+            HashAlgorithm::Sha1 => 3,
+        }]);
+        // Counter width in bits (LineCounter is u32); a future width change
+        // must alter the fingerprint.
+        eat(&32u64.to_le_bytes());
+        eat(&self.dedup_domains.to_le_bytes());
+        h
+    }
+
     /// The paper's DeWrite: predictive mode, PNA on, 3-bit history, CRC-32.
     pub fn paper() -> Self {
         DeWriteConfig {

@@ -43,6 +43,7 @@ pub mod colocate;
 mod compare;
 mod config;
 mod dedup;
+pub mod journal;
 pub mod json;
 mod metrics;
 mod predictor;
@@ -63,6 +64,7 @@ pub use config::{
     BitEncoding, DeWriteConfig, MetaCacheConfig, MetadataPersistence, SystemConfig, WriteMode,
 };
 pub use dedup::{DedupIndex, DupLookup, WriteOutcome};
+pub use journal::MetaOp;
 pub use json::Json;
 pub use metrics::RunReport;
 pub use predictor::HistoryPredictor;
@@ -71,5 +73,5 @@ pub use schemes::{
     SilentShredder, TraditionalDedup, WriteResult,
 };
 pub use sim::Simulator;
-pub use snapshot::{Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{Snapshot, MAX_SNAPSHOT_LINES, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use trace::{EventSink, Stage, StageBreakdown, StageCollector, WriteEvent, WritePath};

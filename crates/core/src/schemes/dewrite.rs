@@ -35,6 +35,7 @@ use dewrite_nvm::{LineAddr, NvmDevice, NvmError, Timing};
 use crate::compare::lines_equal;
 use crate::config::{DeWriteConfig, MetadataPersistence, SystemConfig, WriteMode};
 use crate::dedup::{DedupIndex, WriteOutcome};
+use crate::journal::MetaOp;
 use crate::predictor::HistoryPredictor;
 use crate::schemes::{BaseMetrics, MetaTable, ReadResult, SecureMemory, WriteResult};
 use crate::tables::MAX_REFERENCE;
@@ -134,6 +135,9 @@ pub struct DeWrite {
     verify_buffer: std::collections::VecDeque<(u64, Vec<u8>)>,
     /// Data writes since the last epoch flush.
     writes_since_flush: u32,
+    /// Metadata-mutation journal for external persistence (WAL); `None`
+    /// (the default) keeps the hot path free of journaling work.
+    journal: Option<Vec<MetaOp>>,
     /// Optional per-write event sink (observability; None on the hot path).
     sink: Option<Box<dyn EventSink>>,
     /// Scratch ciphertext buffer reused across writes (no per-write alloc).
@@ -166,10 +170,30 @@ impl DeWrite {
     /// Power off: hand back the durable state (metadata snapshot) and the
     /// physical device, consuming the controller.
     pub fn power_off(self) -> (crate::snapshot::Snapshot, NvmDevice) {
-        (
-            crate::snapshot::Snapshot::capture(&self.index, &self.counters),
-            self.device,
-        )
+        let snapshot = self.snapshot();
+        (snapshot, self.device)
+    }
+
+    /// Capture the durable metadata state without consuming the controller
+    /// (the checkpoint primitive of the persistence layer).
+    pub fn snapshot(&self) -> crate::snapshot::Snapshot {
+        crate::snapshot::Snapshot::capture(&self.index, &self.counters, self.dw.fingerprint())
+    }
+
+    /// Enable (`true`) or disable (`false`) the metadata-mutation journal.
+    /// While enabled, every write appends its durable-state changes as
+    /// [`MetaOp`]s, collected with [`drain_meta_ops`](Self::drain_meta_ops).
+    pub fn set_meta_journal(&mut self, enabled: bool) {
+        self.journal = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Take the journal ops accumulated since the last drain (empty when
+    /// journaling is disabled).
+    pub fn drain_meta_ops(&mut self) -> Vec<MetaOp> {
+        self.journal
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Power on: rebuild a controller over an existing `device` from a
@@ -192,10 +216,21 @@ impl DeWrite {
                 snapshot.lines, config.data_lines
             ));
         }
+        let fp = dw.fingerprint();
+        if snapshot.config_fp != fp {
+            return Err(format!(
+                "snapshot config fingerprint {:#018x} does not match the \
+                 current DeWrite configuration's {fp:#018x}: the controller \
+                 that captured it used a different scheme (mode/PNA/history \
+                 width/hash algorithm/counter width/dedup domains), so its \
+                 tables cannot be reinterpreted safely",
+                snapshot.config_fp
+            ));
+        }
         if device.config() != &config.nvm {
             return Err("device configuration does not match".into());
         }
-        let (index, counters) = snapshot.rebuild()?;
+        let (index, counters) = snapshot.rebuild_with_domains(dw.dedup_domains.max(1))?;
         Ok(Self::assemble(config, dw, key, device, index, counters))
     }
 
@@ -305,6 +340,7 @@ impl DeWrite {
             dmetrics: DeWriteMetrics::default(),
             verify_buffer: std::collections::VecDeque::new(),
             writes_since_flush: 0,
+            journal: None,
             sink: None,
             line_buf: Vec::new(),
             device,
@@ -834,11 +870,25 @@ impl SecureMemory for DeWrite {
             Some(real) => {
                 // Duplicate: the NVM write is eliminated.
                 let outcome = self.index.apply_duplicate(init, real);
-                let WriteOutcome::Duplicate { freed, .. } = outcome else {
+                let WriteOutcome::Duplicate { silent, freed, .. } = outcome else {
                     unreachable!("apply_duplicate returns Duplicate");
                 };
                 if let Some(freed) = freed {
                     self.verify_buffer_invalidate(freed);
+                }
+                if let Some(journal) = self.journal.as_mut() {
+                    // A silent store changed no metadata; nothing to log.
+                    if !silent {
+                        journal.push(MetaOp::MapSet {
+                            init: init.index(),
+                            real: real.index(),
+                        });
+                        if let Some(freed) = freed {
+                            journal.push(MetaOp::ResidentDel {
+                                real: freed.index(),
+                            });
+                        }
+                    }
                 }
                 self.dmetrics.dup_eliminated += 1;
                 self.metrics.writes_eliminated += 1;
@@ -909,6 +959,25 @@ impl SecureMemory for DeWrite {
                 let counter = self.counters.entry(target.index()).or_default();
                 let _ = counter.increment();
                 let counter = *counter;
+                if let Some(journal) = self.journal.as_mut() {
+                    journal.push(MetaOp::ResidentSet {
+                        real: target.index(),
+                        digest,
+                    });
+                    journal.push(MetaOp::MapSet {
+                        init: init.index(),
+                        real: target.index(),
+                    });
+                    journal.push(MetaOp::CounterSet {
+                        line: target.index(),
+                        value: counter.value(),
+                    });
+                    if let Some(freed) = freed {
+                        journal.push(MetaOp::ResidentDel {
+                            real: freed.index(),
+                        });
+                    }
+                }
                 self.line_buf.resize(data.len(), 0);
                 self.engine
                     .encrypt_line_into(data, target.index(), counter, &mut self.line_buf);
@@ -1393,6 +1462,75 @@ mod tests {
         assert!(b.stage(Stage::Digest).mean_ns() > 0.0);
         // Detection on the duplicate write did verify + compare work.
         assert!(b.stage(Stage::Compare).count() >= 1);
+    }
+
+    #[test]
+    fn journal_replay_matches_snapshot() {
+        // Replaying the drained MetaOps onto plain maps must reproduce the
+        // exact durable state a snapshot captures — the property the WAL
+        // recovery path depends on.
+        let mut m = mem();
+        m.set_meta_journal(true);
+        let mut maps: HashMap<u64, u64> = HashMap::new();
+        let mut residents: HashMap<u64, u32> = HashMap::new();
+        let mut ctrs: HashMap<u64, u32> = HashMap::new();
+        let dup = line(1);
+        let mut t = 0;
+        for i in 0..120u64 {
+            let data = if i % 3 == 0 {
+                dup.clone()
+            } else {
+                let mut d = line(i as u8);
+                d[0..8].copy_from_slice(&i.to_le_bytes());
+                d
+            };
+            // Reuse a small address range so overwrites, frees, and silent
+            // stores all occur.
+            m.write(LineAddr::new(i % 40), &data, t).unwrap();
+            t += 5_000;
+            for op in m.drain_meta_ops() {
+                match op {
+                    MetaOp::MapSet { init, real } => {
+                        maps.insert(init, real);
+                    }
+                    MetaOp::ResidentSet { real, digest } => {
+                        residents.insert(real, digest);
+                    }
+                    MetaOp::ResidentDel { real } => {
+                        residents.remove(&real);
+                    }
+                    MetaOp::CounterSet { line, value } => {
+                        ctrs.insert(line, value);
+                    }
+                }
+            }
+        }
+        let snap = m.snapshot();
+        assert_eq!(
+            maps,
+            snap.mappings.iter().copied().collect::<HashMap<_, _>>()
+        );
+        assert_eq!(
+            residents,
+            snap.residents.iter().copied().collect::<HashMap<_, _>>()
+        );
+        assert_eq!(
+            ctrs,
+            snap.counters.iter().copied().collect::<HashMap<_, _>>()
+        );
+    }
+
+    #[test]
+    fn journal_disabled_stays_empty() {
+        let mut m = mem();
+        m.write(LineAddr::new(0), &line(3), 0).unwrap();
+        assert!(m.drain_meta_ops().is_empty());
+        m.set_meta_journal(true);
+        m.write(LineAddr::new(1), &line(4), 10_000).unwrap();
+        assert!(!m.drain_meta_ops().is_empty());
+        m.set_meta_journal(false);
+        m.write(LineAddr::new(2), &line(5), 20_000).unwrap();
+        assert!(m.drain_meta_ops().is_empty());
     }
 
     #[test]

@@ -6,17 +6,28 @@
 //! schemes for the *cached* portion). In the simulator, the authoritative
 //! copies are in-controller structures, so a restart needs an explicit
 //! snapshot: [`DeWrite::snapshot`](crate::DeWrite::snapshot) captures it,
-//! [`DeWrite::restore`](crate::DeWrite::restore) rebuilds a controller over
-//! the same device, and [`DeWrite::scrub`](crate::DeWrite::scrub) verifies
-//! the result.
+//! [`DeWrite::power_on`](crate::DeWrite::power_on) rebuilds a controller
+//! over the same device, and [`DeWrite::scrub`](crate::DeWrite::scrub)
+//! verifies the result.
 //!
-//! The format is a small length-checked binary codec (magic `DWSS`,
-//! version, then the mapping/residency/counter records).
+//! # Format (version 2)
+//!
+//! A snapshot image is `magic "DWSS" · version u16 · crc u32 · payload`,
+//! where the CRC-32 covers the whole payload and the payload is
+//! `config_fp u64 · lines u64 · mappings · residents · counters` (each
+//! section a `u64` count followed by fixed-size little-endian records).
+//!
+//! The decoder is hardened against corrupt or adversarial input: the
+//! payload is length-capped before it is buffered, the checksum is verified
+//! before any field is interpreted, and every count is bounded both by the
+//! bytes actually present and by a caller-supplied (config-derived) line
+//! maximum — a corrupt header can never demand a large allocation.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 
 use dewrite_crypto::LineCounter;
+use dewrite_hashes::Crc32;
 use dewrite_nvm::LineAddr;
 
 use crate::dedup::DedupIndex;
@@ -24,11 +35,33 @@ use crate::dedup::DedupIndex;
 /// Magic bytes of a snapshot stream.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"DWSS";
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+pub const SNAPSHOT_VERSION: u16 = 2;
+/// Hard ceiling on the line count any snapshot may claim: 2^40 lines
+/// (a 256 TB device at 256 B lines) — far beyond any simulated config.
+pub const MAX_SNAPSHOT_LINES: u64 = 1 << 40;
+
+/// Bytes of one mapping record (`init u64`, `real u64`).
+const MAPPING_BYTES: u64 = 16;
+/// Bytes of one resident record (`real u64`, `digest u32`).
+const RESIDENT_BYTES: u64 = 12;
+/// Bytes of one counter record (`line u64`, `value u32`).
+const COUNTER_BYTES: u64 = 12;
+/// Payload bytes before the variable sections (`config_fp`, `lines`).
+const FIXED_PAYLOAD_BYTES: u64 = 16;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
 
 /// The durable controller state of a DeWrite memory.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
+    /// Fingerprint of the controller configuration that produced this
+    /// snapshot ([`DeWriteConfig::fingerprint`](crate::DeWriteConfig::fingerprint)).
+    /// Restoring under a configuration with a different fingerprint would
+    /// silently misinterpret the tables, so
+    /// [`DeWrite::power_on`](crate::DeWrite::power_on) rejects mismatches.
+    pub config_fp: u64,
     /// Number of data lines the index covers.
     pub lines: u64,
     /// `initAddr → realAddr` for every written address (identity entries
@@ -41,8 +74,13 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Capture the durable state from an index and counter map.
-    pub fn capture(index: &DedupIndex, counters: &HashMap<u64, LineCounter>) -> Self {
+    /// Capture the durable state from an index and counter map, stamped
+    /// with the owning configuration's fingerprint.
+    pub fn capture(
+        index: &DedupIndex,
+        counters: &HashMap<u64, LineCounter>,
+        config_fp: u64,
+    ) -> Self {
         let mut mappings = Vec::new();
         let mut residents = Vec::new();
         for i in 0..index.lines() {
@@ -59,10 +97,23 @@ impl Snapshot {
         mappings.sort_unstable();
         residents.sort_unstable();
         Snapshot {
+            config_fp,
             lines: index.lines(),
             mappings,
             residents,
             counters,
+        }
+    }
+
+    /// An empty snapshot over `lines` lines (the state of a fresh
+    /// controller): no mappings, no residents, no counters.
+    pub fn empty(lines: u64, config_fp: u64) -> Self {
+        Snapshot {
+            config_fp,
+            lines,
+            mappings: Vec::new(),
+            residents: Vec::new(),
+            counters: Vec::new(),
         }
     }
 
@@ -77,7 +128,16 @@ impl Snapshot {
     /// Returns a description of the first inconsistency (mapping to a
     /// non-resident line, out-of-range address).
     pub fn rebuild(&self) -> Result<(DedupIndex, HashMap<u64, LineCounter>), String> {
-        let mut index = DedupIndex::new(self.lines);
+        self.rebuild_with_domains(1)
+    }
+
+    /// Like [`rebuild`](Self::rebuild) with the configured number of dedup
+    /// domains, so the rebuilt index keeps enforcing domain isolation.
+    pub fn rebuild_with_domains(
+        &self,
+        domains: u64,
+    ) -> Result<(DedupIndex, HashMap<u64, LineCounter>), String> {
+        let mut index = DedupIndex::with_domains(self.lines, domains.max(1));
         let resident: HashMap<u64, u32> = self.residents.iter().copied().collect();
 
         // Install every resident line first (owner stores)…
@@ -110,90 +170,181 @@ impl Snapshot {
         Ok((index, counters))
     }
 
+    /// Encode the payload (everything the CRC covers).
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(
+            (FIXED_PAYLOAD_BYTES
+                + 24
+                + self.mappings.len() as u64 * MAPPING_BYTES
+                + self.residents.len() as u64 * RESIDENT_BYTES
+                + self.counters.len() as u64 * COUNTER_BYTES) as usize,
+        );
+        p.extend_from_slice(&self.config_fp.to_le_bytes());
+        p.extend_from_slice(&self.lines.to_le_bytes());
+        p.extend_from_slice(&(self.mappings.len() as u64).to_le_bytes());
+        for &(a, b) in &self.mappings {
+            p.extend_from_slice(&a.to_le_bytes());
+            p.extend_from_slice(&b.to_le_bytes());
+        }
+        p.extend_from_slice(&(self.residents.len() as u64).to_le_bytes());
+        for &(line, digest) in &self.residents {
+            p.extend_from_slice(&line.to_le_bytes());
+            p.extend_from_slice(&digest.to_le_bytes());
+        }
+        p.extend_from_slice(&(self.counters.len() as u64).to_le_bytes());
+        for &(line, ctr) in &self.counters {
+            p.extend_from_slice(&line.to_le_bytes());
+            p.extend_from_slice(&ctr.to_le_bytes());
+        }
+        p
+    }
+
     /// Serialize to a writer.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let payload = self.encode_payload();
+        let crc = Crc32::new().checksum(&payload);
         w.write_all(&SNAPSHOT_MAGIC)?;
         w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
-        w.write_all(&self.lines.to_le_bytes())?;
-        let write_u64_pairs = |w: &mut W, items: &[(u64, u64)]| -> io::Result<()> {
-            w.write_all(&(items.len() as u64).to_le_bytes())?;
-            for &(a, b) in items {
-                w.write_all(&a.to_le_bytes())?;
-                w.write_all(&b.to_le_bytes())?;
-            }
-            Ok(())
-        };
-        write_u64_pairs(&mut w, &self.mappings)?;
-        w.write_all(&(self.residents.len() as u64).to_le_bytes())?;
-        for &(line, digest) in &self.residents {
-            w.write_all(&line.to_le_bytes())?;
-            w.write_all(&digest.to_le_bytes())?;
-        }
-        w.write_all(&(self.counters.len() as u64).to_le_bytes())?;
-        for &(line, ctr) in &self.counters {
-            w.write_all(&line.to_le_bytes())?;
-            w.write_all(&ctr.to_le_bytes())?;
-        }
+        w.write_all(&crc.to_le_bytes())?;
+        w.write_all(&payload)?;
         Ok(())
     }
 
-    /// Deserialize from a reader.
+    /// Deserialize from a reader with the default
+    /// [`MAX_SNAPSHOT_LINES`] bound. Prefer
+    /// [`read_from_bounded`](Self::read_from_bounded) when the expected
+    /// line count is known from configuration.
     ///
     /// # Errors
     ///
-    /// Fails with [`io::ErrorKind::InvalidData`] on bad magic/version or a
-    /// truncated stream.
-    pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        if magic != SNAPSHOT_MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a DeWrite snapshot",
-            ));
+    /// Fails with [`io::ErrorKind::InvalidData`] on bad magic/version, a
+    /// checksum mismatch, a truncated stream, or counts exceeding the input.
+    pub fn read_from<R: Read>(r: R) -> io::Result<Self> {
+        Self::read_from_bounded(r, MAX_SNAPSHOT_LINES)
+    }
+
+    /// Deserialize from a reader, rejecting any image claiming more than
+    /// `max_lines` lines (callers derive the bound from their
+    /// [`SystemConfig`](crate::SystemConfig), e.g. `data_lines`).
+    ///
+    /// The input is buffered up to a size bound derived from `max_lines`
+    /// *before* any length prefix is trusted, the CRC is verified before
+    /// any field is interpreted, and every section count is additionally
+    /// bounded by the remaining payload bytes — a corrupt header cannot
+    /// demand a multi-GB allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] as [`read_from`](Self::read_from).
+    pub fn read_from_bounded<R: Read>(mut r: R, max_lines: u64) -> io::Result<Self> {
+        let max_lines = max_lines.min(MAX_SNAPSHOT_LINES);
+        let mut head = [0u8; 10];
+        r.read_exact(&mut head)?;
+        if head[0..4] != SNAPSHOT_MAGIC {
+            return Err(bad("not a DeWrite snapshot"));
         }
-        let mut ver = [0u8; 2];
-        r.read_exact(&mut ver)?;
-        if u16::from_le_bytes(ver) != SNAPSHOT_VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "unsupported snapshot version",
-            ));
+        let version = u16::from_le_bytes([head[4], head[5]]);
+        if version != SNAPSHOT_VERSION {
+            return Err(bad(format!(
+                "unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
+            )));
         }
-        let mut u64buf = [0u8; 8];
-        let mut read_u64 = |r: &mut R| -> io::Result<u64> {
-            r.read_exact(&mut u64buf)?;
-            Ok(u64::from_le_bytes(u64buf))
+        let crc = u32::from_le_bytes([head[6], head[7], head[8], head[9]]);
+
+        // Buffer the payload, capped at the largest size a `max_lines`
+        // snapshot can legitimately occupy. `read_to_end` grows with the
+        // bytes actually supplied, so a short corrupt stream allocates
+        // proportionally to its own length, never to a claimed count.
+        let cap = FIXED_PAYLOAD_BYTES.saturating_add(24).saturating_add(
+            max_lines.saturating_mul(MAPPING_BYTES + RESIDENT_BYTES + COUNTER_BYTES),
+        );
+        let mut payload = Vec::new();
+        let read = r.by_ref().take(cap + 1).read_to_end(&mut payload)? as u64;
+        if read > cap {
+            return Err(bad(format!(
+                "snapshot payload exceeds the {cap}-byte bound for {max_lines} lines"
+            )));
+        }
+        if Crc32::new().checksum(&payload) != crc {
+            return Err(bad("snapshot checksum mismatch (corrupt or torn image)"));
+        }
+
+        let mut cur = &payload[..];
+        let take_u64 = |cur: &mut &[u8]| -> io::Result<u64> {
+            if cur.len() < 8 {
+                return Err(bad("snapshot payload truncated"));
+            }
+            let (head, rest) = cur.split_at(8);
+            *cur = rest;
+            Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
         };
-        let lines = read_u64(&mut r)?;
-        let n = read_u64(&mut r)? as usize;
-        let mut mappings = Vec::with_capacity(n.min(1 << 20));
+        let take_u32 = |cur: &mut &[u8]| -> io::Result<u32> {
+            if cur.len() < 4 {
+                return Err(bad("snapshot payload truncated"));
+            }
+            let (head, rest) = cur.split_at(4);
+            *cur = rest;
+            Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+        };
+
+        let config_fp = take_u64(&mut cur)?;
+        let lines = take_u64(&mut cur)?;
+        if lines > max_lines {
+            return Err(bad(format!(
+                "snapshot claims {lines} lines, above the configured maximum {max_lines}"
+            )));
+        }
+        // Each section's count is bounded by the configured line space AND
+        // by the bytes actually remaining, so `with_capacity` is safe.
+        let section = |cur: &mut &[u8], entry_bytes: u64, name: &str| -> io::Result<usize> {
+            let n = take_u64(cur)?;
+            if n > lines {
+                return Err(bad(format!(
+                    "snapshot {name} count {n} exceeds the {lines}-line index"
+                )));
+            }
+            if n > cur.len() as u64 / entry_bytes {
+                return Err(bad(format!(
+                    "snapshot {name} count {n} exceeds the remaining {} payload bytes",
+                    cur.len()
+                )));
+            }
+            Ok(n as usize)
+        };
+
+        let n = section(&mut cur, MAPPING_BYTES, "mapping")?;
+        let mut mappings = Vec::with_capacity(n);
         for _ in 0..n {
-            let a = read_u64(&mut r)?;
-            let b = read_u64(&mut r)?;
+            let a = take_u64(&mut cur)?;
+            let b = take_u64(&mut cur)?;
             mappings.push((a, b));
         }
-        let n = read_u64(&mut r)? as usize;
-        let mut residents = Vec::with_capacity(n.min(1 << 20));
+        let n = section(&mut cur, RESIDENT_BYTES, "resident")?;
+        let mut residents = Vec::with_capacity(n);
         for _ in 0..n {
-            let line = read_u64(&mut r)?;
-            let mut d = [0u8; 4];
-            r.read_exact(&mut d)?;
-            residents.push((line, u32::from_le_bytes(d)));
+            let line = take_u64(&mut cur)?;
+            let digest = take_u32(&mut cur)?;
+            residents.push((line, digest));
         }
-        let n = read_u64(&mut r)? as usize;
-        let mut counters = Vec::with_capacity(n.min(1 << 20));
+        let n = section(&mut cur, COUNTER_BYTES, "counter")?;
+        let mut counters = Vec::with_capacity(n);
         for _ in 0..n {
-            let line = read_u64(&mut r)?;
-            let mut c = [0u8; 4];
-            r.read_exact(&mut c)?;
-            counters.push((line, u32::from_le_bytes(c)));
+            let line = take_u64(&mut cur)?;
+            let value = take_u32(&mut cur)?;
+            counters.push((line, value));
+        }
+        if !cur.is_empty() {
+            return Err(bad(format!(
+                "snapshot payload has {} trailing bytes",
+                cur.len()
+            )));
         }
         Ok(Snapshot {
+            config_fp,
             lines,
             mappings,
             residents,
@@ -223,7 +374,8 @@ mod tests {
     #[test]
     fn capture_rebuild_roundtrip() {
         let (idx, counters) = sample_index();
-        let snap = Snapshot::capture(&idx, &counters);
+        let snap = Snapshot::capture(&idx, &counters, 0xFEED);
+        assert_eq!(snap.config_fp, 0xFEED);
         let (rebuilt, rcounters) = snap.rebuild().expect("rebuild");
         assert_eq!(rebuilt.resolve(LineAddr::new(1)), Some(LineAddr::new(0)));
         assert_eq!(rebuilt.resolve(LineAddr::new(2)), Some(LineAddr::new(0)));
@@ -237,7 +389,7 @@ mod tests {
     #[test]
     fn serialization_roundtrip() {
         let (idx, counters) = sample_index();
-        let snap = Snapshot::capture(&idx, &counters);
+        let snap = Snapshot::capture(&idx, &counters, 77);
         let mut buf = Vec::new();
         snap.write_to(&mut buf).expect("encode");
         let decoded = Snapshot::read_from(buf.as_slice()).expect("decode");
@@ -248,16 +400,78 @@ mod tests {
     fn rejects_bad_magic_and_truncation() {
         assert!(Snapshot::read_from(&b"NOPE"[..]).is_err());
         let (idx, counters) = sample_index();
-        let snap = Snapshot::capture(&idx, &counters);
+        let snap = Snapshot::capture(&idx, &counters, 0);
         let mut buf = Vec::new();
         snap.write_to(&mut buf).expect("encode");
-        buf.truncate(buf.len() - 3);
+        // Truncation at EVERY byte offset must error, never panic.
+        for cut in 0..buf.len() {
+            assert!(
+                Snapshot::read_from(&buf[..cut]).is_err(),
+                "truncation at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let (idx, counters) = sample_index();
+        let snap = Snapshot::capture(&idx, &counters, 42);
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).expect("encode");
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut corrupt = buf.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    Snapshot::read_from(corrupt.as_slice()).is_err(),
+                    "flip at byte {byte} bit {bit} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_header_counts_are_rejected_without_allocation() {
+        // A hand-built image claiming u64::MAX mappings in a 60-byte stream:
+        // the decoder must reject it from the length bound (the CRC is made
+        // valid on purpose so the count check itself is exercised).
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0u64.to_le_bytes()); // config_fp
+        payload.extend_from_slice(&16u64.to_le_bytes()); // lines
+        payload.extend_from_slice(&u64::MAX.to_le_bytes()); // mapping count
+        let crc = Crc32::new().checksum(&payload);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let err = Snapshot::read_from(buf.as_slice()).expect_err("oversized count");
+        assert!(err.to_string().contains("count"), "{err}");
+    }
+
+    #[test]
+    fn line_counts_above_the_configured_bound_are_rejected() {
+        let snap = Snapshot::empty(1 << 20, 0);
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).expect("encode");
+        assert!(Snapshot::read_from_bounded(buf.as_slice(), 1 << 20).is_ok());
+        let err = Snapshot::read_from_bounded(buf.as_slice(), 1 << 10).expect_err("too many lines");
+        assert!(err.to_string().contains("maximum"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let snap = Snapshot::empty(4, 0);
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).expect("encode");
+        buf.push(0xAB);
         assert!(Snapshot::read_from(buf.as_slice()).is_err());
     }
 
     #[test]
     fn rebuild_rejects_dangling_mapping() {
         let snap = Snapshot {
+            config_fp: 0,
             lines: 8,
             mappings: vec![(1, 5)],
             residents: vec![], // line 5 is not resident
@@ -270,6 +484,7 @@ mod tests {
     #[test]
     fn rebuild_rejects_out_of_range() {
         let snap = Snapshot {
+            config_fp: 0,
             lines: 4,
             mappings: vec![],
             residents: vec![(9, 1)],

@@ -37,6 +37,7 @@ struct Options {
     batch: usize,
     coalesce: usize,
     producers: usize,
+    persist_dir: Option<String>,
 }
 
 impl Default for Options {
@@ -56,6 +57,7 @@ impl Default for Options {
             batch: 64,
             coalesce: 0,
             producers: 0,
+            persist_dir: None,
         }
     }
 }
@@ -77,6 +79,7 @@ fn usage() -> ExitCode {
     eprintln!("  --coalesce N      per-shard write-coalescing window; 0 = off [0]");
     eprintln!("  --producers N     submission threads; 0 = one per two shards [0]");
     eprintln!("  --out PATH        JSON output path [BENCH_engine.json]");
+    eprintln!("  --persist-dir P   per-shard metadata WAL + checkpoints under P/<app>-s<N>/");
     eprintln!("  --check           scrub every shard + assert multi-shard speedup");
     ExitCode::from(2)
 }
@@ -132,6 +135,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 o.producers = value()?.parse().map_err(|e| format!("--producers: {e}"))?
             }
             "--out" => o.out = value()?,
+            "--persist-dir" => o.persist_dir = Some(value()?),
             "--check" => o.check = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
@@ -319,6 +323,12 @@ fn main() -> ExitCode {
             config.batch = o.batch;
             config.coalesce = o.coalesce;
             config.producers = o.producers;
+            if let Some(root) = &o.persist_dir {
+                // One store per (app, shard count) run so sweeps don't
+                // overwrite each other's recovery state.
+                config.persist_dir =
+                    Some(std::path::Path::new(root).join(format!("{app}-s{shards}")));
+            }
             let producers = config.effective_producers();
             let result = run(&config, app, trace.records.clone());
             if shards == 1 {
@@ -389,6 +399,13 @@ fn main() -> ExitCode {
                 ("coalesce", num(o.coalesce as u64)),
                 ("producers", num(o.producers as u64)),
                 ("mode", Json::Str(o.mode.clone())),
+                (
+                    "persist_dir",
+                    match &o.persist_dir {
+                        Some(p) => Json::Str(p.clone()),
+                        None => Json::Null,
+                    },
+                ),
                 ("rate_ops_per_sec", flt(o.rate)),
                 ("seed", num(o.seed)),
                 (

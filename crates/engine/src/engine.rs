@@ -90,6 +90,18 @@ pub struct EngineConfig {
     /// Submission threads; 0 picks one per two shards. Clamped to
     /// `1..=shards` (a shard is always fed by exactly one producer).
     pub producers: usize,
+    /// Root directory for crash-consistent metadata persistence; each
+    /// shard logs to `shard-<id>/` under it (epoch-batched WAL +
+    /// checkpoints, flushed and checkpointed at drain). `None` (the
+    /// default) disables persistence. Host-side only — the merged
+    /// simulated report is bit-identical either way.
+    pub persist_dir: Option<std::path::PathBuf>,
+    /// Data writes per WAL epoch record when persistence is on.
+    pub persist_epoch: u32,
+    /// `fsync` the WAL on every epoch flush. Off by default: the engine is
+    /// a measurement harness, and syncing per epoch would serialize the
+    /// drain on the host disk.
+    pub persist_sync: bool,
 }
 
 impl EngineConfig {
@@ -120,6 +132,9 @@ impl EngineConfig {
             batch: 64,
             coalesce: 0,
             producers: 0,
+            persist_dir: None,
+            persist_epoch: 64,
+            persist_sync: false,
         }
     }
 
@@ -314,6 +329,15 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
                     &config.key,
                 );
                 ctrl.set_coalesce_window(config.coalesce);
+                if let Some(root) = &config.persist_dir {
+                    let opts = dewrite_persist::DurableOptions {
+                        epoch_writes: config.persist_epoch,
+                        checkpoint_epochs: 8,
+                        sync: config.persist_sync,
+                    };
+                    ctrl.attach_persistence(&root.join(format!("shard-{id:02}")), opts)
+                        .expect("attach shard metadata persistence");
+                }
                 let want_scrub = config.scrub;
                 let app = app.to_string();
                 scope.spawn(move || {
@@ -356,6 +380,11 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
                         }
                     }
                     ctrl.flush_writes();
+                    // End-of-drain durability point: flush the open WAL
+                    // epoch and checkpoint, so scrub sees no unflushed
+                    // epochs and the store recovers to the final state.
+                    ctrl.persist_checkpoint()
+                        .expect("shard metadata checkpoint at drain");
                     let scrub = want_scrub.then(|| ctrl.scrub());
                     ShardSummary {
                         shard: id,
@@ -574,6 +603,55 @@ mod tests {
             "every write dedups, coalesces, or stores"
         );
         assert_eq!(r.merged.write_latency.count(), b.writes);
+    }
+
+    #[test]
+    fn persistence_keeps_the_merge_bit_identical_and_recovers() {
+        let (records, lines) = trace(1_500, 256, 21);
+        let config = config_for(2, lines, records.len());
+        let baseline = run(&config, "mcf", records.clone());
+
+        let dir =
+            std::env::temp_dir().join(format!("dewrite-engine-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = config;
+        config.persist_dir = Some(dir.clone());
+        config.persist_epoch = 32;
+        config.scrub = true;
+        let persisted = run(&config, "mcf", records);
+
+        assert_eq!(
+            baseline.merged.to_json().to_string(),
+            persisted.merged.to_json().to_string(),
+            "persistence must not change the merged simulated report"
+        );
+        let max_lines = lines + config.slots_per_shard * 2 + 16;
+        for s in &persisted.shards {
+            assert!(matches!(s.scrub, Some(Ok(_))), "shard {} scrub", s.shard);
+            let fp = ShardController::persist_fingerprint(
+                s.shard,
+                2,
+                config.slots_per_shard,
+                config.line_size,
+            );
+            let shard_dir = dir.join(format!("shard-{:02}", s.shard));
+            let (snap, stats) = dewrite_persist::recover_state(&shard_dir, fp, max_lines)
+                .expect("shard store recovers");
+            assert!(!stats.torn_tail, "drain checkpoint leaves a clean tail");
+            // Coalescing is off, so every trace write was applied and
+            // covered by the final checkpoint.
+            assert_eq!(stats.writes_covered, s.report.base.writes);
+            let scrubbed = match s.scrub {
+                Some(Ok(n)) => n,
+                _ => unreachable!(),
+            };
+            assert_eq!(
+                snap.residents.len() as u64,
+                scrubbed,
+                "recovered resident set matches the scrubbed line count"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

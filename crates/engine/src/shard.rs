@@ -22,15 +22,17 @@
 
 use dewrite_core::tables::{HashEntry, HashTable, InvertedTable, MAX_REFERENCE};
 use dewrite_core::{
-    lines_equal, BaseMetrics, DeWriteMetrics, HistoryPredictor, RunReport, Stage, StageBreakdown,
-    WriteEvent, WritePath,
+    lines_equal, BaseMetrics, DeWriteMetrics, HistoryPredictor, MetaOp, RunReport, Snapshot, Stage,
+    StageBreakdown, WriteEvent, WritePath,
 };
 use dewrite_crypto::{aes_line_energy_pj, CounterModeEngine, LineCounter, AES_LINE_LATENCY_NS};
 use dewrite_hashes::{HashAlgorithm, LineHasher};
 use dewrite_mem::{CacheConfig, LatencyHistogram, LatencyStats, MetadataCache};
 use dewrite_nvm::{AtomicBitmap, EnergyBreakdown, EnergyParams, LineAddr};
+use dewrite_persist::{DurableOptions, EpochLog};
 
 use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 
 /// Candidate-compare cap per write (§III-B2: bounded verify cost).
 pub const MAX_CANDIDATE_COMPARES: usize = 4;
@@ -104,6 +106,13 @@ pub struct ShardController {
     /// Recycled line buffers so a steady-state window allocates nothing.
     spare_bufs: Vec<Vec<u8>>,
 
+    /// Optional epoch-batched metadata WAL. Host-side only: logging is
+    /// never charged to simulated time, so the [`RunReport`] is
+    /// bit-identical with persistence on or off.
+    log: Option<EpochLog>,
+    /// Journal ops of the write in flight, drained into the log.
+    meta_ops: Vec<MetaOp>,
+
     base: BaseMetrics,
     dewrite: DeWriteMetrics,
     stages: StageBreakdown,
@@ -154,6 +163,8 @@ impl ShardController {
             coalesce_window: 0,
             pending: VecDeque::new(),
             spare_bufs: Vec::new(),
+            log: None,
+            meta_ops: Vec::new(),
             base: BaseMetrics::default(),
             dewrite: DeWriteMetrics::default(),
             stages: StageBreakdown::default(),
@@ -295,6 +306,163 @@ impl ShardController {
         }
     }
 
+    /// Stable fingerprint of a shard's durable-format-relevant geometry:
+    /// two stores agree on it exactly when their persisted metadata is
+    /// mutually interpretable (same interleaving, arena, line size, and
+    /// shard identity).
+    pub fn persist_fingerprint(id: usize, shards: usize, slots: u64, line_size: usize) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(b"dewrite-engine-shard-v1");
+        eat(&(id as u64).to_le_bytes());
+        eat(&(shards as u64).to_le_bytes());
+        eat(&slots.to_le_bytes());
+        eat(&(line_size as u64).to_le_bytes());
+        h
+    }
+
+    /// Attach an epoch-batched metadata WAL rooted at `dir`, anchored on a
+    /// checkpoint of the shard's current state. From here on every applied
+    /// write's metadata mutations are journaled (global addresses, so the
+    /// per-shard stores compose into the full line space) and flushed per
+    /// the epoch policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store-creation failures.
+    pub fn attach_persistence(&mut self, dir: &Path, opts: DurableOptions) -> std::io::Result<()> {
+        let snapshot = self.snapshot();
+        let log = EpochLog::create(
+            dir,
+            Self::persist_fingerprint(self.id, self.shards, self.slots, self.line_size),
+            &snapshot,
+            opts,
+        )?;
+        self.log = Some(log);
+        Ok(())
+    }
+
+    /// Whether a metadata WAL is attached.
+    pub fn persistence_attached(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Applied writes not yet covered by a durable WAL record (always 0
+    /// without persistence).
+    pub fn unflushed_wal_writes(&self) -> u64 {
+        self.log.as_ref().map_or(0, EpochLog::unflushed_writes)
+    }
+
+    /// Force the open WAL epoch to the log; a no-op without persistence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn flush_wal(&mut self) -> std::io::Result<()> {
+        match &mut self.log {
+            Some(log) => log.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Flush the WAL and rotate to a checkpoint of the shard's current
+    /// state (the end-of-drain durability point); a no-op without
+    /// persistence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if writes are parked in the coalescing buffer — drain with
+    /// [`ShardController::flush_writes`] first so the checkpoint covers
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn persist_checkpoint(&mut self) -> std::io::Result<()> {
+        if self.log.is_none() {
+            return Ok(());
+        }
+        assert!(
+            self.pending.is_empty(),
+            "checkpoint with {} writes parked in the coalescing buffer",
+            self.pending.len()
+        );
+        let snapshot = self.snapshot();
+        self.log
+            .as_mut()
+            .expect("checked above")
+            .checkpoint(&snapshot)
+    }
+
+    /// Capture the shard's durable metadata as a [`Snapshot`] in global
+    /// address terms: mappings are initial address → resident line, and
+    /// resident/counter lines are [`ShardController::slot_global`] values,
+    /// so per-shard snapshots compose without collisions.
+    pub fn snapshot(&self) -> Snapshot {
+        let lines = self.addr_map.len().max(self.slots as usize) as u64 * self.shards as u64;
+        let mut mappings = Vec::new();
+        for (idx, &slot) in self.addr_map.iter().enumerate() {
+            if slot != SLOT_NONE {
+                let init = idx as u64 * self.shards as u64 + self.id as u64;
+                mappings.push((init, self.slot_global(slot)));
+            }
+        }
+        let mut residents = Vec::new();
+        for slot in self.fsm.occupied() {
+            let digest = self
+                .inverted
+                .digest_of(LineAddr::new(slot))
+                .expect("occupied slot must have an inverted-hash row");
+            residents.push((self.slot_global(slot), digest));
+        }
+        residents.sort_unstable();
+        let counters = self
+            .counters
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(slot, &c)| (self.slot_global(slot as u64), c))
+            .collect();
+        Snapshot {
+            config_fp: Self::persist_fingerprint(self.id, self.shards, self.slots, self.line_size),
+            lines,
+            mappings,
+            residents,
+            counters,
+        }
+    }
+
+    /// Feed the in-flight write's journal ops to the log, flushing and
+    /// checkpointing per the epoch policy. Called at the end of every
+    /// applied write; a no-op without persistence.
+    fn journal_write(&mut self) {
+        if self.log.is_none() {
+            return;
+        }
+        let ops = std::mem::take(&mut self.meta_ops);
+        let due = self
+            .log
+            .as_mut()
+            .expect("checked above")
+            .record_write(ops)
+            .expect("metadata WAL append failed");
+        if due {
+            let snapshot = self.snapshot();
+            self.log
+                .as_mut()
+                .expect("checked above")
+                .checkpoint(&snapshot)
+                .expect("metadata checkpoint failed");
+        }
+    }
+
     /// DeWrite's digest fold: XOR the CRC's two 32-bit halves.
     fn fold_digest(d: u64) -> u32 {
         (d ^ (d >> 32)) as u32
@@ -349,11 +517,9 @@ impl ShardController {
     }
 
     /// Drop `addr`'s current mapping, releasing its slot when the last
-    /// reference goes.
-    fn release_previous_mapping(&mut self, addr: LineAddr) {
-        let Some(old_slot) = self.mapped_slot(addr) else {
-            return;
-        };
+    /// reference goes. Returns the freed local slot, if one went free.
+    fn release_previous_mapping(&mut self, addr: LineAddr) -> Option<u64> {
+        let old_slot = self.mapped_slot(addr)?;
         let idx = self.map_index(addr);
         self.addr_map[idx] = SLOT_NONE;
         let digest = self
@@ -363,6 +529,9 @@ impl ShardController {
         if self.hash.release_reference(digest, LineAddr::new(old_slot)) == 0 {
             self.inverted.clear(LineAddr::new(old_slot));
             assert!(self.fsm.release(old_slot), "double free of slot {old_slot}");
+            Some(old_slot)
+        } else {
+            None
         }
     }
 
@@ -371,9 +540,9 @@ impl ShardController {
     ///
     /// # Panics
     ///
-    /// Panics if `addr` is not this shard's, `data` is not one line, or the
+    /// Panics if `addr` is not this shard's, `data` is not one line, the
     /// shard's arena is exhausted (size it for the workload plus saturated
-    /// residue).
+    /// residue), or an attached metadata WAL hits an I/O error.
     pub fn write(&mut self, addr: LineAddr, data: &[u8], gap: u32) -> ShardWrite {
         debug_assert_eq!(
             addr.index() as usize % self.shards,
@@ -471,8 +640,19 @@ impl ShardController {
                 // Order matters when the old mapping is the same slot: add
                 // the new reference before releasing the old one so the
                 // entry never transiently hits zero.
-                self.release_previous_mapping(addr);
+                let freed = self.release_previous_mapping(addr);
                 self.map_addr(addr, slot);
+                if self.log.is_some() {
+                    if let Some(f) = freed {
+                        let real = self.slot_global(f);
+                        self.meta_ops.push(MetaOp::ResidentDel { real });
+                    }
+                    let real = self.slot_global(slot);
+                    self.meta_ops.push(MetaOp::MapSet {
+                        init: addr.index(),
+                        real,
+                    });
+                }
                 true
             }
             _ => false,
@@ -497,7 +677,7 @@ impl ShardController {
             critical_ns = digest_ns + detection_ns + META_NS;
             sim_ns = critical_ns;
         } else {
-            self.release_previous_mapping(addr);
+            let freed = self.release_previous_mapping(addr);
             let home = self.home_slot(addr);
             let slot = self
                 .fsm
@@ -520,6 +700,24 @@ impl ShardController {
             self.hash.insert(digest, LineAddr::new(slot));
             self.inverted.set(LineAddr::new(slot), digest);
             self.map_addr(addr, slot);
+            if self.log.is_some() {
+                // ResidentDel first: the allocator may hand back the slot
+                // the release just freed, and replay applies ops in order.
+                if let Some(f) = freed {
+                    let real = self.slot_global(f);
+                    self.meta_ops.push(MetaOp::ResidentDel { real });
+                }
+                let real = self.slot_global(slot);
+                self.meta_ops.push(MetaOp::ResidentSet { real, digest });
+                self.meta_ops.push(MetaOp::MapSet {
+                    init: addr.index(),
+                    real,
+                });
+                self.meta_ops.push(MetaOp::CounterSet {
+                    line: real,
+                    value: self.counters[slot as usize],
+                });
+            }
 
             event.set_stage(Stage::Encrypt, AES_LINE_LATENCY_NS);
             event.set_stage(Stage::ArrayWrite, ARRAY_WRITE_NS);
@@ -550,6 +748,7 @@ impl ShardController {
             self.write_latency_stored.record(sim_ns);
         }
         self.sim_ns += sim_ns;
+        self.journal_write();
         ShardWrite { eliminated, sim_ns }
     }
 
@@ -624,6 +823,13 @@ impl ShardController {
                 "shard {}: {} unflushed writes parked in the coalescing buffer",
                 self.id,
                 self.pending.len()
+            ));
+        }
+        if self.unflushed_wal_writes() > 0 {
+            return Err(format!(
+                "shard {}: {} writes in the open WAL epoch not yet flushed",
+                self.id,
+                self.unflushed_wal_writes()
             ));
         }
         let occupied = self.fsm.occupied();
@@ -918,6 +1124,95 @@ mod tests {
             b.report("z").to_json().to_string(),
             "window 0 is bit-identical to the unbuffered controller"
         );
+    }
+
+    fn persist_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "dewrite-shard-persist-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn persist_opts(epoch_writes: u32, checkpoint_epochs: u32) -> DurableOptions {
+        DurableOptions {
+            epoch_writes,
+            checkpoint_epochs,
+            sync: false,
+        }
+    }
+
+    #[test]
+    fn persisted_metadata_recovers_to_the_live_snapshot() {
+        let dir = persist_dir("roundtrip");
+        let mut s = ShardController::new(1, 2, 128, LINE, KEY);
+        s.attach_persistence(&dir, persist_opts(4, 2)).unwrap();
+        for i in 0..30u64 {
+            s.write(LineAddr::new(i * 2 + 1), &line((i % 5) as u8), 0);
+        }
+        assert_eq!(s.unflushed_wal_writes(), 2, "30 writes = 7 epochs + 2");
+        assert!(
+            s.scrub().unwrap_err().contains("WAL"),
+            "scrub refuses unflushed WAL epochs"
+        );
+        s.persist_checkpoint().unwrap();
+        assert_eq!(s.unflushed_wal_writes(), 0);
+        s.scrub().expect("clean after checkpoint");
+
+        let fp = ShardController::persist_fingerprint(1, 2, 128, LINE);
+        let (recovered, stats) =
+            dewrite_persist::recover_state(&dir, fp, 1 << 20).expect("recover");
+        assert_eq!(stats.writes_covered, 30);
+        assert!(!stats.torn_tail);
+        assert_eq!(recovered, s.snapshot(), "replayed state == live state");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_recovery_stops_at_the_epoch_boundary() {
+        let dir = persist_dir("crash");
+        let mut s = ShardController::new(0, 1, 256, LINE, KEY);
+        s.attach_persistence(&dir, persist_opts(4, 100)).unwrap();
+        // 10 writes = 2 flushed epochs (8 writes) + 2 lost with the crash.
+        for i in 0..10u64 {
+            s.write(LineAddr::new(i % 6), &line((i % 3) as u8), 0);
+        }
+        assert_eq!(s.unflushed_wal_writes(), 2);
+        drop(s);
+
+        // Replay the flushed prefix through a fresh shard: recovery must
+        // land exactly on that epoch-boundary state.
+        let mut reference = shard();
+        for i in 0..8u64 {
+            reference.write(LineAddr::new(i % 6), &line((i % 3) as u8), 0);
+        }
+        let fp = ShardController::persist_fingerprint(0, 1, 256, LINE);
+        let (recovered, stats) =
+            dewrite_persist::recover_state(&dir, fp, 1 << 20).expect("recover");
+        assert_eq!(stats.writes_covered, 8);
+        assert_eq!(recovered, reference.snapshot());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistence_does_not_change_the_report() {
+        let dir = persist_dir("determinism");
+        let mut plain = shard();
+        let mut logged = shard();
+        logged.attach_persistence(&dir, persist_opts(4, 2)).unwrap();
+        for i in 0..60u64 {
+            let a = plain.write(LineAddr::new(i % 9), &line((i % 4) as u8), 3);
+            let b = logged.write(LineAddr::new(i % 9), &line((i % 4) as u8), 3);
+            assert_eq!(a, b);
+        }
+        logged.persist_checkpoint().unwrap();
+        assert_eq!(
+            plain.report("p").to_json().to_string(),
+            logged.report("p").to_json().to_string(),
+            "host-side logging must never leak into the simulated report"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Checkpoint file format: a checksummed wrapper around the core
+//! [`Snapshot`] plus the write count it covers.
+//!
+//! ```text
+//! file    := magic "DWCK" · version u16 · crc u32 (over payload) · payload
+//! payload := writes_covered u64 · snapshot bytes (the core v2 format)
+//! ```
+//!
+//! `writes_covered` anchors the WAL chain: the segment paired with this
+//! checkpoint logs epochs whose `base_writes` start here. The snapshot
+//! carries its own config fingerprint, which recovery verifies.
+
+use std::io::{self, Write};
+
+use dewrite_core::Snapshot;
+use dewrite_hashes::Crc32;
+
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"DWCK";
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A durable checkpoint: the full metadata state as of `writes_covered`
+/// data writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Total data writes whose effects the snapshot includes.
+    pub writes_covered: u64,
+    /// The metadata state.
+    pub snapshot: Snapshot,
+}
+
+impl Checkpoint {
+    /// Serialize to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&self.writes_covered.to_le_bytes());
+        self.snapshot.write_to(&mut payload)?;
+        let crc = Crc32::new().checksum(&payload);
+        w.write_all(&CHECKPOINT_MAGIC)?;
+        w.write_all(&CHECKPOINT_VERSION.to_le_bytes())?;
+        w.write_all(&crc.to_le_bytes())?;
+        w.write_all(&payload)?;
+        Ok(())
+    }
+
+    /// Decode a checkpoint image, bounding the embedded snapshot's claimed
+    /// line count by `max_lines`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on bad magic/version, a
+    /// checksum mismatch, or an invalid embedded snapshot.
+    pub fn read_from_bounded(bytes: &[u8], max_lines: u64) -> io::Result<Self> {
+        if bytes.len() < 10 {
+            return Err(bad("checkpoint header truncated"));
+        }
+        if bytes[0..4] != CHECKPOINT_MAGIC {
+            return Err(bad("not a DeWrite checkpoint"));
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != CHECKPOINT_VERSION {
+            return Err(bad(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            )));
+        }
+        let crc = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes"));
+        let payload = &bytes[10..];
+        if Crc32::new().checksum(payload) != crc {
+            return Err(bad("checkpoint checksum mismatch (corrupt or torn)"));
+        }
+        if payload.len() < 8 {
+            return Err(bad("checkpoint payload truncated"));
+        }
+        let writes_covered = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+        let snapshot = Snapshot::read_from_bounded(&payload[8..], max_lines)?;
+        Ok(Checkpoint {
+            writes_covered,
+            snapshot,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            writes_covered: 123,
+            snapshot: Snapshot {
+                config_fp: 7,
+                lines: 64,
+                mappings: vec![(0, 5), (1, 5)],
+                residents: vec![(5, 99)],
+                counters: vec![(5, 2)],
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        assert_eq!(Checkpoint::read_from_bounded(&buf, 64).unwrap(), ck);
+    }
+
+    #[test]
+    fn every_truncation_and_flip_is_rejected() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                Checkpoint::read_from_bounded(&buf[..cut], 64).is_err(),
+                "truncation at {cut} decoded"
+            );
+        }
+        for byte in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[byte] ^= 0x01;
+            assert!(
+                Checkpoint::read_from_bounded(&corrupt, 64).is_err(),
+                "flip at {byte} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn line_bound_applies_to_embedded_snapshot() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        assert!(Checkpoint::read_from_bounded(&buf, 16).is_err());
+    }
+}

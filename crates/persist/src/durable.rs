@@ -1,0 +1,277 @@
+//! Epoch-batched durable logging: [`EpochLog`] (the reusable policy engine,
+//! shared with the engine's per-shard controllers) and [`DurableDeWrite`]
+//! (a `DeWrite` whose metadata survives a crash).
+//!
+//! SecPM-style epoch batching: instead of one log write per metadata
+//! update, the [`MetaOp`]s of `epoch_writes` consecutive data writes are
+//! buffered and appended (then fsynced) as one record. A crash loses at
+//! most the open epoch — the same exposure window the core's
+//! `MetadataPersistence::EpochFlush` policy charges to simulated time.
+//! Host-side logging itself is *never* charged: simulated results are
+//! bit-identical with persistence on or off.
+
+use std::path::Path;
+
+use dewrite_core::{
+    DeWrite, DeWriteConfig, MetaOp, ReadResult, SecureMemory, Snapshot, SystemConfig, WriteResult,
+};
+use dewrite_nvm::LineAddr;
+
+use crate::checkpoint::Checkpoint;
+use crate::store::MetaStore;
+use crate::wal::WalRecord;
+use crate::PersistError;
+
+/// Tuning knobs of the durable layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// Data writes per epoch record (the atomic unit of loss).
+    pub epoch_writes: u32,
+    /// Epochs between checkpoints (WAL segment rotation).
+    pub checkpoint_epochs: u32,
+    /// `fsync` after every append/checkpoint. Disable only in tests that
+    /// model the medium with in-memory copies of the files.
+    pub sync: bool,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            epoch_writes: 16,
+            checkpoint_epochs: 8,
+            sync: true,
+        }
+    }
+}
+
+/// The epoch-batching state machine over a [`MetaStore`].
+///
+/// Callers feed it each data write's journal ops via
+/// [`record_write`](Self::record_write); it appends one WAL record per
+/// epoch and reports when a checkpoint is due (the caller supplies the
+/// snapshot, since only it can capture one).
+#[derive(Debug)]
+pub struct EpochLog {
+    store: MetaStore,
+    pending: Vec<MetaOp>,
+    /// Total data writes observed.
+    writes: u64,
+    /// Data writes covered by appended records (plus the base checkpoint).
+    flushed_writes: u64,
+    epochs_since_checkpoint: u32,
+    opts: DurableOptions,
+}
+
+impl EpochLog {
+    /// Create a fresh log in `dir`, anchored on a checkpoint of
+    /// `initial` (state before any logged write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(
+        dir: &Path,
+        fingerprint: u64,
+        initial: &Snapshot,
+        opts: DurableOptions,
+    ) -> std::io::Result<Self> {
+        let store = MetaStore::create(
+            dir,
+            fingerprint,
+            &Checkpoint {
+                writes_covered: 0,
+                snapshot: initial.clone(),
+            },
+            opts.sync,
+        )?;
+        Ok(EpochLog {
+            store,
+            pending: Vec::new(),
+            writes: 0,
+            flushed_writes: 0,
+            epochs_since_checkpoint: 0,
+            opts,
+        })
+    }
+
+    /// Feed one data write's journal ops. Returns `true` when a checkpoint
+    /// is due — the caller should capture a snapshot and call
+    /// [`checkpoint`](Self::checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from an epoch flush.
+    pub fn record_write(&mut self, ops: impl IntoIterator<Item = MetaOp>) -> std::io::Result<bool> {
+        self.pending.extend(ops);
+        self.writes += 1;
+        if self.writes - self.flushed_writes >= u64::from(self.opts.epoch_writes.max(1)) {
+            self.flush()?;
+            return Ok(self.epochs_since_checkpoint >= self.opts.checkpoint_epochs.max(1));
+        }
+        Ok(false)
+    }
+
+    /// Append the open (partial) epoch, if any, as a record and fsync.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.writes == self.flushed_writes {
+            return Ok(());
+        }
+        let record = WalRecord {
+            base_writes: self.flushed_writes,
+            writes_covered: self.writes,
+            ops: std::mem::take(&mut self.pending),
+        };
+        self.store.append(&record)?;
+        self.flushed_writes = self.writes;
+        self.epochs_since_checkpoint += 1;
+        Ok(())
+    }
+
+    /// Flush, then rotate to a new checkpoint capturing `snapshot` (which
+    /// must reflect *all* writes fed so far).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn checkpoint(&mut self, snapshot: &Snapshot) -> std::io::Result<()> {
+        self.flush()?;
+        self.store.rotate(&Checkpoint {
+            writes_covered: self.flushed_writes,
+            snapshot: snapshot.clone(),
+        })?;
+        self.epochs_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Data writes not yet covered by a durable record: the crash-loss
+    /// exposure right now (0 ≤ exposure < `epoch_writes`).
+    pub fn unflushed_writes(&self) -> u64 {
+        self.writes - self.flushed_writes
+    }
+
+    /// Total data writes fed to the log.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// The underlying store (directory, sequence).
+    pub fn store(&self) -> &MetaStore {
+        &self.store
+    }
+}
+
+/// A [`DeWrite`] whose dedup metadata is made durable through an
+/// [`EpochLog`]: every write's metadata mutations are journaled, batched
+/// into epoch WAL records, and periodically checkpointed, so
+/// [`DeWrite::recover`](crate::RecoverDeWrite::recover) can rebuild the
+/// controller after a crash.
+#[derive(Debug)]
+pub struct DurableDeWrite {
+    mem: DeWrite,
+    log: EpochLog,
+}
+
+impl DurableDeWrite {
+    /// Build a fresh controller persisting to `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store-creation failures.
+    pub fn create(
+        dir: &Path,
+        config: SystemConfig,
+        dw: DeWriteConfig,
+        key: &[u8; 16],
+        opts: DurableOptions,
+    ) -> Result<Self, PersistError> {
+        let mut mem = DeWrite::new(config, dw, key);
+        mem.set_meta_journal(true);
+        let log = EpochLog::create(dir, dw.fingerprint(), &mem.snapshot(), opts)?;
+        Ok(DurableDeWrite { mem, log })
+    }
+
+    /// Write a line (the durable analogue of [`SecureMemory::write`]):
+    /// applies the write, journals its metadata mutations, and flushes /
+    /// checkpoints per the epoch policy.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Memory`] for address/size rejections,
+    /// [`PersistError::Io`] for log failures.
+    pub fn write(
+        &mut self,
+        addr: LineAddr,
+        data: &[u8],
+        now_ns: u64,
+    ) -> Result<WriteResult, PersistError> {
+        let result = self
+            .mem
+            .write(addr, data, now_ns)
+            .map_err(|e| PersistError::Memory(e.to_string()))?;
+        let ops = self.mem.drain_meta_ops();
+        if self.log.record_write(ops)? {
+            let snapshot = self.mem.snapshot();
+            self.log.checkpoint(&snapshot)?;
+        }
+        Ok(result)
+    }
+
+    /// Read a line (pass-through).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Memory`] for address rejections.
+    pub fn read(&mut self, addr: LineAddr, now_ns: u64) -> Result<ReadResult, PersistError> {
+        self.mem
+            .read(addr, now_ns)
+            .map_err(|e| PersistError::Memory(e.to_string()))
+    }
+
+    /// Force the open epoch to the log (bounding crash loss to zero until
+    /// the next write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.log.flush()
+    }
+
+    /// Force a checkpoint of the current state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn checkpoint(&mut self) -> std::io::Result<()> {
+        let snapshot = self.mem.snapshot();
+        self.log.checkpoint(&snapshot)
+    }
+
+    /// The wrapped controller.
+    pub fn mem(&self) -> &DeWrite {
+        &self.mem
+    }
+
+    /// The epoch log (exposure/statistics).
+    pub fn log(&self) -> &EpochLog {
+        &self.log
+    }
+
+    /// Clean shutdown: flush the open epoch, write a final checkpoint, and
+    /// hand back the controller (snapshot + device via its `power_off`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (the controller is lost in that case,
+    /// as it would be on a real failed shutdown — recovery handles it).
+    pub fn shutdown(mut self) -> Result<DeWrite, PersistError> {
+        self.flush()?;
+        let snapshot = self.mem.snapshot();
+        self.log.checkpoint(&snapshot)?;
+        Ok(self.mem)
+    }
+}

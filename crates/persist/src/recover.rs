@@ -1,0 +1,287 @@
+//! Recovery: newest valid checkpoint + WAL suffix replay → a scrub-clean
+//! controller.
+//!
+//! The algorithm (mirroring what a controller's recovery microcode would do
+//! over the NVM metadata region):
+//!
+//! 1. scan the store directory for checkpoints, newest first; take the
+//!    first that decodes (checksum + bounds + fingerprint) — a torn newest
+//!    checkpoint falls back to the previous pair, which rotation always
+//!    retains;
+//! 2. replay every WAL segment from that checkpoint's sequence upward, in
+//!    order, applying each record's [`MetaOp`]s to the state; records
+//!    wholly covered by the checkpoint are skipped, and any discontinuity
+//!    in the write-count chain is a hard corruption error;
+//! 3. a torn tail (short/garbled record at the end of the stream) is
+//!    *discarded*: the crash lost at most the final unflushed epoch — the
+//!    atomic unit of loss under epoch persistence;
+//! 4. the reassembled [`Snapshot`] powers a controller on
+//!    ([`RecoverDeWrite::recover`]) and must pass `scrub()`.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use dewrite_core::{DeWrite, DeWriteConfig, Json, MetaOp, Snapshot, SystemConfig};
+use dewrite_nvm::NvmDevice;
+
+use crate::checkpoint::Checkpoint;
+use crate::store::{ckpt_path, list_seqs, wal_path, CKPT_EXT, CKPT_PREFIX, WAL_EXT, WAL_PREFIX};
+use crate::wal::{decode_wal, WalTail};
+use crate::PersistError;
+
+/// What recovery found and did (the torture summary's per-run payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Sequence number of the checkpoint recovery started from.
+    pub checkpoint_seq: u64,
+    /// Data writes that checkpoint covered.
+    pub checkpoint_writes: u64,
+    /// Newer checkpoints that failed to decode and were skipped.
+    pub checkpoints_skipped: u64,
+    /// WAL segments scanned.
+    pub segments_scanned: u64,
+    /// Complete epoch records replayed.
+    pub records_replayed: u64,
+    /// Records skipped as already covered by the checkpoint.
+    pub records_skipped: u64,
+    /// Data writes covered by the recovered state.
+    pub writes_covered: u64,
+    /// Whether a torn tail was detected (and discarded).
+    pub torn_tail: bool,
+    /// Bytes discarded as torn.
+    pub discarded_bytes: u64,
+}
+
+impl RecoveryStats {
+    /// The stats as a JSON object (for reports and CI artifacts).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "checkpoint_seq".into(),
+                Json::Num(self.checkpoint_seq as f64),
+            ),
+            (
+                "checkpoint_writes".into(),
+                Json::Num(self.checkpoint_writes as f64),
+            ),
+            (
+                "checkpoints_skipped".into(),
+                Json::Num(self.checkpoints_skipped as f64),
+            ),
+            (
+                "segments_scanned".into(),
+                Json::Num(self.segments_scanned as f64),
+            ),
+            (
+                "records_replayed".into(),
+                Json::Num(self.records_replayed as f64),
+            ),
+            (
+                "records_skipped".into(),
+                Json::Num(self.records_skipped as f64),
+            ),
+            (
+                "writes_covered".into(),
+                Json::Num(self.writes_covered as f64),
+            ),
+            ("torn_tail".into(), Json::Bool(self.torn_tail)),
+            (
+                "discarded_bytes".into(),
+                Json::Num(self.discarded_bytes as f64),
+            ),
+        ])
+    }
+}
+
+/// Mutable replay state: the snapshot's three tables as maps.
+struct ReplayState {
+    lines: u64,
+    config_fp: u64,
+    mappings: HashMap<u64, u64>,
+    residents: HashMap<u64, u32>,
+    counters: HashMap<u64, u32>,
+}
+
+impl ReplayState {
+    fn from_snapshot(s: &Snapshot) -> Self {
+        ReplayState {
+            lines: s.lines,
+            config_fp: s.config_fp,
+            mappings: s.mappings.iter().copied().collect(),
+            residents: s.residents.iter().copied().collect(),
+            counters: s.counters.iter().copied().collect(),
+        }
+    }
+
+    fn apply(&mut self, op: MetaOp) {
+        match op {
+            MetaOp::MapSet { init, real } => {
+                self.mappings.insert(init, real);
+            }
+            MetaOp::ResidentSet { real, digest } => {
+                self.residents.insert(real, digest);
+            }
+            MetaOp::ResidentDel { real } => {
+                self.residents.remove(&real);
+            }
+            MetaOp::CounterSet { line, value } => {
+                self.counters.insert(line, value);
+            }
+        }
+    }
+
+    fn into_snapshot(self) -> Snapshot {
+        let mut mappings: Vec<(u64, u64)> = self.mappings.into_iter().collect();
+        let mut residents: Vec<(u64, u32)> = self.residents.into_iter().collect();
+        let mut counters: Vec<(u64, u32)> = self.counters.into_iter().collect();
+        mappings.sort_unstable();
+        residents.sort_unstable();
+        counters.sort_unstable();
+        Snapshot {
+            config_fp: self.config_fp,
+            lines: self.lines,
+            mappings,
+            residents,
+            counters,
+        }
+    }
+}
+
+/// Load the newest valid checkpoint under `dir` and replay the WAL suffix,
+/// returning the reassembled snapshot and what recovery did.
+///
+/// `fingerprint` must be the current configuration's
+/// [`DeWriteConfig::fingerprint`]; `max_lines` bounds decode allocations
+/// (pass the configured `data_lines`).
+///
+/// # Errors
+///
+/// [`PersistError::ConfigMismatch`] when the durable state was written
+/// under a different fingerprint; [`PersistError::Corrupt`] when no
+/// checkpoint decodes or the record chain has a gap; [`PersistError::Io`]
+/// on filesystem failures.
+pub fn recover_state(
+    dir: &Path,
+    fingerprint: u64,
+    max_lines: u64,
+) -> Result<(Snapshot, RecoveryStats), PersistError> {
+    let ckpt_seqs = list_seqs(dir, CKPT_PREFIX, CKPT_EXT)?;
+    if ckpt_seqs.is_empty() {
+        return Err(PersistError::Corrupt(format!(
+            "no checkpoint found in {}",
+            dir.display()
+        )));
+    }
+
+    // 1. Newest checkpoint that decodes.
+    let mut stats = RecoveryStats::default();
+    let mut base: Option<(u64, Checkpoint)> = None;
+    let mut last_decode_err = String::new();
+    for &seq in ckpt_seqs.iter().rev() {
+        let bytes = fs::read(ckpt_path(dir, seq))?;
+        match Checkpoint::read_from_bounded(&bytes, max_lines) {
+            Ok(ckpt) => {
+                if ckpt.snapshot.config_fp != fingerprint {
+                    return Err(PersistError::ConfigMismatch(format!(
+                        "checkpoint {seq} was captured under config fingerprint {:#018x}, \
+                         expected {fingerprint:#018x}",
+                        ckpt.snapshot.config_fp
+                    )));
+                }
+                base = Some((seq, ckpt));
+                break;
+            }
+            Err(e) => {
+                stats.checkpoints_skipped += 1;
+                last_decode_err = e.to_string();
+            }
+        }
+    }
+    let Some((base_seq, ckpt)) = base else {
+        return Err(PersistError::Corrupt(format!(
+            "no checkpoint in {} decodes (last error: {last_decode_err})",
+            dir.display()
+        )));
+    };
+    stats.checkpoint_seq = base_seq;
+    stats.checkpoint_writes = ckpt.writes_covered;
+    stats.writes_covered = ckpt.writes_covered;
+
+    // 2. Replay WAL segments from the checkpoint's sequence upward.
+    let mut state = ReplayState::from_snapshot(&ckpt.snapshot);
+    let wal_seqs: Vec<u64> = list_seqs(dir, WAL_PREFIX, WAL_EXT)?
+        .into_iter()
+        .filter(|&s| s >= base_seq)
+        .collect();
+    for seq in wal_seqs {
+        stats.segments_scanned += 1;
+        let bytes = fs::read(wal_path(dir, seq))?;
+        let decoded = decode_wal(&bytes, fingerprint)?;
+        for rec in decoded.records {
+            if rec.writes_covered <= stats.writes_covered {
+                stats.records_skipped += 1;
+                continue;
+            }
+            if rec.base_writes != stats.writes_covered {
+                return Err(PersistError::Corrupt(format!(
+                    "WAL segment {seq}: record covers writes ({}, {}] but the \
+                     state only reaches {} — a gap in the log chain",
+                    rec.base_writes, rec.writes_covered, stats.writes_covered
+                )));
+            }
+            for op in rec.ops {
+                state.apply(op);
+            }
+            stats.writes_covered = rec.writes_covered;
+            stats.records_replayed += 1;
+        }
+        // 3. A torn tail is discarded, never replayed. It normally sits in
+        // the newest segment; a tear in an *earlier* segment is also safe —
+        // any record logged after it would break the write-count chain and
+        // trip the gap check above.
+        if let WalTail::Torn { bytes: torn, .. } = decoded.tail {
+            stats.torn_tail = true;
+            stats.discarded_bytes += torn as u64;
+        }
+    }
+
+    Ok((state.into_snapshot(), stats))
+}
+
+/// Extension trait hanging the recovery constructor on [`DeWrite`]
+/// (imported from this crate: `DeWrite::recover(...)`).
+pub trait RecoverDeWrite: Sized {
+    /// Rebuild a controller from the durable store at `dir` over an
+    /// existing `device`, replaying the WAL suffix and verifying the
+    /// result with a full `scrub()`.
+    ///
+    /// # Errors
+    ///
+    /// All of [`recover_state`]'s errors, plus
+    /// [`PersistError::Recovery`] when `power_on` or the scrub rejects the
+    /// reassembled state.
+    fn recover(
+        dir: &Path,
+        config: SystemConfig,
+        dw: DeWriteConfig,
+        key: &[u8; 16],
+        device: NvmDevice,
+    ) -> Result<(Self, RecoveryStats), PersistError>;
+}
+
+impl RecoverDeWrite for DeWrite {
+    fn recover(
+        dir: &Path,
+        config: SystemConfig,
+        dw: DeWriteConfig,
+        key: &[u8; 16],
+        device: NvmDevice,
+    ) -> Result<(Self, RecoveryStats), PersistError> {
+        let (snapshot, stats) = recover_state(dir, dw.fingerprint(), config.data_lines)?;
+        let mem = DeWrite::power_on(config, dw, key, device, &snapshot)
+            .map_err(PersistError::Recovery)?;
+        mem.scrub().map_err(PersistError::Recovery)?;
+        Ok((mem, stats))
+    }
+}

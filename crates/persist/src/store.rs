@@ -1,0 +1,268 @@
+//! The on-disk metadata store: a directory of checkpoint/WAL segment pairs.
+//!
+//! ```text
+//! <dir>/ckpt-00000000.dwck   checkpoint 0 (state at creation)
+//! <dir>/wal-00000000.log     epochs after checkpoint 0
+//! <dir>/ckpt-00000001.dwck   checkpoint 1
+//! <dir>/wal-00000001.log     epochs after checkpoint 1
+//! ...
+//! ```
+//!
+//! Sequence `s`'s WAL segment logs exactly the epochs between checkpoint
+//! `s` and checkpoint `s+1`. Rotation writes the new checkpoint via
+//! temp-file + rename + directory fsync *before* opening the new segment,
+//! and keeps the previous pair on disk (pruning only `seq ≤ current − 2`),
+//! so a checkpoint torn mid-write can always be recovered past: the older
+//! checkpoint plus its complete WAL segment reproduce the same state.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::Checkpoint;
+use crate::wal::{encode_record, encode_wal_header, WalRecord};
+
+/// File-name prefix of checkpoint files.
+pub(crate) const CKPT_PREFIX: &str = "ckpt-";
+/// File-name extension of checkpoint files.
+pub(crate) const CKPT_EXT: &str = ".dwck";
+/// File-name prefix of WAL segments.
+pub(crate) const WAL_PREFIX: &str = "wal-";
+/// File-name extension of WAL segments.
+pub(crate) const WAL_EXT: &str = ".log";
+
+/// Path of checkpoint `seq` under `dir`.
+pub(crate) fn ckpt_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{CKPT_PREFIX}{seq:08}{CKPT_EXT}"))
+}
+
+/// Path of WAL segment `seq` under `dir`.
+pub(crate) fn wal_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{WAL_PREFIX}{seq:08}{WAL_EXT}"))
+}
+
+/// Parse `name` as `<prefix><seq><ext>`, returning the sequence number.
+pub(crate) fn parse_seq(name: &str, prefix: &str, ext: &str) -> Option<u64> {
+    let body = name.strip_prefix(prefix)?.strip_suffix(ext)?;
+    if body.is_empty() || !body.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    body.parse().ok()
+}
+
+/// Sorted sequence numbers of all files `<prefix>*<ext>` in `dir`.
+pub(crate) fn list_seqs(dir: &Path, prefix: &str, ext: &str) -> io::Result<Vec<u64>> {
+    let mut seqs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if let Some(seq) = parse_seq(name, prefix, ext) {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    // Persist the rename itself. Directory fsync is POSIX-only; on
+    // platforms where opening a directory fails, fall back to best effort.
+    match File::open(dir) {
+        Ok(d) => d.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Owner of a store directory: appends epoch records to the active WAL
+/// segment and rotates checkpoint/segment pairs.
+#[derive(Debug)]
+pub struct MetaStore {
+    dir: PathBuf,
+    fingerprint: u64,
+    seq: u64,
+    wal: File,
+    sync: bool,
+}
+
+impl MetaStore {
+    /// Create a fresh store in `dir` (created if absent; any previous
+    /// checkpoint/WAL files are removed), writing checkpoint 0 from
+    /// `initial` and opening WAL segment 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(
+        dir: &Path,
+        fingerprint: u64,
+        initial: &Checkpoint,
+        sync: bool,
+    ) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        for seq in list_seqs(dir, CKPT_PREFIX, CKPT_EXT)? {
+            fs::remove_file(ckpt_path(dir, seq))?;
+        }
+        for seq in list_seqs(dir, WAL_PREFIX, WAL_EXT)? {
+            fs::remove_file(wal_path(dir, seq))?;
+        }
+        let mut store = MetaStore {
+            dir: dir.to_path_buf(),
+            fingerprint,
+            seq: 0,
+            // Placeholder; replaced by open_segment below.
+            wal: File::create(wal_path(dir, 0))?,
+            sync,
+        };
+        store.write_checkpoint_file(0, initial)?;
+        store.open_segment(0)?;
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current checkpoint/segment sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn write_checkpoint_file(&self, seq: u64, ckpt: &Checkpoint) -> io::Result<()> {
+        let tmp = self.dir.join(format!("{CKPT_PREFIX}{seq:08}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            ckpt.write_to(&mut f)?;
+            if self.sync {
+                f.sync_all()?;
+            }
+        }
+        fs::rename(&tmp, ckpt_path(&self.dir, seq))?;
+        if self.sync {
+            sync_dir(&self.dir)?;
+        }
+        Ok(())
+    }
+
+    fn open_segment(&mut self, seq: u64) -> io::Result<()> {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(wal_path(&self.dir, seq))?;
+        f.write_all(&encode_wal_header(self.fingerprint))?;
+        if self.sync {
+            f.sync_all()?;
+            sync_dir(&self.dir)?;
+        }
+        self.wal = f;
+        self.seq = seq;
+        Ok(())
+    }
+
+    /// Append one epoch record to the active segment and (when `sync`)
+    /// fsync it — the "append → fsync" half of the ordered discipline; the
+    /// caller applies the epoch's effects only after this returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        self.wal.write_all(&encode_record(record))?;
+        if self.sync {
+            self.wal.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Rotate: write checkpoint `seq+1` (temp + rename + dir fsync), open
+    /// WAL segment `seq+1`, and prune pairs `≤ seq−1` (keeping exactly one
+    /// older pair as the fallback for a torn checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn rotate(&mut self, ckpt: &Checkpoint) -> io::Result<()> {
+        let next = self.seq + 1;
+        self.write_checkpoint_file(next, ckpt)?;
+        self.open_segment(next)?;
+        if next >= 2 {
+            for old in 0..=(next - 2) {
+                let c = ckpt_path(&self.dir, old);
+                let w = wal_path(&self.dir, old);
+                if c.exists() {
+                    fs::remove_file(c)?;
+                }
+                if w.exists() {
+                    fs::remove_file(w)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dewrite_core::Snapshot;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("dewrite-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn ckpt(writes: u64) -> Checkpoint {
+        Checkpoint {
+            writes_covered: writes,
+            snapshot: Snapshot::empty(64, 5),
+        }
+    }
+
+    #[test]
+    fn create_rotate_prune() {
+        let dir = tmpdir("rotate");
+        let mut store = MetaStore::create(&dir, 5, &ckpt(0), false).unwrap();
+        assert_eq!(store.seq(), 0);
+        store
+            .append(&WalRecord {
+                base_writes: 0,
+                writes_covered: 4,
+                ops: vec![],
+            })
+            .unwrap();
+        store.rotate(&ckpt(4)).unwrap();
+        store.rotate(&ckpt(8)).unwrap();
+        store.rotate(&ckpt(12)).unwrap();
+        // Pairs 0 and 1 pruned; 2 and 3 retained.
+        assert_eq!(list_seqs(&dir, CKPT_PREFIX, CKPT_EXT).unwrap(), vec![2, 3]);
+        assert_eq!(list_seqs(&dir, WAL_PREFIX, WAL_EXT).unwrap(), vec![2, 3]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_wipes_previous_state() {
+        let dir = tmpdir("wipe");
+        let mut store = MetaStore::create(&dir, 5, &ckpt(0), false).unwrap();
+        store.rotate(&ckpt(4)).unwrap();
+        drop(store);
+        let _fresh = MetaStore::create(&dir, 5, &ckpt(0), false).unwrap();
+        assert_eq!(list_seqs(&dir, CKPT_PREFIX, CKPT_EXT).unwrap(), vec![0]);
+        assert_eq!(list_seqs(&dir, WAL_PREFIX, WAL_EXT).unwrap(), vec![0]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seq_parsing_rejects_noise() {
+        assert_eq!(
+            parse_seq("ckpt-00000007.dwck", CKPT_PREFIX, CKPT_EXT),
+            Some(7)
+        );
+        assert_eq!(parse_seq("ckpt-abc.dwck", CKPT_PREFIX, CKPT_EXT), None);
+        assert_eq!(parse_seq("ckpt-.dwck", CKPT_PREFIX, CKPT_EXT), None);
+        assert_eq!(parse_seq("wal-00000001.log", CKPT_PREFIX, CKPT_EXT), None);
+    }
+}

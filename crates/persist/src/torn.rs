@@ -1,0 +1,160 @@
+//! Torn-write fault injection: the crash model for the torture tests.
+//!
+//! A power failure mid-write leaves either a prefix of the bytes (the
+//! common case on a block device) or, on media without atomic sector
+//! writes, a corrupted cell. [`TornWriter`] models both at the `io::Write`
+//! layer — it wraps any writer and applies one [`Fault`] at a chosen
+//! absolute byte position; [`apply_fault`] does the same to an in-memory
+//! image (used when the torture sweep mutates a copied store directory).
+
+use std::io::{self, Write};
+
+/// A single injected fault, positioned by absolute byte offset across the
+/// whole written stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Everything from byte `at` onward is lost (classic torn write).
+    Truncate {
+        /// First byte that never reaches the medium.
+        at: u64,
+    },
+    /// Bit `bit` of the byte at offset `at` is inverted (medium corruption
+    /// under a crash, e.g. a half-programmed cell).
+    BitFlip {
+        /// Byte offset of the corrupted cell.
+        at: u64,
+        /// Bit index 0..8 within that byte.
+        bit: u8,
+    },
+}
+
+/// Apply `fault` to an in-memory file image. A `Truncate`/`BitFlip`
+/// positioned at or past the end leaves the image unchanged.
+pub fn apply_fault(bytes: &mut Vec<u8>, fault: Fault) {
+    match fault {
+        Fault::Truncate { at } => {
+            if (at as usize) < bytes.len() {
+                bytes.truncate(at as usize);
+            }
+        }
+        Fault::BitFlip { at, bit } => {
+            if let Some(b) = bytes.get_mut(at as usize) {
+                *b ^= 1 << (bit % 8);
+            }
+        }
+    }
+}
+
+/// An `io::Write` adapter injecting one [`Fault`] into the byte stream.
+///
+/// The writer keeps reporting success after a `Truncate` fault (the crash
+/// is only discovered at recovery, exactly like real hardware), so the code
+/// under test proceeds normally while its tail bytes silently vanish.
+#[derive(Debug)]
+pub struct TornWriter<W: Write> {
+    inner: W,
+    fault: Fault,
+    written: u64,
+}
+
+impl<W: Write> TornWriter<W> {
+    /// Wrap `inner`, arming `fault`.
+    pub fn new(inner: W, fault: Fault) -> Self {
+        TornWriter {
+            inner,
+            fault,
+            written: 0,
+        }
+    }
+
+    /// Total bytes the caller *believes* it has written.
+    pub fn claimed_bytes(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for TornWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let start = self.written;
+        match self.fault {
+            Fault::Truncate { at } => {
+                if start >= at {
+                    // Fully past the tear: swallow silently.
+                } else {
+                    let keep = ((at - start) as usize).min(buf.len());
+                    self.inner.write_all(&buf[..keep])?;
+                }
+            }
+            Fault::BitFlip { at, bit } => {
+                if at >= start && at < start + buf.len() as u64 {
+                    let mut copy = buf.to_vec();
+                    copy[(at - start) as usize] ^= 1 << (bit % 8);
+                    self.inner.write_all(&copy)?;
+                } else {
+                    self.inner.write_all(buf)?;
+                }
+            }
+        }
+        self.written = start + buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_keeps_exact_prefix() {
+        for at in 0..12u64 {
+            let mut sink = Vec::new();
+            {
+                let mut w = TornWriter::new(&mut sink, Fault::Truncate { at });
+                w.write_all(b"hello").unwrap();
+                w.write_all(b" torn").unwrap();
+                assert_eq!(w.claimed_bytes(), 10);
+            }
+            let expect = &b"hello torn"[..(at as usize).min(10)];
+            assert_eq!(sink, expect, "tear at {at}");
+        }
+    }
+
+    #[test]
+    fn bitflip_corrupts_one_bit_across_write_boundaries() {
+        for at in 0..10u64 {
+            let mut sink = Vec::new();
+            {
+                let mut w = TornWriter::new(&mut sink, Fault::BitFlip { at, bit: 3 });
+                w.write_all(b"hello").unwrap();
+                w.write_all(b" torn").unwrap();
+            }
+            let mut expect = b"hello torn".to_vec();
+            expect[at as usize] ^= 1 << 3;
+            assert_eq!(sink, expect, "flip at {at}");
+        }
+    }
+
+    #[test]
+    fn apply_fault_matches_writer_semantics() {
+        let mut img = b"hello torn".to_vec();
+        apply_fault(&mut img, Fault::Truncate { at: 4 });
+        assert_eq!(img, b"hell");
+        let mut img = b"hello".to_vec();
+        apply_fault(&mut img, Fault::BitFlip { at: 1, bit: 0 });
+        assert_eq!(img[1], b'e' ^ 1);
+        // Out-of-range faults are no-ops.
+        let mut img = b"ok".to_vec();
+        apply_fault(&mut img, Fault::Truncate { at: 10 });
+        apply_fault(&mut img, Fault::BitFlip { at: 10, bit: 1 });
+        assert_eq!(img, b"ok");
+    }
+}

@@ -13,7 +13,9 @@
 //!   applications, plus trace capture/replay and the duplication oracle;
 //! * [`mem`] — metadata cache, in-order core model, latency statistics;
 //! * [`core`] — DeWrite itself, every baseline scheme, and the trace-driven
-//!   simulator.
+//!   simulator;
+//! * [`persist`] — crash-consistent metadata persistence: write-ahead log,
+//!   checkpoints, torn-write fault injection, and recovery replay.
 //!
 //! # Quick start
 //!
@@ -47,4 +49,5 @@ pub use dewrite_crypto as crypto;
 pub use dewrite_hashes as hashes;
 pub use dewrite_mem as mem;
 pub use dewrite_nvm as nvm;
+pub use dewrite_persist as persist;
 pub use dewrite_trace as trace;

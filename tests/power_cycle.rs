@@ -97,6 +97,44 @@ fn power_on_rejects_mismatched_configuration() {
 }
 
 #[test]
+fn power_on_rejects_mismatched_dewrite_config() {
+    // Restoring under a different scheme configuration (hasher, domains,
+    // counter width) would silently misinterpret the tables; the snapshot's
+    // config fingerprint must catch it with a descriptive error.
+    let (mem, _, config) = populated();
+    let (snapshot, device) = mem.power_off();
+
+    let mut wrong_hash = DeWriteConfig::paper();
+    wrong_hash.hasher = dewrite::hashes::HashAlgorithm::Crc32c;
+    let err = DeWrite::power_on(config.clone(), wrong_hash, KEY, device, &snapshot)
+        .expect_err("hasher mismatch");
+    assert!(err.contains("fingerprint"), "{err}");
+
+    let device = dewrite::nvm::NvmDevice::new(config.nvm.clone()).expect("device");
+    let mut wrong_domains = DeWriteConfig::paper();
+    wrong_domains.dedup_domains = 4;
+    let err = DeWrite::power_on(config, wrong_domains, KEY, device, &snapshot)
+        .expect_err("domain mismatch");
+    assert!(err.contains("fingerprint"), "{err}");
+}
+
+#[test]
+fn config_fingerprint_ignores_performance_knobs() {
+    // Cache sizes, verify buffer, and persistence policy don't change how
+    // durable state is interpreted — snapshots must survive tuning changes.
+    let base = DeWriteConfig::paper();
+    let mut tuned = DeWriteConfig::paper();
+    tuned.meta_cache.hash_entries = 32;
+    tuned.verify_buffer_entries = 0;
+    tuned.persistence = dewrite::core::MetadataPersistence::EpochFlush { interval: 8 };
+    assert_eq!(base.fingerprint(), tuned.fingerprint());
+
+    let mut semantic = DeWriteConfig::paper();
+    semantic.pna = false;
+    assert_ne!(base.fingerprint(), semantic.fingerprint());
+}
+
+#[test]
 fn counters_keep_advancing_after_restore() {
     // Pad uniqueness must hold across the cycle: rewriting a line after
     // restore must produce different ciphertext than before.
