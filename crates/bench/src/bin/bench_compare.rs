@@ -31,7 +31,10 @@
 //! quick-vs-full comparisons still need slack, so the default tolerance
 //! is a loose 50% there: the gate exists to catch structural regressions
 //! (a probe going quadratic, an allocation sneaking into the hot loop),
-//! not single-digit jitter.
+//! not single-digit jitter. Rows whose name ends in `_contended` are
+//! excluded from hotpath comparisons entirely: they measure thread
+//! interaction, so their ns/op depends on host core count and a baseline
+//! captured on a different machine says nothing about a regression.
 //!
 //! In simulated mode tolerance defaults to 2% — simulated ns are
 //! deterministic, so any drift beyond float-formatting noise is a real
@@ -246,7 +249,7 @@ fn main() -> ExitCode {
     let mut compared = 0usize;
 
     if hotpath_mode {
-        let (old_rows, new_rows) = match (
+        let (mut old_rows, mut new_rows) = match (
             hotpath_rows(old_path, &old_json),
             hotpath_rows(new_path, &new_json),
         ) {
@@ -256,6 +259,21 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        // Contended rows depend on how many hardware threads the host
+        // has; comparing them across machines (or against a baseline
+        // captured on a small runner) flags scheduler noise, not code.
+        let is_contended = |name: &str| name.ends_with("_contended");
+        let dropped: std::collections::BTreeSet<String> = old_rows
+            .keys()
+            .chain(new_rows.keys())
+            .filter(|(name, _)| is_contended(name))
+            .map(|(name, _)| name.clone())
+            .collect();
+        old_rows.retain(|(name, _), _| !is_contended(name));
+        new_rows.retain(|(name, _), _| !is_contended(name));
+        for name in &dropped {
+            println!("note: skipping {name} (contended rows are host-parallelism dependent)");
+        }
         for key @ (name, engine) in new_rows.keys() {
             if !old_rows.contains_key(key) {
                 missing.push(format!(

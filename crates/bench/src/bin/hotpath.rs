@@ -15,7 +15,11 @@
 //! `--quick` (or env `BENCH_QUICK=1`) shortens sampling for CI smoke runs.
 //! `--check` exits non-zero unless the tentpole speedups hold (≥3x on
 //! 256 B line encryption, ≥4x on 256 B CRC digest, ≥3x on dedup-index
-//! lookup, ≥2x on metadata-cache access, all vs the seed implementations).
+//! lookup, ≥2x on metadata-cache access, ≥2x on a near-full-arena FSM
+//! claim, all vs the seed/flat implementations). The `fsm_claim_contended`
+//! floor (≥2x at 4 threads) only applies on hosts with ≥4 hardware
+//! threads; smaller hosts report the skip honestly (`SKIPPED:` on stderr,
+//! `check_skipped` in the JSON) instead of passing vacuously.
 
 use std::time::Instant;
 
@@ -23,7 +27,7 @@ use dewrite_core::Json;
 use dewrite_crypto::{Aes128, Aes128Reference, CounterModeEngine, LineCounter};
 use dewrite_hashes::{Crc32, Crc32c, CrcBackend};
 use dewrite_mem::{CacheConfig, MetadataCache};
-use dewrite_nvm::LineAddr;
+use dewrite_nvm::{AtomicBitmap, FsmTree, LineAddr, Reservation, CHUNK_LINES};
 
 /// One measured engine variant.
 struct Sample {
@@ -94,6 +98,47 @@ fn measure<F: FnMut() -> u64>(budget_ns: u128, mut op: F) -> (u64, u128) {
     std::hint::black_box(sink);
     times.sort_unstable();
     (batch, times[times.len() / 2])
+}
+
+/// The multi-threaded sibling of [`measure`]: each batch spawns `threads`
+/// workers that run `op(thread_id, per_thread_iters)` concurrently, and the
+/// batch's wall time covers the whole scope. Returns
+/// `(threads * per_thread_iters, median_batch_ns)`, so `ns_per_op` is
+/// *aggregate* time per operation — the figure that halves when two
+/// threads truly run in parallel. Calibration starts high enough that the
+/// per-batch thread spawn cost is amortized away.
+fn measure_contended<F: Fn(usize, u64) -> u64 + Sync>(
+    budget_ns: u128,
+    threads: usize,
+    op: F,
+) -> (u64, u128) {
+    let run_batch = |per_thread: u64| -> u128 {
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let op = &op;
+                s.spawn(move || std::hint::black_box(op(t, per_thread)));
+            }
+        });
+        start.elapsed().as_nanos()
+    };
+    let mut batch = 4096u64;
+    loop {
+        let elapsed = run_batch(batch);
+        if elapsed >= budget_ns / 64 || batch >= 1 << 28 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut times = Vec::new();
+    let mut total = 0u128;
+    while total < budget_ns {
+        let elapsed = run_batch(batch);
+        total += elapsed;
+        times.push(elapsed);
+    }
+    times.sort_unstable();
+    (threads as u64 * batch, times[times.len() / 2])
 }
 
 /// The seed-era line encryption, reproduced exactly: a fresh pad `Vec` per
@@ -442,6 +487,101 @@ fn main() {
         );
     }
 
+    // --- FSM claim: hierarchical tree vs flat bitmap, near-full arena ---
+    // A 1M-line map with free space only in its final chunk — the
+    // steady-state shape of a sized-for-the-workload arena, where almost
+    // every claim must travel. The flat scan walks thousands of bitmap
+    // words from the (uniformly random) home to the free region; the tree
+    // consults one 4-byte counter per 512-line chunk and skips straight
+    // there. Placement is identical, so each claim+release pair leaves the
+    // occupancy unchanged for the other leg.
+    const FSM_LINES: u64 = 1 << 20;
+    {
+        let flat_fsm = AtomicBitmap::new(FSM_LINES);
+        for line in 0..(FSM_LINES - CHUNK_LINES) {
+            flat_fsm.occupy(line);
+        }
+        let tree_fsm = FsmTree::from_bitmap(&flat_fsm);
+        let homes = |x: &mut u64| {
+            *x ^= *x << 13;
+            *x ^= *x >> 7;
+            *x ^= *x << 17;
+            *x % FSM_LINES
+        };
+        {
+            let mut x = 0x5EED_F00D_u64;
+            push(
+                "fsm_claim",
+                "flat",
+                0,
+                measure(budget_ns, || {
+                    let home = homes(&mut x);
+                    let line = flat_fsm.allocate(home).expect("tail chunk stays free");
+                    flat_fsm.release(line);
+                    line
+                }),
+            );
+        }
+        {
+            let mut x = 0x5EED_F00D_u64;
+            push(
+                "fsm_claim",
+                "tree",
+                0,
+                measure(budget_ns, || {
+                    let home = homes(&mut x);
+                    let line = tree_fsm.allocate(home).expect("tail chunk stays free");
+                    tree_fsm.release(line);
+                    line
+                }),
+            );
+        }
+    }
+
+    // --- FSM claim under contention: 4 threads of claim/release churn ---
+    // A roomy map, so free lines are never scarce: what's under test is
+    // the allocator's own metadata traffic. Every flat claim and release
+    // RMWs the one shared `free_count` cache line; a tree claim through a
+    // reservation touches only the reserved chunk's bitmap words and
+    // counter, which no other thread is using.
+    const FSM_THREADS: usize = 4;
+    {
+        let lines = 64 * CHUNK_LINES;
+        let flat_fsm = AtomicBitmap::new(lines);
+        push(
+            "fsm_claim_contended",
+            "flat",
+            0,
+            measure_contended(budget_ns, FSM_THREADS, |t, iters| {
+                let home = (t as u64 * lines) / FSM_THREADS as u64;
+                let mut sink = 0u64;
+                for _ in 0..iters {
+                    let line = flat_fsm.allocate(home).expect("never exhausts");
+                    flat_fsm.release(line);
+                    sink = sink.wrapping_add(line);
+                }
+                sink
+            }),
+        );
+        let tree_fsm = FsmTree::new(lines);
+        push(
+            "fsm_claim_contended",
+            "tree",
+            0,
+            measure_contended(budget_ns, FSM_THREADS, |_, iters| {
+                let mut r = Reservation::new();
+                let mut sink = 0u64;
+                for _ in 0..iters {
+                    let line = tree_fsm.allocate_reserved(&mut r).expect("never exhausts");
+                    tree_fsm.release(line);
+                    sink = sink.wrapping_add(line);
+                }
+                tree_fsm.drain_reservation_stats(&mut r);
+                sink
+            }),
+        );
+    }
+
     // --- Headline speedups vs the seed engines ---
     let ns_of = |name: &str, engine: &str| {
         samples
@@ -480,6 +620,18 @@ fn main() {
     let index_lookup_speedup = pair_speedup("index_lookup");
     let index_store_speedup = pair_speedup("index_store");
     let cache_access_speedup = pair_speedup("cache_access");
+    let fsm_pair = |name: &str| match (ns_of(name, "flat"), ns_of(name, "tree")) {
+        (Some(flat), Some(tree)) => flat / tree,
+        _ => 0.0,
+    };
+    let fsm_claim_speedup = fsm_pair("fsm_claim");
+    let fsm_claim_contended_speedup = fsm_pair("fsm_claim_contended");
+    // The contended floor needs real hardware parallelism: on a host with
+    // fewer threads than the bench spawns, both legs time-slice one core
+    // and the ratio measures the scheduler, not the allocator.
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let contended_gate = parallelism >= FSM_THREADS;
+    let check_skipped = check && !contended_gate;
 
     eprintln!();
     eprintln!("line_encrypt_256B speedup vs seed: {line_speedup:.2}x (target >= 3x)");
@@ -488,6 +640,17 @@ fn main() {
     eprintln!("index_lookup speedup vs seed:      {index_lookup_speedup:.2}x (target >= 3x)");
     eprintln!("index_store speedup vs seed:       {index_store_speedup:.2}x");
     eprintln!("cache_access speedup vs seed:      {cache_access_speedup:.2}x (target >= 2x)");
+    eprintln!("fsm_claim speedup vs flat:         {fsm_claim_speedup:.2}x (target >= 2x)");
+    eprintln!(
+        "fsm_claim_contended vs flat:       {fsm_claim_contended_speedup:.2}x \
+         (target >= 2x on >= {FSM_THREADS}-thread hosts)"
+    );
+    if check_skipped {
+        eprintln!(
+            "SKIPPED: fsm_claim_contended speedup assertion \
+             (available_parallelism={parallelism} < {FSM_THREADS})"
+        );
+    }
 
     let report = Json::Obj(vec![
         ("schema_version".into(), Json::Num(1.0)),
@@ -522,8 +685,14 @@ fn main() {
                     "cache_access_vs_seed".into(),
                     Json::Num(cache_access_speedup),
                 ),
+                ("fsm_claim_vs_flat".into(), Json::Num(fsm_claim_speedup)),
+                (
+                    "fsm_claim_contended_vs_flat".into(),
+                    Json::Num(fsm_claim_contended_speedup),
+                ),
             ]),
         ),
+        ("check_skipped".into(), Json::Bool(check_skipped)),
     ]);
     std::fs::write(&out_path, format!("{report}\n")).expect("write BENCH_hotpath.json");
     eprintln!("wrote {out_path}");
@@ -532,7 +701,9 @@ fn main() {
         && (line_speedup < 3.0
             || crc_speedup < 4.0
             || index_lookup_speedup < 3.0
-            || cache_access_speedup < 2.0)
+            || cache_access_speedup < 2.0
+            || fsm_claim_speedup < 2.0
+            || (contended_gate && fsm_claim_contended_speedup < 2.0))
     {
         eprintln!("FAIL: speedup targets not met");
         std::process::exit(1);

@@ -17,7 +17,8 @@
 use std::process::ExitCode;
 
 use dewrite_core::Json;
-use dewrite_engine::{run, EngineConfig, EngineRun, Pacing};
+use dewrite_engine::{run, EngineConfig, EngineRun, FsmPolicy, Pacing};
+use dewrite_nvm::{AtomicBitmap, FsmTree, Reservation};
 use dewrite_trace::{app_by_name, DupOracle, TraceGenerator, TraceRecord};
 
 const DEFAULT_KEY: [u8; 16] = *b"dewrite-repro-16";
@@ -38,6 +39,8 @@ struct Options {
     coalesce: usize,
     producers: usize,
     persist_dir: Option<String>,
+    fsm: FsmPolicy,
+    fsm_churn: Vec<usize>,
 }
 
 impl Default for Options {
@@ -58,6 +61,8 @@ impl Default for Options {
             coalesce: 0,
             producers: 0,
             persist_dir: None,
+            fsm: FsmPolicy::default(),
+            fsm_churn: Vec::new(),
         }
     }
 }
@@ -80,6 +85,9 @@ fn usage() -> ExitCode {
     eprintln!("  --producers N     submission threads; 0 = one per two shards [0]");
     eprintln!("  --out PATH        JSON output path [BENCH_engine.json]");
     eprintln!("  --persist-dir P   per-shard metadata WAL + checkpoints under P/<app>-s<N>/");
+    eprintln!("  --fsm P           free-space manager: flat | tree | tree-wear [tree]");
+    eprintln!("  --fsm-churn T,..  standalone allocator contention sweep over thread");
+    eprintln!("                    counts (no app runs): flat vs tree claims/s");
     eprintln!("  --check           scrub every shard + assert multi-shard speedup");
     ExitCode::from(2)
 }
@@ -136,6 +144,20 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--out" => o.out = value()?,
             "--persist-dir" => o.persist_dir = Some(value()?),
+            "--fsm" => {
+                o.fsm = match value()?.as_str() {
+                    "flat" => FsmPolicy::Flat,
+                    "tree" => FsmPolicy::Tree,
+                    "tree-wear" => FsmPolicy::TreeWear,
+                    other => return Err(format!("--fsm: unknown policy {other:?}")),
+                }
+            }
+            "--fsm-churn" => {
+                o.fsm_churn = value()?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("--fsm-churn: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
             "--check" => o.check = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
@@ -152,6 +174,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if o.batch == 0 {
         return Err("--batch must be at least 1".into());
+    }
+    if o.fsm_churn.iter().any(|&t| t == 0 || t > 64) {
+        return Err("--fsm-churn thread counts must be in 1..=64".into());
     }
     Ok(o)
 }
@@ -215,6 +240,13 @@ fn run_json(engine_run: &EngineRun, global_rate: f64, producers: usize) -> Json 
                 ("queue_depth_peak", num(s.queue_depth_peak as u64)),
                 ("queue_depth_mean", flt(s.queue_depth_mean)),
                 ("producer_stall_ns", num(s.producer_stall_ns)),
+                ("fsm_claims", num(s.fsm.claims)),
+                ("fsm_refills", num(s.fsm.refills)),
+                ("fsm_steals", num(s.fsm.steals)),
+                (
+                    "fsm_scan_steps_per_claim",
+                    flt(s.fsm.scan_steps_per_claim()),
+                ),
             ];
             if let Some(Ok(checked)) = &s.scrub {
                 fields.push(("scrub_lines", num(*checked)));
@@ -258,6 +290,133 @@ fn run_json(engine_run: &EngineRun, global_rate: f64, producers: usize) -> Json 
     ])
 }
 
+/// Run `threads` churn workers (claim a line, release it, repeat) against
+/// one shared allocator; `alloc` must be thread-safe through `&self`.
+/// Returns aggregate claims per second.
+fn churn_mops<A: Sync>(
+    threads: usize,
+    ops_per_thread: u64,
+    alloc: &A,
+    claim: impl Fn(&A, usize, &mut Reservation) -> Option<u64> + Sync,
+    release: impl Fn(&A, u64) + Sync,
+    finish: impl Fn(&A, &mut Reservation) + Sync,
+) -> f64 {
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let claim = &claim;
+            let release = &release;
+            let finish = &finish;
+            s.spawn(move || {
+                let mut r = Reservation::new();
+                for _ in 0..ops_per_thread {
+                    let line = claim(alloc, t, &mut r).expect("churn map never exhausts");
+                    release(alloc, line);
+                }
+                finish(alloc, &mut r);
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (threads as u64 * ops_per_thread) as f64 / secs / 1e6
+}
+
+/// The standalone allocator contention sweep: flat `AtomicBitmap` vs
+/// hierarchical `FsmTree` alloc/release churn at each requested thread
+/// count. Appends a check failure / sets `check_skipped` per the tiered
+/// speedup gate when `--check` is on.
+fn fsm_churn_sweep(
+    o: &Options,
+    parallelism: usize,
+    failures: &mut Vec<String>,
+    check_skipped: &mut bool,
+) -> Json {
+    let ops_per_thread = (o.ops as u64).max(10_000);
+    let max_threads = o.fsm_churn.iter().copied().max().unwrap_or(1);
+    // Each thread gets its own comfortable region so exhaustion never
+    // races: the contention under test is the allocator's metadata (the
+    // flat map's shared free count vs the tree's per-chunk counters), not
+    // free-line scarcity.
+    let lines = (max_threads as u64) * 4 * dewrite_nvm::CHUNK_LINES;
+    let mut rows: Vec<Json> = Vec::new();
+    println!("fsm churn sweep: {lines} lines, {ops_per_thread} claim/release pairs per thread");
+    for &threads in &o.fsm_churn {
+        let flat = AtomicBitmap::new(lines);
+        let flat_mops = churn_mops(
+            threads,
+            ops_per_thread,
+            &flat,
+            |a, t, _| a.allocate((t as u64 * lines) / threads as u64),
+            |a, line| {
+                assert!(a.release(line));
+            },
+            |_, _| {},
+        );
+        assert_eq!(flat.free_lines(), lines, "flat churn must conserve");
+
+        let tree = FsmTree::new(lines);
+        let tree_mops = churn_mops(
+            threads,
+            ops_per_thread,
+            &tree,
+            |a, _, r| a.allocate_reserved(r),
+            |a, line| {
+                assert!(a.release(line));
+            },
+            FsmTree::drain_reservation_stats,
+        );
+        assert_eq!(tree.free_lines(), lines, "tree churn must conserve");
+        let stats = tree.stats();
+
+        let speedup = if flat_mops > 0.0 {
+            tree_mops / flat_mops
+        } else {
+            0.0
+        };
+        println!(
+            "  threads={threads:<2} flat {flat_mops:>8.2} Mclaims/s  tree {tree_mops:>8.2} \
+             Mclaims/s  speedup {speedup:.2}x  refills {} steals {}",
+            stats.refills, stats.steals
+        );
+        if o.check && threads >= 4 {
+            if parallelism >= threads {
+                // Reserved-chunk claims must beat the shared-counter flat
+                // map once there's real parallelism.
+                let need = 1.2;
+                if speedup < need {
+                    failures.push(format!(
+                        "fsm-churn: {threads}-thread tree speedup only {speedup:.2}x \
+                         (need >= {need}x on a {parallelism}-way host)"
+                    ));
+                }
+            } else {
+                *check_skipped = true;
+                println!(
+                    "  SKIPPED: {threads}-thread fsm-churn speedup assertion \
+                     (available_parallelism={parallelism} < {threads})"
+                );
+            }
+        }
+        rows.push(obj(vec![
+            ("threads", num(threads as u64)),
+            ("flat_mclaims_per_sec", flt(flat_mops)),
+            ("tree_mclaims_per_sec", flt(tree_mops)),
+            ("tree_speedup", flt(speedup)),
+            ("tree_refills", num(stats.refills)),
+            ("tree_steals", num(stats.steals)),
+            (
+                "tree_scan_steps_per_claim",
+                flt(stats.scan_steps_per_claim()),
+            ),
+        ]));
+    }
+    obj(vec![
+        ("lines", num(lines)),
+        ("ops_per_thread", num(ops_per_thread)),
+        ("runs", Json::Arr(rows)),
+    ])
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let o = match parse(&args) {
@@ -271,6 +430,46 @@ fn main() -> ExitCode {
     };
 
     let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // The allocator contention sweep is standalone: no app traces, just
+    // flat-vs-tree churn at each thread count.
+    if !o.fsm_churn.is_empty() {
+        let mut failures: Vec<String> = Vec::new();
+        let mut check_skipped = false;
+        let contention = fsm_churn_sweep(&o, parallelism, &mut failures, &mut check_skipped);
+        let doc = obj(vec![
+            ("schema_version", num(1)),
+            ("tool", Json::Str("loadgen".into())),
+            (
+                "config",
+                obj(vec![
+                    ("ops", num(o.ops as u64)),
+                    (
+                        "fsm_churn",
+                        Json::Arr(o.fsm_churn.iter().map(|&t| num(t as u64)).collect()),
+                    ),
+                    ("check", Json::Bool(o.check)),
+                ]),
+            ),
+            ("available_parallelism", num(parallelism as u64)),
+            ("check_skipped", Json::Bool(check_skipped)),
+            ("fsm_contention", contention),
+        ]);
+        if let Err(e) = std::fs::write(&o.out, format!("{doc}\n")) {
+            eprintln!("error: writing {}: {e}", o.out);
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", o.out);
+        if failures.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("\n{} check failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  FAIL {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
     // Always measure shards=1 first: the global-dedup baseline and the
     // speedup denominator.
     let mut sweep = o.sweep.clone();
@@ -323,6 +522,7 @@ fn main() -> ExitCode {
             config.batch = o.batch;
             config.coalesce = o.coalesce;
             config.producers = o.producers;
+            config.fsm = o.fsm;
             if let Some(root) = &o.persist_dir {
                 // One store per (app, shard count) run so sweeps don't
                 // overwrite each other's recovery state.
@@ -398,6 +598,17 @@ fn main() -> ExitCode {
                 ("batch", num(o.batch as u64)),
                 ("coalesce", num(o.coalesce as u64)),
                 ("producers", num(o.producers as u64)),
+                (
+                    "fsm",
+                    Json::Str(
+                        match o.fsm {
+                            FsmPolicy::Flat => "flat",
+                            FsmPolicy::Tree => "tree",
+                            FsmPolicy::TreeWear => "tree-wear",
+                        }
+                        .into(),
+                    ),
+                ),
                 ("mode", Json::Str(o.mode.clone())),
                 (
                     "persist_dir",

@@ -42,7 +42,9 @@ use dewrite_core::RunReport;
 use dewrite_mem::LatencyHistogram;
 use dewrite_trace::{shard_of_line, TraceOp, TraceRecord};
 
-use crate::shard::ShardController;
+use dewrite_nvm::FsmStats;
+
+use crate::shard::{FsmPolicy, ShardController};
 
 /// How the producer issues requests.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,6 +104,13 @@ pub struct EngineConfig {
     /// a measurement harness, and syncing per epoch would serialize the
     /// drain on the host disk.
     pub persist_sync: bool,
+    /// Per-shard free-space-manager policy
+    /// ([`ShardController::set_fsm_policy`]). The default
+    /// [`FsmPolicy::Tree`] is placement-identical to [`FsmPolicy::Flat`],
+    /// so the merged simulated report is bit-identical between the two;
+    /// [`FsmPolicy::TreeWear`] trades that identity for reservation-local
+    /// claims and wear rotation.
+    pub fsm: FsmPolicy,
 }
 
 impl EngineConfig {
@@ -135,6 +144,7 @@ impl EngineConfig {
             persist_dir: None,
             persist_epoch: 64,
             persist_sync: false,
+            fsm: FsmPolicy::default(),
         }
     }
 
@@ -179,6 +189,9 @@ pub struct ShardSummary {
     /// Host nanoseconds the feeding producer spent blocked on this shard's
     /// full queue (non-deterministic).
     pub producer_stall_ns: u64,
+    /// Allocator counters — claims, reservation refills, steals, scan
+    /// steps (all-zero under [`FsmPolicy::Flat`]).
+    pub fsm: FsmStats,
     /// Post-run scrub outcome, when requested: resident lines checked.
     pub scrub: Option<Result<u64, String>>,
 }
@@ -328,6 +341,7 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
                     config.line_size,
                     &config.key,
                 );
+                ctrl.set_fsm_policy(config.fsm);
                 ctrl.set_coalesce_window(config.coalesce);
                 if let Some(root) = &config.persist_dir {
                     let opts = dewrite_persist::DurableOptions {
@@ -388,6 +402,7 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
                     let scrub = want_scrub.then(|| ctrl.scrub());
                     ShardSummary {
                         shard: id,
+                        fsm: ctrl.fsm_stats(),
                         ops: ctrl.ops(),
                         dedup_rate: ctrl.dedup_rate(),
                         report: ctrl.report(&app),
@@ -652,6 +667,61 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tree_fsm_merge_is_bit_identical_to_flat_across_shard_counts() {
+        let (records, lines) = trace(2_000, 256, 19);
+        for shards in [1usize, 2, 4] {
+            let mut config = config_for(shards, lines, records.len());
+            config.scrub = true;
+            config.fsm = FsmPolicy::Flat;
+            let flat = run(&config, "mcf", records.clone());
+            config.fsm = FsmPolicy::Tree;
+            let tree = run(&config, "mcf", records.clone());
+            assert_eq!(
+                flat.merged.to_json().to_string(),
+                tree.merged.to_json().to_string(),
+                "{shards} shards: tree FSM changed the simulated report"
+            );
+            for s in &tree.shards {
+                assert!(matches!(s.scrub, Some(Ok(_))), "shard {} scrub", s.shard);
+                assert_eq!(
+                    s.fsm.claims, s.report.nvm_data_writes,
+                    "every stored write is exactly one claim"
+                );
+            }
+            assert!(
+                flat.shards.iter().all(|s| s.fsm == FsmStats::default()),
+                "the flat oracle reports no allocator stats"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_wear_fsm_scrubs_clean_and_matches_dedup_counters() {
+        // Wear-rotated placement changes which slot a store lands in — so
+        // flip bits and write energy may differ — but dedup decisions and
+        // simulated latencies are placement-independent.
+        let (records, lines) = trace(2_000, 128, 23);
+        let mut config = config_for(2, lines, records.len());
+        config.scrub = true;
+        config.fsm = FsmPolicy::Flat;
+        let flat = run(&config, "mcf", records.clone());
+        config.fsm = FsmPolicy::TreeWear;
+        let wear = run(&config, "mcf", records);
+        for s in &wear.shards {
+            assert!(matches!(s.scrub, Some(Ok(_))), "shard {} scrub", s.shard);
+        }
+        assert_eq!(wear.merged.base, flat.merged.base);
+        assert_eq!(wear.merged.dewrite, flat.merged.dewrite);
+        assert_eq!(wear.merged.cycles, flat.merged.cycles);
+        assert_eq!(wear.merged.nvm_data_writes, flat.merged.nvm_data_writes);
+        let refills: u64 = wear.shards.iter().map(|s| s.fsm.refills).sum();
+        assert!(
+            refills >= 2,
+            "each shard's reservation refills at least once"
+        );
     }
 
     #[test]

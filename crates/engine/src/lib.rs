@@ -26,4 +26,4 @@ mod engine;
 mod shard;
 
 pub use engine::{run, EngineConfig, EngineRun, Pacing, Request, ShardSummary};
-pub use shard::{ShardController, ShardWrite, MAX_CANDIDATE_COMPARES};
+pub use shard::{FsmPolicy, ShardController, ShardWrite, MAX_CANDIDATE_COMPARES};

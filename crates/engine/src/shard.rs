@@ -11,8 +11,10 @@
 //! * an **address map** + **colocated CME counters**, sharded by line
 //!   address — every write resolves on one shard because allocation is
 //!   home-local;
-//! * a lock-free [`AtomicBitmap`] free-space map (word-scan `fetch_and`
-//!   claims, no mutex);
+//! * a lock-free free-space map — the hierarchical [`FsmTree`] by default
+//!   (per-chunk counters skip drained regions; placement-identical to the
+//!   flat scan), the flat [`AtomicBitmap`] as differential oracle, or the
+//!   reservation + wear-rotation mode, selected by [`FsmPolicy`];
 //! * a metadata cache and a 3-bit [`HistoryPredictor`].
 //!
 //! All methods take `&mut self`: concurrency comes from shard ownership
@@ -28,7 +30,9 @@ use dewrite_core::{
 use dewrite_crypto::{aes_line_energy_pj, CounterModeEngine, LineCounter, AES_LINE_LATENCY_NS};
 use dewrite_hashes::{HashAlgorithm, LineHasher};
 use dewrite_mem::{CacheConfig, LatencyHistogram, LatencyStats, MetadataCache};
-use dewrite_nvm::{AtomicBitmap, EnergyBreakdown, EnergyParams, LineAddr};
+use dewrite_nvm::{
+    AtomicBitmap, EnergyBreakdown, EnergyParams, FsmStats, FsmTree, LineAddr, Reservation,
+};
 use dewrite_persist::{DurableOptions, EpochLog};
 
 use std::collections::{HashMap, VecDeque};
@@ -39,6 +43,92 @@ pub const MAX_CANDIDATE_COMPARES: usize = 4;
 
 /// Sentinel in the dense address map: address has no mapping.
 const SLOT_NONE: u64 = u64::MAX;
+
+/// Which free-space manager a shard runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsmPolicy {
+    /// The flat [`AtomicBitmap`] word scan — kept as the differential
+    /// oracle for the hierarchical allocator.
+    Flat,
+    /// The hierarchical [`FsmTree`] in home-preference mode: per-chunk free
+    /// counters skip drained regions, and placement is **identical** to
+    /// `Flat` on the same occupancy, so simulated reports stay
+    /// bit-identical. The default.
+    #[default]
+    Tree,
+    /// [`FsmTree`] through a per-shard reservation with wear-aware chunk
+    /// rotation: the cheapest claims and the flattest wear, but placement
+    /// (and therefore flip-bit/energy figures) differs from `Flat`.
+    TreeWear,
+}
+
+/// The shard's free-space manager, dispatched by [`FsmPolicy`].
+enum ShardFsm {
+    Flat(AtomicBitmap),
+    Tree(FsmTree),
+    TreeWear(FsmTree, Reservation),
+}
+
+impl ShardFsm {
+    fn new(policy: FsmPolicy, slots: u64) -> Self {
+        match policy {
+            FsmPolicy::Flat => ShardFsm::Flat(AtomicBitmap::new(slots)),
+            FsmPolicy::Tree => ShardFsm::Tree(FsmTree::new(slots)),
+            FsmPolicy::TreeWear => ShardFsm::TreeWear(FsmTree::new(slots), Reservation::new()),
+        }
+    }
+
+    fn policy(&self) -> FsmPolicy {
+        match self {
+            ShardFsm::Flat(_) => FsmPolicy::Flat,
+            ShardFsm::Tree(_) => FsmPolicy::Tree,
+            ShardFsm::TreeWear(..) => FsmPolicy::TreeWear,
+        }
+    }
+
+    fn allocate(&mut self, home: u64) -> Option<u64> {
+        match self {
+            ShardFsm::Flat(b) => b.allocate(home),
+            ShardFsm::Tree(t) => t.allocate(home),
+            ShardFsm::TreeWear(t, r) => t.allocate_reserved(r),
+        }
+    }
+
+    fn release(&self, line: u64) -> bool {
+        match self {
+            ShardFsm::Flat(b) => b.release(line),
+            ShardFsm::Tree(t) | ShardFsm::TreeWear(t, _) => t.release(line),
+        }
+    }
+
+    fn free_lines(&self) -> u64 {
+        match self {
+            ShardFsm::Flat(b) => b.free_lines(),
+            ShardFsm::Tree(t) | ShardFsm::TreeWear(t, _) => t.free_lines(),
+        }
+    }
+
+    fn for_each_occupied<F: FnMut(u64)>(&self, f: F) {
+        match self {
+            ShardFsm::Flat(b) => b.for_each_occupied(f),
+            ShardFsm::Tree(t) | ShardFsm::TreeWear(t, _) => t.for_each_occupied(f),
+        }
+    }
+
+    /// Allocator counters; all-zero for the flat oracle, which does not
+    /// track them. `&mut` so the wear mode can drain the reservation's
+    /// locally accumulated counts first.
+    fn stats(&mut self) -> FsmStats {
+        match self {
+            ShardFsm::Flat(_) => FsmStats::default(),
+            ShardFsm::Tree(t) => t.stats(),
+            ShardFsm::TreeWear(t, r) => {
+                t.drain_reservation_stats(r);
+                t.stats()
+            }
+        }
+    }
+}
 
 /// Simulated PCM array read latency, ns.
 const ARRAY_READ_NS: u64 = 75;
@@ -79,7 +169,7 @@ pub struct ShardController {
 
     hash: HashTable,
     inverted: InvertedTable,
-    fsm: AtomicBitmap,
+    fsm: ShardFsm,
     /// Global initial address → local slot, for every line this shard has
     /// accepted a write for. Dense: owned addresses are exactly
     /// `{a : a mod shards == id}`, so `a / shards` is a unique index.
@@ -153,7 +243,7 @@ impl ShardController {
             crypt: CounterModeEngine::new(key),
             hash: HashTable::new(),
             inverted: InvertedTable::new(slots),
-            fsm: AtomicBitmap::new(slots),
+            fsm: ShardFsm::new(FsmPolicy::default(), slots),
             addr_map: vec![SLOT_NONE; slots as usize],
             counters: vec![0u32; slots as usize],
             store: vec![0u8; slots as usize * line_size],
@@ -228,6 +318,35 @@ impl ShardController {
     /// The configured coalescing window (0 = disabled).
     pub fn coalesce_window(&self) -> usize {
         self.coalesce_window
+    }
+
+    /// Select the shard's free-space manager. The arena must still be
+    /// untouched: the FSM is rebuilt empty, so switching after writes would
+    /// silently lose occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard has already processed operations.
+    pub fn set_fsm_policy(&mut self, policy: FsmPolicy) {
+        assert!(
+            self.ops == 0,
+            "cannot switch the FSM after {} operations",
+            self.ops
+        );
+        if self.fsm.policy() != policy {
+            self.fsm = ShardFsm::new(policy, self.slots);
+        }
+    }
+
+    /// The shard's free-space-manager policy.
+    pub fn fsm_policy(&self) -> FsmPolicy {
+        self.fsm.policy()
+    }
+
+    /// Allocator counters: claims, reservation refills, steals, scan steps
+    /// (all-zero under [`FsmPolicy::Flat`], which does not track them).
+    pub fn fsm_stats(&mut self) -> FsmStats {
+        self.fsm.stats()
     }
 
     /// Writes currently parked in the coalescing buffer.
@@ -415,13 +534,13 @@ impl ShardController {
             }
         }
         let mut residents = Vec::new();
-        for slot in self.fsm.occupied() {
-            let digest = self
-                .inverted
+        let inverted = &self.inverted;
+        self.fsm.for_each_occupied(|slot| {
+            let digest = inverted
                 .digest_of(LineAddr::new(slot))
                 .expect("occupied slot must have an inverted-hash row");
             residents.push((self.slot_global(slot), digest));
-        }
+        });
         residents.sort_unstable();
         let counters = self
             .counters
@@ -832,32 +951,36 @@ impl ShardController {
                 self.unflushed_wal_writes()
             ));
         }
-        let occupied = self.fsm.occupied();
-        let occupied_set: std::collections::HashSet<u64> = occupied.iter().copied().collect();
+        // One pass over the bitmap through the visitor — no intermediate
+        // `Vec` of every resident; the set is needed for membership anyway.
+        let mut occupied_set = std::collections::HashSet::new();
+        self.fsm.for_each_occupied(|slot| {
+            occupied_set.insert(slot);
+        });
 
-        if self.fsm.free_lines() + occupied.len() as u64 != self.slots {
+        if self.fsm.free_lines() + occupied_set.len() as u64 != self.slots {
             return Err(format!(
                 "shard {}: free count {} + occupied {} != {} slots",
                 self.id,
                 self.fsm.free_lines(),
-                occupied.len(),
+                occupied_set.len(),
                 self.slots
             ));
         }
-        if self.inverted.len() != occupied.len() {
+        if self.inverted.len() != occupied_set.len() {
             return Err(format!(
                 "shard {}: {} inverted rows but {} occupied slots",
                 self.id,
                 self.inverted.len(),
-                occupied.len()
+                occupied_set.len()
             ));
         }
-        if self.hash.len() != occupied.len() {
+        if self.hash.len() != occupied_set.len() {
             return Err(format!(
                 "shard {}: {} hash entries but {} occupied slots",
                 self.id,
                 self.hash.len(),
-                occupied.len()
+                occupied_set.len()
             ));
         }
 
@@ -877,7 +1000,7 @@ impl ShardController {
             *mapped_refs.entry(slot).or_insert(0) += 1;
         }
 
-        for &slot in &occupied {
+        for &slot in &occupied_set {
             let Some(digest) = self.inverted.digest_of(LineAddr::new(slot)) else {
                 return Err(format!(
                     "shard {}: occupied slot {slot} has no inverted-hash row (orphaned counter)",
@@ -906,7 +1029,7 @@ impl ShardController {
                 ));
             }
         }
-        Ok(occupied.len() as u64)
+        Ok(occupied_set.len() as u64)
     }
 
     /// This shard's simulated run report (deterministic: a pure function

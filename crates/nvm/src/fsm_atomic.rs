@@ -152,21 +152,30 @@ impl AtomicBitmap {
         None
     }
 
-    /// Snapshot of every occupied line, in ascending order. Meaningful once
-    /// concurrent operations have quiesced (scrub, reporting).
-    pub fn occupied(&self) -> Vec<u64> {
-        let mut out = Vec::new();
+    /// Visit every occupied line, in ascending order, without allocating —
+    /// the scrub path iterates millions of residents and must not build an
+    /// unbounded `Vec` first. Meaningful once concurrent operations have
+    /// quiesced (scrub, reporting).
+    pub fn for_each_occupied<F: FnMut(u64)>(&self, mut f: F) {
         for (wi, w) in self.words.iter().enumerate() {
             let mut taken = !w.load(Ordering::Acquire);
             while taken != 0 {
                 let bit = taken.trailing_zeros() as u64;
                 let line = wi as u64 * WORD_BITS + bit;
                 if line < self.lines {
-                    out.push(line);
+                    f(line);
                 }
                 taken &= taken - 1;
             }
         }
+    }
+
+    /// Snapshot of every occupied line, in ascending order (a thin wrapper
+    /// over [`AtomicBitmap::for_each_occupied`] for callers that want a
+    /// `Vec`).
+    pub fn occupied(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.for_each_occupied(|line| out.push(line));
         out
     }
 }

@@ -12,8 +12,10 @@
 //! * **asymmetric timing** — 75 ns reads vs 300 ns writes ([`Timing::PCM`]),
 //!   the property that makes "confirm a duplicate by reading it" cheap;
 //! * **lock-free free-space words** — an atomic one-bit-per-line bitmap
-//!   with `fetch_or`/`fetch_and` claim and release, the allocation
-//!   substrate of the sharded engine ([`AtomicBitmap`]);
+//!   with `fetch_or`/`fetch_and` claim and release ([`AtomicBitmap`]), and
+//!   its hierarchical successor: chunked bitmaps under per-chunk free
+//!   counters with caller-owned reserved chunks and wear-aware rotation
+//!   ([`FsmTree`]), the allocation substrate of the sharded engine;
 //! * **wear tracking** — per-line write counts and programmed-bit counts
 //!   ([`WearTracker`]) for the endurance results;
 //! * **energy accounting** — per-flipped-bit write energy and a bucketed
@@ -42,6 +44,7 @@ mod config;
 mod device;
 mod energy;
 mod fsm_atomic;
+mod fsm_tree;
 mod line;
 mod timing;
 mod wear;
@@ -52,6 +55,9 @@ pub use config::NvmConfig;
 pub use device::{Access, NvmDevice, NvmError};
 pub use energy::{EnergyBreakdown, EnergyParams};
 pub use fsm_atomic::AtomicBitmap;
+pub use fsm_tree::{
+    FsmStats, FsmTree, Reservation, CHUNK_LINES, CHUNK_WORDS, REFILL_MIN_FREE, WEAR_BUCKET_SHIFT,
+};
 pub use line::{bit_flips, is_zero_line, LineAddr, DEFAULT_LINE_SIZE};
 pub use timing::Timing;
 pub use wear::WearTracker;

@@ -1,0 +1,214 @@
+//! Multi-threaded stress tests for both free-space managers.
+//!
+//! Generalizes the `AtomicBitmap` unit-level concurrency tests to run the
+//! same two invariants against every allocator front-end:
+//!
+//! * **unique claim** — when many threads race to drain the map, every
+//!   line is handed out exactly once and the map ends empty;
+//! * **churn conservation** — under a sustained allocate/release mix the
+//!   final free count equals `lines - live` and the occupied snapshot is
+//!   exactly the set of lines still held.
+//!
+//! Run in release mode (CI does): the point is to give the word-claim
+//! CAS-free protocol and the reservation refill/steal path real
+//! interleavings, which debug-build timing mostly hides.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dewrite_nvm::{AtomicBitmap, FsmTree, Reservation, CHUNK_LINES};
+
+const THREADS: usize = 8;
+
+/// Drive `claim` from `THREADS` threads until the allocator is dry and
+/// assert every line came out exactly once.
+fn assert_unique_drain<A: Sync>(
+    alloc: &A,
+    lines: u64,
+    free_lines: impl Fn(&A) -> u64,
+    claim: impl Fn(&A, usize, &mut Reservation) -> Option<u64> + Sync,
+) {
+    let mut per_thread: Vec<Vec<u64>> = Vec::new();
+    std::thread::scope(|s| {
+        let claim = &claim;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut reservation = Reservation::new();
+                    while let Some(line) = claim(alloc, t, &mut reservation) {
+                        got.push(line);
+                    }
+                    got
+                })
+            })
+            .collect();
+        per_thread = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    let mut seen = HashSet::new();
+    for got in &per_thread {
+        for &line in got {
+            assert!(line < lines, "claimed out-of-range line {line}");
+            assert!(seen.insert(line), "line {line} claimed twice");
+        }
+    }
+    assert_eq!(seen.len() as u64, lines, "drain missed lines");
+    assert_eq!(free_lines(alloc), 0, "drained map still reports free lines");
+}
+
+/// Alternate claim/release from `THREADS` threads, keeping a bounded set
+/// of live lines per thread, then assert conservation: the map's free
+/// count and occupied snapshot match the survivors exactly.
+fn assert_churn_conserves<A: Sync>(
+    alloc: &A,
+    lines: u64,
+    rounds: usize,
+    free_lines: impl Fn(&A) -> u64,
+    occupied: impl Fn(&A) -> Vec<u64>,
+    claim: impl Fn(&A, usize, &mut Reservation) -> Option<u64> + Sync,
+    release: impl Fn(&A, u64) + Sync,
+) {
+    let live_total = AtomicU64::new(0);
+    let mut survivors: Vec<Vec<u64>> = Vec::new();
+    std::thread::scope(|s| {
+        let (claim, release, live_total) = (&claim, &release, &live_total);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut held: Vec<u64> = Vec::new();
+                    let mut reservation = Reservation::new();
+                    // Deterministic per-thread xorshift stream.
+                    let mut state = 0x9E37_79B9_u64.wrapping_mul(t as u64 + 1) | 1;
+                    let mut next = move || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    };
+                    for _ in 0..rounds {
+                        // Release roughly half the time once we hold a
+                        // few lines, so chunks drain and refill.
+                        if !held.is_empty() && (held.len() > 48 || next() % 2 == 0) {
+                            let idx = (next() % held.len() as u64) as usize;
+                            release(alloc, held.swap_remove(idx));
+                        } else if let Some(line) = claim(alloc, t, &mut reservation) {
+                            held.push(line);
+                        }
+                    }
+                    live_total.fetch_add(held.len() as u64, Ordering::Relaxed);
+                    held
+                })
+            })
+            .collect();
+        survivors = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    let live = live_total.load(Ordering::Relaxed);
+    assert_eq!(
+        free_lines(alloc),
+        lines - live,
+        "free count drifted under churn"
+    );
+    let mut held: Vec<u64> = survivors.into_iter().flatten().collect();
+    held.sort_unstable();
+    assert_eq!(
+        occupied(alloc),
+        held,
+        "occupied snapshot diverged from survivors"
+    );
+}
+
+/// Map size used by the stress runs: enough chunks that 8 threads get
+/// disjoint reserved chunks with room to rotate, and not chunk-aligned so
+/// the tail-masking path stays under concurrent load.
+fn stress_lines() -> u64 {
+    (4 * THREADS as u64) * CHUNK_LINES + 37
+}
+
+#[test]
+fn bitmap_concurrent_drain_is_unique() {
+    let lines = stress_lines();
+    let bitmap = AtomicBitmap::new(lines);
+    assert_unique_drain(&bitmap, lines, AtomicBitmap::free_lines, |b, t, _| {
+        b.allocate((t as u64 * lines) / THREADS as u64)
+    });
+}
+
+#[test]
+fn tree_home_concurrent_drain_is_unique() {
+    let lines = stress_lines();
+    let tree = FsmTree::new(lines);
+    assert_unique_drain(&tree, lines, FsmTree::free_lines, |a, t, _| {
+        a.allocate((t as u64 * lines) / THREADS as u64)
+    });
+}
+
+#[test]
+fn tree_reserved_concurrent_drain_is_unique() {
+    let lines = stress_lines();
+    let tree = FsmTree::new(lines);
+    assert_unique_drain(&tree, lines, FsmTree::free_lines, |a, _, r| {
+        a.allocate_reserved(r)
+    });
+    // Every drained line is one recorded claim once stats are flushed
+    // (drain retires reservations internally when the map runs dry).
+    assert_eq!(tree.stats().claims, lines);
+}
+
+#[test]
+fn bitmap_churn_conserves_free_count() {
+    let lines = stress_lines();
+    let bitmap = AtomicBitmap::new(lines);
+    assert_churn_conserves(
+        &bitmap,
+        lines,
+        20_000,
+        AtomicBitmap::free_lines,
+        AtomicBitmap::occupied,
+        |b, t, _| b.allocate((t as u64 * lines) / THREADS as u64),
+        |b, line| {
+            assert!(b.release(line), "released a line that was already free");
+        },
+    );
+}
+
+#[test]
+fn tree_home_churn_conserves_free_count() {
+    let lines = stress_lines();
+    let tree = FsmTree::new(lines);
+    assert_churn_conserves(
+        &tree,
+        lines,
+        20_000,
+        FsmTree::free_lines,
+        FsmTree::occupied,
+        |a, t, _| a.allocate((t as u64 * lines) / THREADS as u64),
+        |a, line| {
+            assert!(a.release(line), "released a line that was already free");
+        },
+    );
+}
+
+#[test]
+fn tree_reserved_churn_conserves_free_count_and_rotates() {
+    let lines = stress_lines();
+    let tree = FsmTree::new(lines);
+    assert_churn_conserves(
+        &tree,
+        lines,
+        20_000,
+        FsmTree::free_lines,
+        FsmTree::occupied,
+        |a, _, r| a.allocate_reserved(r),
+        |a, line| {
+            assert!(a.release(line), "released a line that was already free");
+        },
+    );
+    // The claim budget forces periodic refills even under friendly
+    // churn, so sustained load must have rotated through chunks.
+    let stats = tree.stats();
+    assert!(
+        stats.refills >= THREADS as u64,
+        "expected at least one refill per thread, got {}",
+        stats.refills
+    );
+}
