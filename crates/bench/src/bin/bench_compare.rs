@@ -148,6 +148,54 @@ fn engine_rows(path: &str, json: &Json) -> Result<BTreeMap<(String, u64), Engine
     Ok(rows)
 }
 
+/// Flatten a loadgen export's `net` section into (app, connections) →
+/// row. Exports written before the socket frontend existed (or from an
+/// in-process run) have no `net` section: that's an empty map, not an
+/// error, so old/new pairs straddling the feature still compare their
+/// shard rows.
+fn net_rows(path: &str, json: &Json) -> Result<BTreeMap<(String, u64), EngineRow>, String> {
+    let Some(net) = json.get("net") else {
+        return Ok(BTreeMap::new());
+    };
+    let apps = net
+        .get("apps")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: `net` section has no `apps` array"))?;
+    let mut rows = BTreeMap::new();
+    for app_obj in apps {
+        let app = app_obj
+            .get("app")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: net app entry without a name"))?;
+        let runs = app_obj
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}: net/{app}: no `runs` array"))?;
+        for run in runs {
+            let connections = run
+                .get("connections")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}: net/{app}: run without `connections`"))?;
+            let ops_per_sec = run
+                .get("ops_per_sec")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: net/{app}/{connections}: no `ops_per_sec`"))?;
+            let host_p99_ns = run
+                .get("host_p99_ns")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}: net/{app}/{connections}: no `host_p99_ns`"))?;
+            rows.insert(
+                (app.to_string(), connections),
+                EngineRow {
+                    ops_per_sec,
+                    host_p99_ns,
+                },
+            );
+        }
+    }
+    Ok(rows)
+}
+
 /// Key rows by (app, scheme); keep insertion-stable order via BTreeMap.
 fn index(reports: &[RunReport]) -> BTreeMap<(String, String), &RunReport> {
     reports
@@ -335,6 +383,51 @@ fn main() -> ExitCode {
             if o.host_p99_ns > 0 && (n.host_p99_ns as f64) > (o.host_p99_ns as f64) * (1.0 + tol) {
                 regressions.push(format!(
                     "{app}/{shards} shards: host p99 regressed {} -> {} ns",
+                    o.host_p99_ns, n.host_p99_ns
+                ));
+            }
+        }
+
+        // The socket frontend's end-to-end rows, keyed by connection
+        // count. Same gates as the in-process rows: throughput must not
+        // drop below, nor host p99 rise above, the tolerance band.
+        let (old_net, new_net) =
+            match (net_rows(old_path, &old_json), net_rows(new_path, &new_json)) {
+                (Ok(o), Ok(n)) => (o, n),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+        for key @ (app, connections) in new_net.keys() {
+            if !old_net.contains_key(key) {
+                missing.push(format!(
+                    "net {app}/{connections} conns: present only in {new_path} — \
+                     no {old_path} baseline to compare"
+                ));
+            }
+        }
+        for ((app, connections), o) in &old_net {
+            let Some(n) = new_net.get(&(app.clone(), *connections)) else {
+                missing.push(format!(
+                    "net {app}/{connections} conns: row missing from {new_path}"
+                ));
+                continue;
+            };
+            compared += 1;
+            println!(
+                "{app:<12} conns={connections:<4} {:>11.0} -> {:>11.0} ops/s   p99 {} -> {} ns",
+                o.ops_per_sec, n.ops_per_sec, o.host_p99_ns, n.host_p99_ns
+            );
+            if n.ops_per_sec < o.ops_per_sec * (1.0 - tol) {
+                regressions.push(format!(
+                    "net {app}/{connections} conns: throughput regressed {:.0} -> {:.0} ops/s",
+                    o.ops_per_sec, n.ops_per_sec
+                ));
+            }
+            if o.host_p99_ns > 0 && (n.host_p99_ns as f64) > (o.host_p99_ns as f64) * (1.0 + tol) {
+                regressions.push(format!(
+                    "net {app}/{connections} conns: host p99 regressed {} -> {} ns",
                     o.host_p99_ns, n.host_p99_ns
                 ));
             }

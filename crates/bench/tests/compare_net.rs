@@ -1,0 +1,195 @@
+//! `bench_compare` on loadgen exports carrying a `net` section: rows are
+//! keyed (app, connections), throughput must not drop nor host p99 rise
+//! beyond the tolerance, and matrix mismatches follow the same
+//! `--allow-missing` semantics as every other mode.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use dewrite_core::Json;
+
+fn num(n: f64) -> Json {
+    Json::Num(n)
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+/// One net run row.
+fn net_run(connections: u64, ops_per_sec: f64, host_p99_ns: u64) -> Json {
+    obj(vec![
+        ("connections", num(connections as f64)),
+        ("ops", num(1000.0)),
+        ("wall_ms", num(10.0)),
+        ("ops_per_sec", num(ops_per_sec)),
+        ("host_p50_ns", num(1000.0)),
+        ("host_p95_ns", num(2000.0)),
+        ("host_p99_ns", num(host_p99_ns as f64)),
+        ("errors", num(0.0)),
+        ("report_match", Json::Bool(true)),
+    ])
+}
+
+/// A loadgen export with an empty in-process `apps` array and a `net`
+/// section holding the given (connections, ops/s, p99) rows for one app.
+fn net_export(rows: &[(u64, f64, u64)]) -> Json {
+    obj(vec![
+        ("schema_version", num(1.0)),
+        ("tool", Json::Str("loadgen".into())),
+        ("config", obj(vec![("ops", num(1000.0))])),
+        ("available_parallelism", num(8.0)),
+        ("check_skipped", Json::Bool(false)),
+        ("apps", Json::Arr(Vec::new())),
+        (
+            "net",
+            obj(vec![
+                ("addr", Json::Str("127.0.0.1:7411".into())),
+                ("window", num(32.0)),
+                (
+                    "apps",
+                    Json::Arr(vec![obj(vec![
+                        ("app", Json::Str("mcf".into())),
+                        (
+                            "runs",
+                            Json::Arr(
+                                rows.iter()
+                                    .map(|&(c, ops, p99)| net_run(c, ops, p99))
+                                    .collect(),
+                            ),
+                        ),
+                    ])]),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// A plain pre-net loadgen export: `apps` only, no `net` key.
+fn plain_export() -> Json {
+    obj(vec![
+        ("schema_version", num(1.0)),
+        ("tool", Json::Str("loadgen".into())),
+        ("config", obj(vec![("ops", num(1000.0))])),
+        ("available_parallelism", num(8.0)),
+        ("check_skipped", Json::Bool(false)),
+        ("apps", Json::Arr(Vec::new())),
+    ])
+}
+
+fn write_export(name: &str, json: &Json) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "dewrite_compare_net_{}_{name}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, format!("{json}\n")).expect("write export");
+    path
+}
+
+fn run_compare(old: &PathBuf, new: &PathBuf, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .arg(old)
+        .arg(new)
+        .args(extra)
+        .output()
+        .expect("spawn bench_compare")
+}
+
+#[test]
+fn identical_net_sections_pass() {
+    let rows = [
+        (64u64, 150_000.0, 9_000_000u64),
+        (256, 180_000.0, 14_000_000),
+    ];
+    let old = write_export("same_old", &net_export(&rows));
+    let new = write_export("same_new", &net_export(&rows));
+    let out = run_compare(&old, &new, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "identical net sections must pass; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("conns=64") && stdout.contains("conns=256"),
+        "both rows must be compared, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn net_throughput_regression_fails() {
+    let old = write_export("tput_old", &net_export(&[(64, 200_000.0, 9_000_000)]));
+    let new = write_export("tput_new", &net_export(&[(64, 100_000.0, 9_000_000)]));
+    let out = run_compare(&old, &new, &["--tolerance", "15"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "a halved ops/s must fail");
+    assert!(
+        stderr.contains("net mcf/64 conns") && stderr.contains("throughput regressed"),
+        "regression must name the net row, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn net_p99_regression_fails_within_tolerance_passes() {
+    let old = write_export("p99_old", &net_export(&[(64, 150_000.0, 10_000_000)]));
+    let worse = write_export("p99_worse", &net_export(&[(64, 150_000.0, 30_000_000)]));
+    let out = run_compare(&old, &worse, &["--tolerance", "50"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "a tripled p99 must fail at ±50%");
+    assert!(
+        stderr.contains("host p99 regressed"),
+        "p99 regression must be reported, got:\n{stderr}"
+    );
+
+    let close = write_export("p99_close", &net_export(&[(64, 150_000.0, 11_000_000)]));
+    let out = run_compare(&old, &close, &["--tolerance", "50"]);
+    assert!(
+        out.status.success(),
+        "a 10% p99 drift is inside a ±50% band; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn missing_net_row_follows_allow_missing_semantics() {
+    let old = write_export(
+        "miss_old",
+        &net_export(&[(64, 150_000.0, 9_000_000), (256, 180_000.0, 14_000_000)]),
+    );
+    let new = write_export("miss_new", &net_export(&[(64, 150_000.0, 9_000_000)]));
+
+    let out = run_compare(&old, &new, &[]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "a dropped connections row must fail");
+    assert!(
+        stderr.contains("net mcf/256 conns") && stderr.contains("missing from"),
+        "dropped row must be reported, got:\n{stderr}"
+    );
+
+    let out = run_compare(&old, &new, &["--allow-missing"]);
+    assert!(
+        out.status.success(),
+        "--allow-missing must tolerate it; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn pre_net_baseline_compares_against_a_net_export() {
+    // An old export from before the socket frontend has no `net` key at
+    // all; the new rows have no baseline, which is missing-but-tolerable.
+    let old = write_export("pre_old", &plain_export());
+    let new = write_export("pre_new", &net_export(&[(64, 150_000.0, 9_000_000)]));
+
+    let out = run_compare(&old, &new, &[]);
+    assert!(
+        !out.status.success(),
+        "net rows without a baseline must fail by default"
+    );
+    let out = run_compare(&old, &new, &["--allow-missing"]);
+    assert!(
+        out.status.success(),
+        "--allow-missing must tolerate a freshly added net section; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

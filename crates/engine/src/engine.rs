@@ -244,28 +244,34 @@ fn backoff(spins: &mut u32) {
     }
 }
 
-/// Producer-side back-off: spin, then yield, then sleep-park with an
-/// exponentially growing pause capped at 256 µs. A producer blocked on a
-/// full queue is waiting on the shard that is the actual bottleneck —
-/// parking gets it off the core so that shard's worker can have it.
-struct ProducerBackoff {
+/// Spin → yield → sleep-park back-off with an exponentially growing pause
+/// capped at 256 µs. A thread blocked on a full (or empty) lock-free queue
+/// is waiting on whichever peer is the actual bottleneck — parking gets it
+/// off the core so that peer can have it. Used by the engine producers,
+/// the [`EngineService`](crate::EngineService) shard workers, and the
+/// `dewrite-net` event loops.
+#[derive(Debug, Default)]
+pub struct Backoff {
     rounds: u32,
 }
 
-impl ProducerBackoff {
+impl Backoff {
     const SPIN: u32 = 64;
     const YIELD: u32 = 16;
     const MAX_SLEEP_EXP: u32 = 8; // 2^8 µs = 256 µs
 
-    fn new() -> Self {
-        ProducerBackoff { rounds: 0 }
+    /// A fresh back-off in the spinning stage.
+    pub fn new() -> Self {
+        Backoff { rounds: 0 }
     }
 
-    fn reset(&mut self) {
+    /// Progress was made: restart from the spinning stage.
+    pub fn reset(&mut self) {
         self.rounds = 0;
     }
 
-    fn wait(&mut self) {
+    /// No progress: spin, then yield, then sleep with exponential pause.
+    pub fn wait(&mut self) {
         if self.rounds < Self::SPIN {
             std::hint::spin_loop();
         } else if self.rounds < Self::SPIN + Self::YIELD {
@@ -276,12 +282,18 @@ impl ProducerBackoff {
         }
         self.rounds = self.rounds.saturating_add(1);
     }
+
+    /// Whether the back-off has escalated past spinning (it would yield or
+    /// sleep on the next [`wait`](Self::wait)).
+    pub fn is_parked(&self) -> bool {
+        self.rounds >= Self::SPIN
+    }
 }
 
 /// Push every staged request, in order, blocking while the queue is full.
 /// Time spent blocked accrues to `stall_ns`.
 fn flush_to_queue(queue: &ArrayQueue<Request>, staged: &mut Vec<Request>, stall_ns: &mut u64) {
-    let mut parker = ProducerBackoff::new();
+    let mut parker = Backoff::new();
     while !staged.is_empty() {
         if queue.push_batch(staged) == 0 {
             let blocked = Instant::now();

@@ -11,19 +11,30 @@
 //! lock-free atomic-bitmap free-space map — so shards never share mutable
 //! state and never take a lock.
 //!
-//! Work arrives through bounded per-shard MPSC queues with back-pressure
-//! ([`run`]); per-shard simulated reports fold into one deterministic
-//! aggregate via `RunReport::merge_all`. The `loadgen` binary drives
-//! closed- and open-loop clients against 1..=16 shards and emits
-//! `BENCH_engine.json`, including the **digest-sharding cost**: a shard
-//! only dedups against content written through it, so the sharded dedup
-//! rate trails the global (1-shard) rate; the delta is reported per app.
+//! Work arrives two ways. [`run`] drives one fixed trace through bounded
+//! per-shard MPSC queues with back-pressure and returns when it drains;
+//! per-shard simulated reports fold into one deterministic aggregate via
+//! `RunReport::merge_all`. [`EngineService`] is the long-running form for
+//! served deployments: non-blocking [`EngineService::try_submit`]
+//! back-pressure, per-lane completion queues, per-shard sequence-number
+//! reordering (so any interleaving of network connections replays each
+//! shard's exact trace subsequence), and a graceful drain that flushes and
+//! checkpoints attached persistence. The `loadgen` binary (in
+//! `crates/net`) drives closed- and open-loop clients against 1..=16
+//! shards — in-process or over a socket — and emits `BENCH_engine.json`,
+//! including the **digest-sharding cost**: a shard only dedups against
+//! content written through it, so the sharded dedup rate trails the
+//! global (1-shard) rate; the delta is reported per app.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;
+mod service;
 mod shard;
 
-pub use engine::{run, EngineConfig, EngineRun, Pacing, Request, ShardSummary};
+pub use engine::{run, Backoff, EngineConfig, EngineRun, Pacing, Request, ShardSummary};
+pub use service::{
+    Completion, CompletionBody, EngineService, ServiceOp, ServiceRequest, CONTROL_SEQ,
+};
 pub use shard::{FsmPolicy, ShardController, ShardWrite, MAX_CANDIDATE_COMPARES};

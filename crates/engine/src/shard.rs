@@ -520,6 +520,26 @@ impl ShardController {
             .checkpoint(&snapshot)
     }
 
+    /// Graceful-shutdown durability: checkpoint, then force the store's
+    /// files to stable storage even when the log runs with `sync: false`
+    /// (the engine default). A no-op without persistence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if writes are parked in the coalescing buffer — drain with
+    /// [`ShardController::flush_writes`] first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn persist_shutdown(&mut self) -> std::io::Result<()> {
+        if self.log.is_none() {
+            return Ok(());
+        }
+        self.persist_checkpoint()?;
+        self.log.as_mut().expect("checked above").sync_all()
+    }
+
     /// Capture the shard's durable metadata as a [`Snapshot`] in global
     /// address terms: mappings are initial address → resident line, and
     /// resident/counter lines are [`ShardController::slot_global`] values,

@@ -5,6 +5,7 @@
 //! loadgen --app mcf --shards 4 --ops 200k --check
 //! loadgen --apps mcf,lbm,gems --sweep 1,2,4,8 --out BENCH_engine.json
 //! loadgen --app vips --mode open --rate 500k --queue-depth 256
+//! loadgen --app mcf --net 127.0.0.1:7411 --connections 64,256 --check
 //! ```
 //!
 //! For every app the tool always runs `--shards 1` first: that run's dedup
@@ -13,11 +14,23 @@
 //! (`dedup_delta_vs_global`). With `--check` it also scrubs every shard's
 //! tables after the drain and asserts the multi-shard speedup when the
 //! host has enough hardware parallelism.
+//!
+//! With `--net ADDR` the tool becomes a socket client against a running
+//! `dewrite-serve`: for each `--connections` entry it replays the trace
+//! over that many connections, measures end-to-end host ops/s and latency
+//! percentiles, fetches the server's per-shard reports, and asserts they
+//! are **bit-identical** to a local in-process run of the same trace —
+//! then `Reset`s the server for the next entry. Results land in a `net`
+//! section of the JSON (host-side numbers quarantined from the simulated
+//! report).
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use dewrite_core::Json;
 use dewrite_engine::{run, EngineConfig, EngineRun, FsmPolicy, Pacing};
+use dewrite_net::proto::{Hello, NET_VERSION};
+use dewrite_net::{client, drive, Control, DriveOptions, HelloInfo};
 use dewrite_nvm::{AtomicBitmap, FsmTree, Reservation};
 use dewrite_trace::{app_by_name, DupOracle, TraceGenerator, TraceRecord};
 
@@ -41,6 +54,11 @@ struct Options {
     persist_dir: Option<String>,
     fsm: FsmPolicy,
     fsm_churn: Vec<usize>,
+    net: Option<String>,
+    connections: Vec<usize>,
+    net_window: usize,
+    client_threads: usize,
+    net_shutdown: bool,
 }
 
 impl Default for Options {
@@ -63,6 +81,11 @@ impl Default for Options {
             persist_dir: None,
             fsm: FsmPolicy::default(),
             fsm_churn: Vec::new(),
+            net: None,
+            connections: vec![64],
+            net_window: 32,
+            client_threads: 0,
+            net_shutdown: false,
         }
     }
 }
@@ -88,7 +111,15 @@ fn usage() -> ExitCode {
     eprintln!("  --fsm P           free-space manager: flat | tree | tree-wear [tree]");
     eprintln!("  --fsm-churn T,..  standalone allocator contention sweep over thread");
     eprintln!("                    counts (no app runs): flat vs tree claims/s");
+    eprintln!("  --net ADDR        socket-client mode against a running dewrite-serve;");
+    eprintln!("                    replays the trace over TCP, asserts the server's");
+    eprintln!("                    reports are bit-identical to an in-process run");
+    eprintln!("  --connections L   connection counts to sweep in net mode, comma list [64]");
+    eprintln!("  --window N        per-connection in-flight window in net mode [32]");
+    eprintln!("  --client-threads N  client sweep threads; 0 = one per core [0]");
+    eprintln!("  --net-shutdown    ask the server to drain and exit when done");
     eprintln!("  --check           scrub every shard + assert multi-shard speedup");
+    eprintln!("                    (net mode: assert report bit-identity + zero errors)");
     ExitCode::from(2)
 }
 
@@ -107,6 +138,7 @@ fn parse_count(v: &str) -> Result<u64, String> {
 
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut o = Options::default();
+    let mut net_only: Vec<&'static str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = || {
@@ -158,6 +190,28 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .map(|s| s.parse().map_err(|e| format!("--fsm-churn: {e}")))
                     .collect::<Result<_, _>>()?
             }
+            "--net" => o.net = Some(value()?),
+            "--connections" => {
+                net_only.push("--connections");
+                o.connections = value()?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("--connections: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--window" => {
+                net_only.push("--window");
+                o.net_window = value()?.parse().map_err(|e| format!("--window: {e}"))?
+            }
+            "--client-threads" => {
+                net_only.push("--client-threads");
+                o.client_threads = value()?
+                    .parse()
+                    .map_err(|e| format!("--client-threads: {e}"))?
+            }
+            "--net-shutdown" => {
+                net_only.push("--net-shutdown");
+                o.net_shutdown = true
+            }
             "--check" => o.check = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
@@ -177,6 +231,17 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if o.fsm_churn.iter().any(|&t| t == 0 || t > 64) {
         return Err("--fsm-churn thread counts must be in 1..=64".into());
+    }
+    if o.net.is_none() {
+        if let Some(flag) = net_only.first() {
+            return Err(format!("{flag} only makes sense with --net"));
+        }
+    }
+    if o.connections.is_empty() || o.connections.iter().any(|&c| c == 0 || c > 4096) {
+        return Err("--connections entries must be in 1..=4096".into());
+    }
+    if o.net_window == 0 {
+        return Err("--window must be at least 1".into());
     }
     Ok(o)
 }
@@ -417,6 +482,227 @@ fn fsm_churn_sweep(
     ])
 }
 
+/// Connect + handshake with retries: in CI the server may still be
+/// binding when the client starts.
+fn connect_retry(addr: &str, hello: &Hello) -> std::io::Result<(Control, HelloInfo)> {
+    let mut last: Option<std::io::Error> = None;
+    for _ in 0..50 {
+        match Control::connect(addr, hello) {
+            Ok(ok) => return Ok(ok),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("connect retries exhausted")))
+}
+
+/// Socket-client mode: replay each app's trace against a running
+/// `dewrite-serve` at each connection count, asserting the server's
+/// per-shard reports are bit-identical to a local in-process run.
+fn net_main(o: &Options, addr: &str, parallelism: usize) -> ExitCode {
+    let pacing = if o.mode == "open" {
+        Pacing::Open {
+            ops_per_sec: o.rate,
+        }
+    } else {
+        Pacing::Closed
+    };
+    let mut failures: Vec<String> = Vec::new();
+    let mut check_skipped = false;
+    let mut app_objs: Vec<Json> = Vec::new();
+
+    for app in &o.apps {
+        let Some(trace) = generate(app, o) else {
+            eprintln!("unknown application {app:?}");
+            return usage();
+        };
+        println!(
+            "{app}: {} ops ({} writes, oracle dup ratio {:.3}) over the wire at {addr}",
+            trace.records.len(),
+            trace.writes,
+            trace.oracle_dup_ratio
+        );
+        let hello = Hello {
+            version: NET_VERSION,
+            line_size: 256,
+            lines: trace.lines,
+            expected_writes: trace.writes,
+            app: app.clone(),
+        };
+        let mut expected_report: Option<String> = None;
+        let mut runs: Vec<Json> = Vec::new();
+        for &connections in &o.connections {
+            // A many-connection replay on a tiny host measures scheduler
+            // thrash, not the server; drop the entry and say so.
+            if parallelism < 4 && connections > 64 {
+                check_skipped = true;
+                println!(
+                    "  SKIPPED: {connections}-connection entry \
+                     (available_parallelism={parallelism} < 4)"
+                );
+                continue;
+            }
+            let entry = (|| -> std::io::Result<Json> {
+                let (mut control, info) = connect_retry(addr, &hello)?;
+                if expected_report.is_none() {
+                    // The local shadow run: same geometry the server
+                    // derived, same trace — its per-shard reports are the
+                    // bit-identity oracle.
+                    let config =
+                        EngineConfig::for_workload(info.shards, 256, trace.lines, trace.writes);
+                    if config.slots_per_shard != info.slots_per_shard {
+                        return Err(std::io::Error::other(format!(
+                            "server sized {} slots/shard where the local config \
+                             derives {} — version drift?",
+                            info.slots_per_shard, config.slots_per_shard
+                        )));
+                    }
+                    let baseline = run(&config, app, trace.records.clone());
+                    expected_report = Some(format!(
+                        "[{}]",
+                        baseline
+                            .shards
+                            .iter()
+                            .map(|s| s.report.to_json().to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    ));
+                }
+                let summary = drive(
+                    &DriveOptions {
+                        addr: addr.to_string(),
+                        connections,
+                        window: o.net_window,
+                        threads: o.client_threads,
+                        pacing,
+                    },
+                    &hello,
+                    &trace.records,
+                )?;
+                control.flush()?;
+                let scrub_lines = if o.check {
+                    Some(control.scrub()?)
+                } else {
+                    None
+                };
+                let server_report = control.report()?;
+                let report_match = Some(&server_report) == expected_report.as_ref();
+                control.reset()?;
+                println!(
+                    "  conns={connections:<4} {:>10.0} ops/s  p50 {} ns  p99 {} ns  \
+                     errors {}  report_match {report_match}",
+                    summary.ops_per_sec(),
+                    summary.host_latency.p50_ns(),
+                    summary.host_latency.p99_ns(),
+                    summary.errors
+                );
+                if o.check {
+                    if !report_match {
+                        failures.push(format!(
+                            "{app}: {connections}-connection replay diverged from the \
+                             in-process per-shard reports"
+                        ));
+                    }
+                    if summary.errors > 0 {
+                        failures.push(format!(
+                            "{app}: {connections}-connection replay saw {} error responses",
+                            summary.errors
+                        ));
+                    }
+                }
+                let mut fields = vec![
+                    ("connections", num(connections as u64)),
+                    ("ops", num(summary.ops)),
+                    ("wall_ms", flt(summary.wall_ns as f64 / 1e6)),
+                    ("ops_per_sec", flt(summary.ops_per_sec())),
+                    ("window", num(summary.window as u64)),
+                    ("host_p50_ns", num(summary.host_latency.p50_ns())),
+                    ("host_p95_ns", num(summary.host_latency.p95_ns())),
+                    ("host_p99_ns", num(summary.host_latency.p99_ns())),
+                    ("errors", num(summary.errors)),
+                    ("report_match", Json::Bool(report_match)),
+                ];
+                if let Some(lines) = scrub_lines {
+                    fields.push(("scrub_lines", num(lines)));
+                }
+                Ok(obj(fields))
+            })();
+            match entry {
+                Ok(j) => runs.push(j),
+                Err(e) => {
+                    failures.push(format!("{app}: {connections}-connection entry failed: {e}"))
+                }
+            }
+        }
+        app_objs.push(obj(vec![
+            ("app", Json::Str(app.clone())),
+            ("trace_ops", num(trace.records.len() as u64)),
+            ("trace_writes", num(trace.writes)),
+            ("oracle_dup_ratio", flt(trace.oracle_dup_ratio)),
+            ("runs", Json::Arr(runs)),
+        ]));
+    }
+
+    if o.net_shutdown {
+        if let Err(e) = client::request_shutdown(addr) {
+            failures.push(format!("shutdown request failed: {e}"));
+        }
+    }
+
+    let doc = obj(vec![
+        ("schema_version", num(1)),
+        ("tool", Json::Str("loadgen".into())),
+        (
+            "config",
+            obj(vec![
+                ("ops", num(o.ops as u64)),
+                ("working_set_lines", num(o.ws_lines)),
+                ("content_pool", num(o.pool as u64)),
+                ("mode", Json::Str(o.mode.clone())),
+                ("rate_ops_per_sec", flt(o.rate)),
+                ("seed", num(o.seed)),
+                ("check", Json::Bool(o.check)),
+            ]),
+        ),
+        ("available_parallelism", num(parallelism as u64)),
+        ("check_skipped", Json::Bool(check_skipped)),
+        // In-process runs live under `apps`; a net-mode export keeps the
+        // key (empty) so consumers can treat both shapes uniformly.
+        ("apps", Json::Arr(Vec::new())),
+        (
+            "net",
+            obj(vec![
+                ("addr", Json::Str(addr.to_string())),
+                ("window", num(o.net_window as u64)),
+                ("client_threads", num(o.client_threads as u64)),
+                (
+                    "connections",
+                    Json::Arr(o.connections.iter().map(|&c| num(c as u64)).collect()),
+                ),
+                ("apps", Json::Arr(app_objs)),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&o.out, format!("{doc}\n")) {
+        eprintln!("error: writing {}: {e}", o.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", o.out);
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\n{} check failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let o = match parse(&args) {
@@ -430,6 +716,10 @@ fn main() -> ExitCode {
     };
 
     let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    if let Some(addr) = o.net.clone() {
+        return net_main(&o, &addr, parallelism);
+    }
 
     // The allocator contention sweep is standalone: no app traces, just
     // flat-vs-tree churn at each thread count.

@@ -1,0 +1,1169 @@
+//! The served engine: a std-only, nonblocking, thread-per-core event
+//! loop between TCP sockets and [`EngineService`].
+//!
+//! # Event-loop model
+//!
+//! `threads` **lanes** each own a disjoint set of connections and run the
+//! same sweep: retry back-pressured submits, drain the engine's
+//! completion queue for this lane, read sockets and decode frames, flush
+//! write buffers, then park on the engine's spin→yield→sleep
+//! [`Backoff`] when a sweep makes no progress. Lane 0 additionally owns
+//! the (nonblocking) listener and deals new connections round-robin to
+//! the lanes' inboxes. There are no poll/epoll syscalls and no async
+//! runtime — the sweep is a straight scan, which at thousands of
+//! connections amortizes exactly like the engine workers' batch drain.
+//!
+//! # Ordering and back-pressure
+//!
+//! Responses stream back to each connection strictly in request order:
+//! every decoded request takes the connection's next `conn_seq`, and
+//! out-of-order completions park in a per-connection reorder map until
+//! their turn. When a shard queue is full, [`EngineService::try_submit`]
+//! hands the request back; the lane parks it on the connection's pending
+//! queue and **stops reading that socket** (its buffered frames stay
+//! undecoded), so TCP flow control propagates the stall to the client —
+//! back-pressure end to end, no unbounded buffering anywhere.
+//!
+//! # Engine lifecycle
+//!
+//! The engine is created lazily from the first [`Hello`]'s geometry
+//! (the server's CLI fixes the shard count; the handshake brings line
+//! size, line count, and expected writes). `Reset` tears it down
+//! (drain + flush + checkpoint) so one server can host a whole
+//! connection-count sweep; each generation persists under its own
+//! `gen-<n>/` subdirectory. `Shutdown` drains in-flight work, flushes
+//! WAL epochs, checkpoints every shard, and returns the merged
+//! [`EngineRun`] through [`NetServer::join`]. [`ServerHandle::abort`]
+//! kills the engine *without* flushing — the crash-recovery tests' kill
+//! switch.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_queue::ArrayQueue;
+use dewrite_engine::{
+    Backoff, Completion, CompletionBody, EngineConfig, EngineRun, EngineService, ServiceOp,
+    ServiceRequest, CONTROL_SEQ,
+};
+use dewrite_nvm::LineAddr;
+use dewrite_trace::shard_of_line;
+
+use crate::proto::{
+    self, ErrorCode, FrameEvent, Hello, Request, Response, MAX_LINE_BYTES, NET_VERSION,
+};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7411` (port 0 picks a free one).
+    pub addr: String,
+    /// Controller shards the engine will run with.
+    pub shards: usize,
+    /// Event-loop lanes; 0 picks half the hardware threads (min 1).
+    pub threads: usize,
+    /// Per-connection in-flight window the server enforces (frames
+    /// decoded but not yet answered).
+    pub window: u32,
+    /// Per-shard engine queue depth.
+    pub queue_depth: usize,
+    /// Engine worker batch size.
+    pub batch: usize,
+    /// Root for crash-consistent metadata persistence; each engine
+    /// generation logs under `gen-<n>/shard-<id>/`.
+    pub persist_dir: Option<PathBuf>,
+    /// Data writes per WAL epoch record.
+    pub persist_epoch: u32,
+    /// `fsync` the WAL on every epoch flush.
+    pub persist_sync: bool,
+    /// Upper bound a `Hello` may ask for in workload lines.
+    pub max_lines: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7411".into(),
+            shards: 4,
+            threads: 0,
+            window: 64,
+            queue_depth: 1024,
+            batch: 64,
+            persist_dir: None,
+            persist_epoch: 64,
+            persist_sync: false,
+            max_lines: 1 << 28,
+        }
+    }
+}
+
+/// What a run of the server produced.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The merged engine run from the final graceful teardown (`None`
+    /// when no engine was ever created, or after a hard abort).
+    pub run: Option<EngineRun>,
+    /// Whether the server died by [`ServerHandle::abort`].
+    pub aborted: bool,
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Data operations completed over the server's lifetime.
+    pub ops: u64,
+    /// Typed error responses sent.
+    pub errors: u64,
+}
+
+/// The session geometry an engine generation was built from.
+#[derive(Debug, Clone)]
+struct Geometry {
+    line_size: u32,
+    lines: u64,
+    expected_writes: u64,
+    app: String,
+    slots_per_shard: u64,
+}
+
+/// State shared by every lane.
+#[derive(Debug)]
+struct Shared {
+    opts: ServeOptions,
+    lanes: usize,
+    /// The engine, once the first `Hello` arrives. Lanes take transient
+    /// `Arc` clones (scoped to one sweep) so teardown can reclaim sole
+    /// ownership with a bounded spin.
+    service: RwLock<Option<Arc<EngineService>>>,
+    geometry: Mutex<Option<Geometry>>,
+    /// Engine generation; bumped by `Reset`. Stale sessions (handshaken
+    /// against a previous generation) are refused.
+    generation: AtomicU64,
+    /// Requests submitted to the engine and not yet completed.
+    in_flight: AtomicU64,
+    /// Requests parked on connection pending queues (back-pressure).
+    pending_submits: AtomicU64,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    abort: AtomicBool,
+    accepted: AtomicU64,
+    active: AtomicU64,
+    ops: AtomicU64,
+    errors: AtomicU64,
+    final_run: Mutex<Option<EngineRun>>,
+    start: Instant,
+}
+
+/// Connections a lane can hold queued in its hand-off inbox.
+const INBOX_CAPACITY: usize = 1024;
+/// Socket read chunk.
+const READ_CHUNK: usize = 16 * 1024;
+/// Stop reading a socket once this much is buffered undecoded (the
+/// window gate usually stalls reads long before).
+const MAX_RBUF: usize = 4 * (1 << 20);
+/// How long lanes keep flushing responses after shutdown.
+const LINGER: Duration = Duration::from_secs(5);
+
+/// Per-session state cached on the connection after its `Hello`.
+#[derive(Debug, Clone, Copy)]
+struct Session {
+    generation: u64,
+    line_size: u32,
+    lines: u64,
+}
+
+/// A control broadcast being folded back together (one engine
+/// completion per shard).
+#[derive(Debug)]
+struct Aggregate {
+    kind: AggKind,
+    remaining: usize,
+    lines: u64,
+    reports: Vec<Option<String>>,
+    err: Option<(ErrorCode, String)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AggKind {
+    Scrub,
+    Flush,
+    Report,
+}
+
+/// One client connection owned by a lane.
+#[derive(Debug)]
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    /// The socket is alive (readable/writable).
+    open: bool,
+    /// A framing violation happened: close once the error flushes.
+    fatal: bool,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Next `conn_seq` to assign to a decoded request.
+    next_assign: u64,
+    /// Next `conn_seq` whose response moves to the write buffer.
+    next_emit: u64,
+    /// Encoded responses waiting for their in-order turn.
+    parked: BTreeMap<u64, Vec<u8>>,
+    /// Requests handed back by a full shard queue, retried each sweep.
+    pending: VecDeque<ServiceRequest>,
+    /// Control broadcasts in flight, keyed by `conn_seq`.
+    aggregates: HashMap<u64, Aggregate>,
+    /// Engine submissions not yet completed.
+    live: u64,
+    session: Option<Session>,
+}
+
+impl Conn {
+    fn new(id: u64, stream: TcpStream) -> Conn {
+        Conn {
+            id,
+            stream,
+            open: true,
+            fatal: false,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            next_assign: 0,
+            next_emit: 0,
+            parked: BTreeMap::new(),
+            pending: VecDeque::new(),
+            aggregates: HashMap::new(),
+            live: 0,
+            session: None,
+        }
+    }
+
+    /// Requests decoded but not yet answered into the write buffer.
+    fn unanswered(&self) -> u64 {
+        self.next_assign - self.next_emit
+    }
+
+    /// Nothing left that anyone is waiting on.
+    fn drained(&self) -> bool {
+        self.live == 0 && self.pending.is_empty()
+    }
+}
+
+/// Park `resp` at `conn_seq` and move every now-ready response to the
+/// write buffer.
+fn push_response(shared: &Shared, conn: &mut Conn, conn_seq: u64, resp: &Response) {
+    if matches!(resp, Response::Error { .. }) {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if !conn.open {
+        // Still advance the in-order cursor so the connection can drain.
+        conn.parked.insert(conn_seq, Vec::new());
+    } else {
+        conn.parked.insert(conn_seq, proto::encode_response(resp));
+    }
+    while let Some(frame) = conn.parked.remove(&conn.next_emit) {
+        conn.wbuf.extend_from_slice(&frame);
+        conn.next_emit += 1;
+    }
+}
+
+fn err(code: ErrorCode, detail: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        detail: detail.into(),
+    }
+}
+
+/// Take the engine out of the shared slot and reclaim sole ownership.
+/// Converges because every other holder is a sweep-scoped clone.
+fn take_service(shared: &Shared) -> Option<EngineService> {
+    let taken = shared.service.write().expect("service lock").take()?;
+    let mut arc = taken;
+    let mut parker = Backoff::new();
+    loop {
+        match Arc::try_unwrap(arc) {
+            Ok(svc) => return Some(svc),
+            Err(back) => {
+                arc = back;
+                parker.wait();
+            }
+        }
+    }
+}
+
+/// A `Reset` decoded this sweep; torn down after the lane drops its
+/// transient service clone.
+#[derive(Debug)]
+struct DeferredReset {
+    conn: u64,
+    conn_seq: u64,
+}
+
+struct Lane {
+    lane: usize,
+    shared: Arc<Shared>,
+    inbox: Arc<ArrayQueue<TcpStream>>,
+    conns: Vec<Option<Conn>>,
+    by_id: HashMap<u64, usize>,
+    deferred: Vec<DeferredReset>,
+    progress: bool,
+}
+
+impl Lane {
+    fn new(lane: usize, shared: Arc<Shared>, inbox: Arc<ArrayQueue<TcpStream>>) -> Lane {
+        Lane {
+            lane,
+            shared,
+            inbox,
+            conns: Vec::new(),
+            by_id: HashMap::new(),
+            deferred: Vec::new(),
+            progress: false,
+        }
+    }
+
+    /// A sweep-scoped engine handle (drop before sweep end).
+    fn service(&self) -> Option<Arc<EngineService>> {
+        self.shared
+            .service
+            .read()
+            .expect("service lock")
+            .as_ref()
+            .map(Arc::clone)
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let id = self.shared.accepted.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shared.active.fetch_add(1, Ordering::Relaxed);
+        let conn = Conn::new(id, stream);
+        let slot = self
+            .conns
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.conns.push(None);
+                self.conns.len() - 1
+            });
+        self.conns[slot] = Some(conn);
+        self.by_id.insert(id, slot);
+        self.progress = true;
+    }
+
+    /// Submit to the engine or park on the connection's pending queue.
+    /// `in_flight` is raised *before* the push so the drain check never
+    /// observes a request that is in a queue but not yet counted.
+    fn submit(&mut self, conn: &mut Conn, svc: &EngineService, req: ServiceRequest) {
+        conn.live += 1;
+        self.shared.in_flight.fetch_add(1, Ordering::Release);
+        if let Err(back) = svc.try_submit(req) {
+            conn.live -= 1;
+            self.shared.in_flight.fetch_sub(1, Ordering::Release);
+            self.shared.pending_submits.fetch_add(1, Ordering::Release);
+            conn.pending.push_back(back);
+        }
+    }
+
+    fn retry_pending(&mut self, conn: &mut Conn) {
+        if conn.pending.is_empty() {
+            return;
+        }
+        let Some(svc) = self.service() else { return };
+        while let Some(req) = conn.pending.pop_front() {
+            self.shared.in_flight.fetch_add(1, Ordering::Release);
+            match svc.try_submit(req) {
+                Ok(()) => {
+                    self.shared.pending_submits.fetch_sub(1, Ordering::Release);
+                    conn.live += 1;
+                    self.progress = true;
+                }
+                Err(back) => {
+                    self.shared.in_flight.fetch_sub(1, Ordering::Release);
+                    conn.pending.push_front(back);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn on_hello(&mut self, conn: &mut Conn, conn_seq: u64, h: Hello) {
+        if self.shared.draining.load(Ordering::Acquire) {
+            push_response(
+                &self.shared,
+                conn,
+                conn_seq,
+                &err(ErrorCode::NotReady, "server is draining"),
+            );
+            return;
+        }
+        if h.line_size == 0
+            || h.line_size as usize > MAX_LINE_BYTES
+            || h.lines == 0
+            || h.lines > self.shared.opts.max_lines
+        {
+            push_response(
+                &self.shared,
+                conn,
+                conn_seq,
+                &err(
+                    ErrorCode::BadPayload,
+                    format!(
+                        "geometry out of range: line_size {} lines {} (max {})",
+                        h.line_size, h.lines, self.shared.opts.max_lines
+                    ),
+                ),
+            );
+            return;
+        }
+        let mut geo = self.shared.geometry.lock().expect("geometry lock");
+        let resp = match geo.as_ref() {
+            Some(g) => {
+                if g.line_size == h.line_size
+                    && g.lines == h.lines
+                    && g.expected_writes == h.expected_writes
+                    && g.app == h.app
+                {
+                    Ok(g.slots_per_shard)
+                } else {
+                    Err(err(
+                        ErrorCode::ConfigMismatch,
+                        format!(
+                            "engine serves app '{}' ({} lines of {}B, {} expected writes); \
+                             reset before changing the workload",
+                            g.app, g.lines, g.line_size, g.expected_writes
+                        ),
+                    ))
+                }
+            }
+            None => {
+                let opts = &self.shared.opts;
+                let mut config = EngineConfig::for_workload(
+                    opts.shards,
+                    h.line_size as usize,
+                    h.lines,
+                    h.expected_writes,
+                );
+                config.queue_depth = opts.queue_depth;
+                config.batch = opts.batch;
+                config.persist_epoch = opts.persist_epoch;
+                config.persist_sync = opts.persist_sync;
+                config.persist_dir = opts.persist_dir.as_ref().map(|root| {
+                    root.join(format!(
+                        "gen-{:04}",
+                        self.shared.generation.load(Ordering::Acquire)
+                    ))
+                });
+                let lane_capacity = opts.queue_depth.max(4096);
+                let svc = EngineService::start(&config, &h.app, self.shared.lanes, lane_capacity);
+                *self.shared.service.write().expect("service lock") = Some(Arc::new(svc));
+                *geo = Some(Geometry {
+                    line_size: h.line_size,
+                    lines: h.lines,
+                    expected_writes: h.expected_writes,
+                    app: h.app.clone(),
+                    slots_per_shard: config.slots_per_shard,
+                });
+                Ok(config.slots_per_shard)
+            }
+        };
+        drop(geo);
+        match resp {
+            Ok(slots_per_shard) => {
+                conn.session = Some(Session {
+                    generation: self.shared.generation.load(Ordering::Acquire),
+                    line_size: h.line_size,
+                    lines: h.lines,
+                });
+                push_response(
+                    &self.shared,
+                    conn,
+                    conn_seq,
+                    &Response::HelloOk {
+                        version: NET_VERSION,
+                        shards: self.shared.opts.shards as u32,
+                        window: self.shared.opts.window,
+                        line_size: h.line_size,
+                        lines: h.lines,
+                        slots_per_shard,
+                    },
+                );
+            }
+            Err(e) => push_response(&self.shared, conn, conn_seq, &e),
+        }
+    }
+
+    fn on_data(&mut self, conn: &mut Conn, conn_seq: u64, req: Request) {
+        let Some(session) = conn.session else {
+            push_response(
+                &self.shared,
+                conn,
+                conn_seq,
+                &err(
+                    ErrorCode::NotReady,
+                    "handshake first: no Hello on this connection",
+                ),
+            );
+            return;
+        };
+        if session.generation != self.shared.generation.load(Ordering::Acquire) {
+            push_response(
+                &self.shared,
+                conn,
+                conn_seq,
+                &err(
+                    ErrorCode::NotReady,
+                    "session predates a reset; handshake again",
+                ),
+            );
+            return;
+        }
+        let Some(svc) = self.service() else {
+            push_response(
+                &self.shared,
+                conn,
+                conn_seq,
+                &err(ErrorCode::NotReady, "no engine; handshake again"),
+            );
+            return;
+        };
+        let (addr, shard_seq, op) = match req {
+            Request::Write {
+                addr,
+                shard_seq,
+                gap,
+                data,
+            } => {
+                if data.len() != session.line_size as usize {
+                    push_response(
+                        &self.shared,
+                        conn,
+                        conn_seq,
+                        &err(
+                            ErrorCode::BadPayload,
+                            format!(
+                                "write of {} bytes against a {}-byte line size",
+                                data.len(),
+                                session.line_size
+                            ),
+                        ),
+                    );
+                    return;
+                }
+                (
+                    addr,
+                    shard_seq,
+                    ServiceOp::Write {
+                        addr: LineAddr::new(addr),
+                        data,
+                        gap,
+                    },
+                )
+            }
+            Request::Read {
+                addr,
+                shard_seq,
+                gap,
+            } => (
+                addr,
+                shard_seq,
+                ServiceOp::Read {
+                    addr: LineAddr::new(addr),
+                    gap,
+                },
+            ),
+            _ => unreachable!("on_data only sees Write/Read"),
+        };
+        if addr >= session.lines {
+            push_response(
+                &self.shared,
+                conn,
+                conn_seq,
+                &err(
+                    ErrorCode::BadPayload,
+                    format!("address {addr} outside the {}-line space", session.lines),
+                ),
+            );
+            return;
+        }
+        if shard_seq == CONTROL_SEQ {
+            push_response(
+                &self.shared,
+                conn,
+                conn_seq,
+                &err(
+                    ErrorCode::BadPayload,
+                    "shard_seq reserves u64::MAX for control",
+                ),
+            );
+            return;
+        }
+        let request = ServiceRequest {
+            shard: shard_of_line(LineAddr::new(addr), svc.shards()),
+            seq: shard_seq,
+            lane: self.lane,
+            conn: conn.id,
+            conn_seq,
+            issued_ns: svc.elapsed_ns(),
+            op,
+        };
+        self.submit(conn, &svc, request);
+    }
+
+    fn on_control(&mut self, conn: &mut Conn, conn_seq: u64, kind: AggKind) {
+        let Some(svc) = self.service() else {
+            push_response(
+                &self.shared,
+                conn,
+                conn_seq,
+                &err(ErrorCode::NotReady, "no engine; handshake first"),
+            );
+            return;
+        };
+        let shards = svc.shards();
+        conn.aggregates.insert(
+            conn_seq,
+            Aggregate {
+                kind,
+                remaining: shards,
+                lines: 0,
+                reports: vec![None; shards],
+                err: None,
+            },
+        );
+        let op = match kind {
+            AggKind::Scrub => ServiceOp::Scrub,
+            AggKind::Flush => ServiceOp::Flush,
+            AggKind::Report => ServiceOp::Report,
+        };
+        for shard in 0..shards {
+            let request = ServiceRequest {
+                shard,
+                seq: CONTROL_SEQ,
+                lane: self.lane,
+                conn: conn.id,
+                conn_seq,
+                issued_ns: svc.elapsed_ns(),
+                op: op.clone(),
+            };
+            self.submit(conn, &svc, request);
+        }
+    }
+
+    fn on_stats(&mut self, conn: &mut Conn, conn_seq: u64) {
+        let shards = if self.service().is_some() {
+            self.shared.opts.shards as u32
+        } else {
+            0
+        };
+        let resp = Response::StatsOk {
+            shards,
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            active: self.shared.active.load(Ordering::Relaxed),
+            ops: self.shared.ops.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            uptime_ns: self.shared.start.elapsed().as_nanos() as u64,
+        };
+        push_response(&self.shared, conn, conn_seq, &resp);
+    }
+
+    fn handle_request(&mut self, conn: &mut Conn, req: Request) {
+        let conn_seq = conn.next_assign;
+        conn.next_assign += 1;
+        match req {
+            Request::Hello(h) => self.on_hello(conn, conn_seq, h),
+            Request::Write { .. } | Request::Read { .. } => self.on_data(conn, conn_seq, req),
+            Request::Scrub => self.on_control(conn, conn_seq, AggKind::Scrub),
+            Request::Flush => self.on_control(conn, conn_seq, AggKind::Flush),
+            Request::Report => self.on_control(conn, conn_seq, AggKind::Report),
+            Request::Stats => self.on_stats(conn, conn_seq),
+            Request::Reset => self.deferred.push(DeferredReset {
+                conn: conn.id,
+                conn_seq,
+            }),
+            Request::Shutdown => {
+                push_response(&self.shared, conn, conn_seq, &Response::ShutdownOk);
+                self.shared.draining.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Read the socket and decode frames up to the window gate.
+    fn read_and_decode(&mut self, conn: &mut Conn) {
+        let mut tmp = [0u8; READ_CHUNK];
+        while conn.open && conn.rbuf.len() < MAX_RBUF {
+            match conn.stream.read(&mut tmp) {
+                Ok(0) => {
+                    conn.open = false;
+                    self.progress = true;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&tmp[..n]);
+                    self.progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.open = false;
+                }
+            }
+        }
+        let window = u64::from(self.shared.opts.window);
+        let mut off = 0usize;
+        while conn.open && !conn.fatal {
+            if conn.unanswered() >= window || !conn.pending.is_empty() {
+                break;
+            }
+            // Once draining, no new work enters the engine — `in_flight`
+            // only falls, so the teardown check can't be outrun.
+            if self.shared.draining.load(Ordering::Acquire) {
+                break;
+            }
+            let step = match proto::next_frame(&conn.rbuf[off..]) {
+                Ok(FrameEvent::Incomplete) => None,
+                Ok(FrameEvent::Frame { payload, consumed }) => {
+                    Some((proto::decode_request(payload), consumed))
+                }
+                Err(fe) => {
+                    // The stream can't be trusted past this point: send
+                    // one error outside the conn_seq order and close.
+                    conn.wbuf.extend_from_slice(&proto::encode_response(&err(
+                        ErrorCode::BadFrame,
+                        fe.to_string(),
+                    )));
+                    self.shared.errors.fetch_add(1, Ordering::Relaxed);
+                    conn.fatal = true;
+                    None
+                }
+            };
+            let Some((decoded, consumed)) = step else {
+                break;
+            };
+            off += consumed;
+            self.progress = true;
+            match decoded {
+                Ok(req) => self.handle_request(conn, req),
+                Err(msg) => {
+                    let code = if msg.contains("unknown request tag") {
+                        ErrorCode::UnknownOp
+                    } else {
+                        ErrorCode::BadPayload
+                    };
+                    let conn_seq = conn.next_assign;
+                    conn.next_assign += 1;
+                    push_response(&self.shared, conn, conn_seq, &err(code, msg));
+                }
+            }
+        }
+        conn.rbuf.drain(..off);
+    }
+
+    fn flush(&mut self, conn: &mut Conn) {
+        while conn.open && conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => conn.open = false,
+                Ok(n) => {
+                    conn.wpos += n;
+                    self.progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => conn.open = false,
+            }
+        }
+        if conn.wpos == conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            if conn.fatal {
+                conn.open = false;
+            }
+        }
+    }
+
+    fn on_completion(&mut self, c: Completion) {
+        self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let Some(&slot) = self.by_id.get(&c.conn) else {
+            return;
+        };
+        let Some(mut conn) = self.conns[slot].take() else {
+            return;
+        };
+        conn.live -= 1;
+        self.progress = true;
+        match c.body {
+            CompletionBody::Write { eliminated, sim_ns } => {
+                self.shared.ops.fetch_add(1, Ordering::Relaxed);
+                push_response(
+                    &self.shared,
+                    &mut conn,
+                    c.conn_seq,
+                    &Response::WriteOk { eliminated, sim_ns },
+                );
+            }
+            CompletionBody::Read { sim_ns } => {
+                self.shared.ops.fetch_add(1, Ordering::Relaxed);
+                push_response(
+                    &self.shared,
+                    &mut conn,
+                    c.conn_seq,
+                    &Response::ReadOk { sim_ns },
+                );
+            }
+            CompletionBody::Rejected(msg) => {
+                push_response(
+                    &self.shared,
+                    &mut conn,
+                    c.conn_seq,
+                    &err(ErrorCode::Overloaded, msg),
+                );
+            }
+            CompletionBody::Scrub(res) => {
+                if let Some(agg) = conn.aggregates.get_mut(&c.conn_seq) {
+                    match res {
+                        Ok(n) => agg.lines += n,
+                        Err(e) => {
+                            agg.err =
+                                Some((ErrorCode::ScrubFailed, format!("shard {}: {e}", c.shard)))
+                        }
+                    }
+                    agg.remaining -= 1;
+                }
+                self.finish_aggregate(&mut conn, c.conn_seq);
+            }
+            CompletionBody::Flush(res) => {
+                if let Some(agg) = conn.aggregates.get_mut(&c.conn_seq) {
+                    if let Err(e) = res {
+                        agg.err =
+                            Some((ErrorCode::Internal, format!("shard {} flush: {e}", c.shard)));
+                    }
+                    agg.remaining -= 1;
+                }
+                self.finish_aggregate(&mut conn, c.conn_seq);
+            }
+            CompletionBody::Report(json) => {
+                if let Some(agg) = conn.aggregates.get_mut(&c.conn_seq) {
+                    agg.reports[c.shard] = Some(json);
+                    agg.remaining -= 1;
+                }
+                self.finish_aggregate(&mut conn, c.conn_seq);
+            }
+        }
+        self.conns[slot] = Some(conn);
+    }
+
+    fn finish_aggregate(&mut self, conn: &mut Conn, conn_seq: u64) {
+        let done = conn
+            .aggregates
+            .get(&conn_seq)
+            .is_some_and(|a| a.remaining == 0);
+        if !done {
+            return;
+        }
+        let agg = conn.aggregates.remove(&conn_seq).expect("checked above");
+        let resp = if let Some((code, detail)) = agg.err {
+            err(code, detail)
+        } else {
+            match agg.kind {
+                AggKind::Scrub => Response::ScrubOk { lines: agg.lines },
+                AggKind::Flush => Response::FlushOk,
+                AggKind::Report => {
+                    let parts: Vec<String> = agg
+                        .reports
+                        .into_iter()
+                        .map(|r| r.expect("all shards reported"))
+                        .collect();
+                    Response::ReportOk {
+                        json: format!("[{}]", parts.join(",")),
+                    }
+                }
+            }
+        };
+        push_response(&self.shared, conn, conn_seq, &resp);
+    }
+
+    /// `Reset`s decoded this sweep, torn down after every transient
+    /// service clone on this lane is gone.
+    fn run_deferred(&mut self) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        for d in std::mem::take(&mut self.deferred) {
+            let resp = if self.shared.in_flight.load(Ordering::Acquire) != 0
+                || self.shared.pending_submits.load(Ordering::Acquire) != 0
+            {
+                err(
+                    ErrorCode::NotReady,
+                    "operations in flight; quiesce before reset",
+                )
+            } else {
+                if let Some(svc) = take_service(&self.shared) {
+                    // Graceful teardown: flush + checkpoint; the run
+                    // itself is discarded (the client collected its
+                    // reports before resetting).
+                    let _ = svc.shutdown();
+                }
+                *self.shared.geometry.lock().expect("geometry lock") = None;
+                self.shared.generation.fetch_add(1, Ordering::Release);
+                Response::ResetOk
+            };
+            if let Some(&slot) = self.by_id.get(&d.conn) {
+                if let Some(mut conn) = self.conns[slot].take() {
+                    push_response(&self.shared, &mut conn, d.conn_seq, &resp);
+                    self.conns[slot] = Some(conn);
+                }
+            }
+            self.progress = true;
+        }
+    }
+
+    /// Drop connections that are closed and fully drained.
+    fn reap(&mut self) {
+        for slot in 0..self.conns.len() {
+            let remove = match &self.conns[slot] {
+                Some(c) => !c.open && c.drained(),
+                None => false,
+            };
+            if remove {
+                let conn = self.conns[slot].take().expect("checked above");
+                self.by_id.remove(&conn.id);
+                self.shared.active.fetch_sub(1, Ordering::Relaxed);
+                // Pending queue is empty (drained); nothing to uncount.
+                self.progress = true;
+            }
+        }
+    }
+
+    fn sweep_conns(&mut self) {
+        for slot in 0..self.conns.len() {
+            let Some(mut conn) = self.conns[slot].take() else {
+                continue;
+            };
+            self.retry_pending(&mut conn);
+            if conn.open && !conn.fatal {
+                self.read_and_decode(&mut conn);
+            }
+            self.flush(&mut conn);
+            self.conns[slot] = Some(conn);
+        }
+    }
+
+    /// Any response bytes still owed to a live socket?
+    fn unflushed(&self) -> bool {
+        self.conns
+            .iter()
+            .flatten()
+            .any(|c| c.open && (c.wpos < c.wbuf.len() || (!c.parked.is_empty() && c.live == 0)))
+    }
+}
+
+fn run_lane(
+    mut lane: Lane,
+    listener: Option<TcpListener>,
+    inboxes: Vec<Arc<ArrayQueue<TcpStream>>>,
+) {
+    let mut parker = Backoff::new();
+    let mut deal = 0usize;
+    let mut linger: Option<Instant> = None;
+    loop {
+        lane.progress = false;
+
+        if lane.shared.abort.load(Ordering::Acquire) {
+            if lane.lane == 0 {
+                if let Some(svc) = take_service(&lane.shared) {
+                    svc.abort();
+                }
+                lane.shared.shutdown.store(true, Ordering::Release);
+            }
+            return;
+        }
+
+        // Lane 0 accepts and deals connections round-robin.
+        if let Some(l) = &listener {
+            while !lane.shared.draining.load(Ordering::Acquire) {
+                match l.accept() {
+                    Ok((stream, _)) => {
+                        let target = deal % inboxes.len();
+                        deal += 1;
+                        if inboxes[target].push(stream).is_err() {
+                            // Inbox full: the lane is saturated; drop the
+                            // connection (client retries).
+                        }
+                        lane.progress = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+        while let Some(stream) = lane.inbox.pop() {
+            lane.adopt(stream);
+        }
+
+        // Drain this lane's completions with a sweep-scoped handle.
+        if let Some(svc) = lane.service() {
+            while let Some(c) = svc.try_complete(lane.lane) {
+                lane.on_completion(c);
+            }
+        }
+
+        lane.sweep_conns();
+        lane.reap();
+        lane.run_deferred();
+
+        // Graceful drain: once everything in flight has completed, lane 0
+        // tears the engine down and flips the shutdown flag.
+        if lane.lane == 0
+            && lane.shared.draining.load(Ordering::Acquire)
+            && !lane.shared.shutdown.load(Ordering::Acquire)
+            && lane.shared.in_flight.load(Ordering::Acquire) == 0
+            && lane.shared.pending_submits.load(Ordering::Acquire) == 0
+        {
+            if let Some(svc) = take_service(&lane.shared) {
+                let run = svc.shutdown();
+                *lane.shared.final_run.lock().expect("final run lock") = Some(run);
+            }
+            lane.shared.shutdown.store(true, Ordering::Release);
+            lane.progress = true;
+        }
+
+        if lane.shared.shutdown.load(Ordering::Acquire) {
+            let since = *linger.get_or_insert_with(Instant::now);
+            if !lane.unflushed() || since.elapsed() > LINGER {
+                return;
+            }
+        }
+
+        if lane.progress {
+            parker.reset();
+        } else {
+            parker.wait();
+        }
+    }
+}
+
+/// A handle for poking a running server from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Kill the server and its engine **without** flushing parked
+    /// writes, the open WAL epoch, or a checkpoint — the crash-recovery
+    /// tests' kill switch. On-disk state is whatever the epoch log had
+    /// already flushed.
+    pub fn abort(&self) {
+        self.shared.abort.store(true, Ordering::Release);
+    }
+
+    /// Whether the server has fully shut down.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A running server: lanes spawned, listener live.
+#[derive(Debug)]
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind the listener and spawn the event-loop lanes.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listen address.
+    pub fn bind(opts: ServeOptions) -> io::Result<NetServer> {
+        assert!(opts.shards > 0, "need at least one shard");
+        assert!(opts.window > 0, "need a non-zero window");
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let threads = if opts.threads > 0 {
+            opts.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get() / 2)
+                .unwrap_or(1)
+                .max(1)
+        };
+        let shared = Arc::new(Shared {
+            opts,
+            lanes: threads,
+            service: RwLock::new(None),
+            geometry: Mutex::new(None),
+            generation: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            pending_submits: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            abort: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            final_run: Mutex::new(None),
+            start: Instant::now(),
+        });
+        let inboxes: Vec<Arc<ArrayQueue<TcpStream>>> = (0..threads)
+            .map(|_| Arc::new(ArrayQueue::new(INBOX_CAPACITY)))
+            .collect();
+        let handles = (0..threads)
+            .map(|i| {
+                let lane = Lane::new(i, Arc::clone(&shared), Arc::clone(&inboxes[i]));
+                let listener = if i == 0 {
+                    Some(listener.try_clone()).transpose()
+                } else {
+                    Ok(None)
+                };
+                let inboxes = inboxes.iter().map(Arc::clone).collect::<Vec<_>>();
+                let listener = listener.expect("clone listener");
+                std::thread::spawn(move || run_lane(lane, listener, inboxes))
+            })
+            .collect();
+        Ok(NetServer {
+            addr,
+            shared,
+            handles,
+        })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for aborting from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Wait for the server to shut down (a client's `Shutdown`, or
+    /// [`ServerHandle::abort`]) and collect the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lane thread panicked.
+    pub fn join(self) -> ServeOutcome {
+        for h in self.handles {
+            h.join().expect("server lane panicked");
+        }
+        let run = self.shared.final_run.lock().expect("final run lock").take();
+        ServeOutcome {
+            run,
+            aborted: self.shared.abort.load(Ordering::Acquire),
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            ops: self.shared.ops.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+        }
+    }
+}

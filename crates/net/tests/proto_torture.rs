@@ -1,0 +1,297 @@
+//! Wire-protocol torture: proptest roundtrips for every message,
+//! truncation at every offset, single-bit flips, oversized/zero length
+//! prefixes, unknown tags, and a byte-dribbled multi-frame stream.
+//!
+//! Run by name in CI on both `DEWRITE_PORTABLE` legs. The invariant
+//! under test: a malformed frame is *always* a typed error (or
+//! `Incomplete`), never a panic, never a silently different message,
+//! and never a desynchronized stream.
+
+use dewrite_net::proto::{
+    self, ErrorCode, FrameError, FrameEvent, Hello, Request, Response, FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES, NET_VERSION,
+};
+use proptest::prelude::*;
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            1u64..1_000_000,
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..64),
+        )
+            .prop_map(|(line_size, lines, expected_writes, app)| {
+                let app: String = app.into_iter().map(|b| (b'a' + b % 26) as char).collect();
+                Request::Hello(Hello {
+                    version: NET_VERSION,
+                    line_size,
+                    lines,
+                    expected_writes,
+                    app,
+                })
+            }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..512),
+        )
+            .prop_map(|(addr, shard_seq, gap, data)| Request::Write {
+                addr,
+                shard_seq,
+                gap,
+                data,
+            }),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(addr, shard_seq, gap)| {
+            Request::Read {
+                addr,
+                shard_seq,
+                gap,
+            }
+        }),
+        Just(Request::Scrub),
+        Just(Request::Stats),
+        Just(Request::Flush),
+        Just(Request::Report),
+        Just(Request::Reset),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::BadFrame),
+        Just(ErrorCode::UnknownOp),
+        Just(ErrorCode::BadPayload),
+        Just(ErrorCode::NotReady),
+        Just(ErrorCode::ConfigMismatch),
+        Just(ErrorCode::Overloaded),
+        Just(ErrorCode::ScrubFailed),
+        Just(ErrorCode::Internal),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(|(shards, window, line_size, lines, slots_per_shard)| {
+                Response::HelloOk {
+                    version: NET_VERSION,
+                    shards,
+                    window,
+                    line_size,
+                    lines,
+                    slots_per_shard,
+                }
+            }),
+        (any::<bool>(), any::<u64>())
+            .prop_map(|(eliminated, sim_ns)| Response::WriteOk { eliminated, sim_ns }),
+        any::<u64>().prop_map(|sim_ns| Response::ReadOk { sim_ns }),
+        any::<u64>().prop_map(|lines| Response::ScrubOk { lines }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(|(shards, accepted, active, ops, errors, uptime_ns)| {
+                Response::StatsOk {
+                    shards,
+                    accepted,
+                    active,
+                    ops,
+                    errors,
+                    uptime_ns,
+                }
+            }),
+        Just(Response::FlushOk),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(|bytes| {
+            let json: String = bytes.into_iter().map(|b| (b' ' + b % 95) as char).collect();
+            Response::ReportOk { json }
+        }),
+        Just(Response::ResetOk),
+        Just(Response::ShutdownOk),
+        (
+            arb_error_code(),
+            proptest::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(code, bytes)| {
+                let detail: String = bytes.into_iter().map(|b| (b' ' + b % 95) as char).collect();
+                Response::Error { code, detail }
+            }),
+    ]
+}
+
+/// Decode one full frame, asserting there is exactly one and it consumes
+/// the whole buffer.
+fn sole_payload(frame: &[u8]) -> Vec<u8> {
+    match proto::next_frame(frame) {
+        Ok(FrameEvent::Frame { payload, consumed }) => {
+            assert_eq!(consumed, frame.len(), "frame must consume itself exactly");
+            payload.to_vec()
+        }
+        other => panic!("expected one whole frame, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_request_roundtrips(req in arb_request()) {
+        let frame = proto::encode_request(&req);
+        let payload = sole_payload(&frame);
+        let back = proto::decode_request(&payload).expect("decode");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn every_response_roundtrips(resp in arb_response()) {
+        let frame = proto::encode_response(&resp);
+        let payload = sole_payload(&frame);
+        let back = proto::decode_response(&payload).expect("decode");
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_incomplete(req in arb_request()) {
+        let frame = proto::encode_request(&req);
+        for cut in 0..frame.len() {
+            let step = proto::next_frame(&frame[..cut]);
+            prop_assert_eq!(
+                step,
+                Ok(FrameEvent::Incomplete),
+                "prefix of {}/{} bytes must be incomplete",
+                cut,
+                frame.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_never_yield_a_different_message(req in arb_request()) {
+        let frame = proto::encode_request(&req);
+        let original = sole_payload(&frame);
+        for byte in 0..frame.len() {
+            for bit in 0..8u8 {
+                let mut flipped = frame.clone();
+                flipped[byte] ^= 1 << bit;
+                match proto::next_frame(&flipped) {
+                    // A flip in the length prefix can only make the frame
+                    // look longer (incomplete), out of bounds, or shorter
+                    // (then the CRC no longer covers the right slice). A
+                    // flip in the CRC or payload is a guaranteed CRC
+                    // mismatch: CRC32 detects all single-bit errors.
+                    Err(FrameError::BadCrc) | Err(FrameError::BadLength(_)) => {}
+                    Ok(FrameEvent::Incomplete) => {}
+                    Ok(FrameEvent::Frame { payload, .. }) => {
+                        prop_assert_eq!(
+                            payload,
+                            original.as_slice(),
+                            "bit {} of byte {} produced a different valid frame",
+                            bit,
+                            byte
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn byte_dribbled_stream_never_desyncs(reqs in proptest::collection::vec(arb_request(), 1..8)) {
+        // Concatenate every frame, then feed the stream one byte at a
+        // time the way a socket read loop would.
+        let mut stream = Vec::new();
+        for r in &reqs {
+            stream.extend_from_slice(&proto::encode_request(r));
+        }
+        let mut buf: Vec<u8> = Vec::new();
+        let mut decoded = Vec::new();
+        for &b in &stream {
+            buf.push(b);
+            loop {
+                match proto::next_frame(&buf).expect("healthy stream") {
+                    FrameEvent::Incomplete => break,
+                    FrameEvent::Frame { payload, consumed } => {
+                        decoded.push(proto::decode_request(payload).expect("decode"));
+                        buf.drain(..consumed);
+                    }
+                }
+            }
+        }
+        prop_assert!(buf.is_empty(), "stream left {} undecoded bytes", buf.len());
+        prop_assert_eq!(decoded, reqs);
+    }
+
+    #[test]
+    fn garbage_payloads_are_typed_errors(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever the bytes, decoding must return Err — never panic.
+        // (A valid encoding could decode, which is fine; the point is
+        // that arbitrary bytes can't crash the decoders.)
+        let _ = proto::decode_request(&bytes);
+        let _ = proto::decode_response(&bytes);
+    }
+}
+
+#[test]
+fn zero_and_oversized_length_prefixes_are_fatal() {
+    let mut zero = Vec::new();
+    zero.extend_from_slice(&0u32.to_le_bytes());
+    zero.extend_from_slice(&0u32.to_le_bytes());
+    assert_eq!(proto::next_frame(&zero), Err(FrameError::BadLength(0)));
+
+    let huge = (MAX_FRAME_BYTES as u32) + 1;
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&huge.to_le_bytes());
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    // The violation must be detected from the 8-byte header alone:
+    // a hostile length prefix never causes a buffer allocation.
+    assert_eq!(frame.len(), FRAME_HEADER_BYTES);
+    assert_eq!(proto::next_frame(&frame), Err(FrameError::BadLength(huge)));
+}
+
+#[test]
+fn unknown_tags_are_typed_errors() {
+    for tag in [0u8, 10, 0x40, 0x80, 0x8A, 0xFE] {
+        let frame = proto::encode_frame(&[tag]);
+        let payload = sole_payload(&frame);
+        let err = proto::decode_request(&payload).expect_err("unknown tag must not decode");
+        assert!(
+            err.contains("unknown request tag"),
+            "tag {tag:#x}: unexpected error {err:?}"
+        );
+    }
+    // And on the response side.
+    let frame = proto::encode_frame(&[0x7Fu8]);
+    let payload = sole_payload(&frame);
+    assert!(proto::decode_response(&payload).is_err());
+}
+
+#[test]
+fn wrong_version_hello_is_rejected() {
+    let good = proto::encode_request(&Request::Hello(Hello {
+        version: NET_VERSION,
+        line_size: 256,
+        lines: 64,
+        expected_writes: 32,
+        app: "mcf".into(),
+    }));
+    let payload = sole_payload(&good);
+    // The version lives right after tag + magic; forge every other
+    // version value's low byte and expect a typed rejection.
+    let mut forged = payload.clone();
+    forged[5] ^= 0xFF;
+    let reframed = proto::encode_frame(&forged);
+    let err = proto::decode_request(&sole_payload(&reframed)).expect_err("version must gate");
+    assert!(err.contains("version"), "unexpected error {err:?}");
+}

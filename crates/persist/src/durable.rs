@@ -147,6 +147,19 @@ impl EpochLog {
         Ok(())
     }
 
+    /// Shutdown durability: flush the open epoch, then force the store's
+    /// files to stable storage even when the log runs with `sync: false`.
+    /// Unlike [`checkpoint`](Self::checkpoint) this writes no new
+    /// checkpoint — callers that want one checkpoint first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn sync_all(&mut self) -> std::io::Result<()> {
+        self.flush()?;
+        self.store.sync_all()
+    }
+
     /// Data writes not yet covered by a durable record: the crash-loss
     /// exposure right now (0 ≤ exposure < `epoch_writes`).
     pub fn unflushed_writes(&self) -> u64 {

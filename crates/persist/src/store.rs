@@ -176,6 +176,23 @@ impl MetaStore {
         Ok(())
     }
 
+    /// Force the store to stable storage regardless of the `sync` option:
+    /// fsync the active WAL segment, the current checkpoint file, and the
+    /// directory. The graceful-shutdown durability point for stores that
+    /// log with `sync: false` (the engine's measurement-harness default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn sync_all(&mut self) -> io::Result<()> {
+        self.wal.sync_data()?;
+        let ckpt = ckpt_path(&self.dir, self.seq);
+        if ckpt.exists() {
+            File::open(&ckpt)?.sync_all()?;
+        }
+        sync_dir(&self.dir)
+    }
+
     /// Rotate: write checkpoint `seq+1` (temp + rename + dir fsync), open
     /// WAL segment `seq+1`, and prune pairs `≤ seq−1` (keeping exactly one
     /// older pair as the fallback for a torn checkpoint).

@@ -19,6 +19,10 @@ use dewrite::persist::{
     apply_fault, decode_wal, encode_record, DurableDeWrite, DurableOptions, Fault, PersistError,
     RecoverDeWrite, RecoveryStats, WAL_HEADER_BYTES,
 };
+use dewrite::trace::{app_by_name, shard_of_line, TraceOp};
+use dewrite_engine::{EngineConfig, ShardController};
+use dewrite_net::proto::{Hello, NET_VERSION};
+use dewrite_net::{Control, NetServer, ServeOptions};
 
 const KEY: &[u8; 16] = b"torture test key";
 const LINES: u64 = 512;
@@ -408,4 +412,133 @@ fn torture_sweep_over_tear_points_and_bit_flips() {
         "torture: {} cases, {recovered} recovered, {rejected} rejected -> {out}",
         cases.len()
     );
+}
+
+/// Network fault injection: kill a persisting `dewrite-serve` engine
+/// mid-stream (hard abort — the process analogue of a power cut between
+/// epoch flushes) while a socket client is replaying a trace, then
+/// recover every shard's store and prove the epoch-boundary guarantee
+/// holds end to end: no torn tail, a whole number of epochs covered, and
+/// recovered metadata identical to a deterministic shadow replay of that
+/// shard's applied prefix.
+#[test]
+fn socket_kill_mid_stream_recovers_every_shard_to_an_epoch_boundary() {
+    const SHARDS: usize = 2;
+    const NET_EPOCH: u32 = 8;
+
+    // A trace big enough that the abort lands mid-replay.
+    let mut profile = app_by_name("mcf").expect("mcf profile");
+    profile.working_set_lines = 512;
+    profile.content_pool_size = 64;
+    let mut gen = dewrite::trace::TraceGenerator::new(profile, 256, 29);
+    let lines = gen.required_lines();
+    let mut records = gen.warmup_records();
+    records.extend(gen.by_ref().take(20_000));
+    let writes = records.iter().filter(|r| r.op.is_write()).count() as u64;
+
+    let root = std::env::temp_dir().join(format!("dewrite-net-torture-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let server = NetServer::bind(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        shards: SHARDS,
+        threads: 2,
+        persist_dir: Some(root.clone()),
+        persist_epoch: NET_EPOCH,
+        ..ServeOptions::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+
+    let hello = Hello {
+        version: NET_VERSION,
+        line_size: 256,
+        lines,
+        expected_writes: writes,
+        app: "mcf".into(),
+    };
+    let (_control, info) = Control::connect(&addr, &hello).expect("control connect");
+    let config = EngineConfig::for_workload(SHARDS, 256, lines, writes);
+    assert_eq!(info.slots_per_shard, config.slots_per_shard);
+
+    // Race the replay against the kill switch. The client is expected to
+    // die with a socket error when the server hard-stops under it.
+    let driver = {
+        let addr = addr.clone();
+        let hello = hello.clone();
+        let records = records.clone();
+        std::thread::spawn(move || {
+            dewrite_net::drive(
+                &dewrite_net::DriveOptions {
+                    addr,
+                    connections: 8,
+                    window: 16,
+                    threads: 2,
+                    pacing: dewrite_engine::Pacing::Closed,
+                },
+                &hello,
+                &records,
+            )
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    handle.abort();
+    let outcome = server.join();
+    assert!(outcome.aborted, "hard abort must be reported");
+    assert!(outcome.run.is_none(), "an aborted engine yields no run");
+    let _ = driver.join().expect("driver thread");
+
+    // Recover each shard's store. The abort discarded only the open
+    // epoch: what is on disk is flushed epochs, so there is never a torn
+    // tail and the covered count is a whole number of epochs.
+    let max_lines = lines + config.slots_per_shard * 2 + 16;
+    let mut total_covered = 0u64;
+    for id in 0..SHARDS {
+        let shard_dir = root.join(format!("gen-0000/shard-{id:02}"));
+        let fp = ShardController::persist_fingerprint(id, SHARDS, config.slots_per_shard, 256);
+        let (snap, stats) = dewrite::persist::recover_state(&shard_dir, fp, max_lines)
+            .unwrap_or_else(|e| panic!("shard {id} store must recover: {e}"));
+        assert!(!stats.torn_tail, "shard {id}: abort never tears the WAL");
+        assert_eq!(
+            stats.writes_covered % u64::from(NET_EPOCH),
+            0,
+            "shard {id}: covered {} writes — not an epoch boundary",
+            stats.writes_covered
+        );
+        total_covered += stats.writes_covered;
+
+        // Shadow replay: the shard's trace subsequence is deterministic
+        // (that is the whole point of the in-band sequence numbers), so
+        // feeding its first `writes_covered` writes into a fresh
+        // controller must land exactly on the recovered state.
+        let mut reference =
+            ShardController::new(id, SHARDS, config.slots_per_shard, 256, &config.key);
+        let mut fed = 0u64;
+        for rec in &records {
+            if fed == stats.writes_covered {
+                break;
+            }
+            if shard_of_line(rec.op.addr(), SHARDS) != id {
+                continue;
+            }
+            if let TraceOp::Write { addr, data } = &rec.op {
+                reference.write(*addr, data, rec.gap_instructions);
+                fed += 1;
+            }
+        }
+        assert_eq!(
+            fed, stats.writes_covered,
+            "shard {id}: trace ran out before the covered prefix"
+        );
+        assert_eq!(
+            snap,
+            reference.snapshot(),
+            "shard {id}: recovered metadata differs from the shadow replay"
+        );
+    }
+    println!(
+        "net torture: abort covered {total_covered} writes across {SHARDS} shards \
+         (epoch {NET_EPOCH})"
+    );
+    let _ = fs::remove_dir_all(&root);
 }
