@@ -36,9 +36,17 @@
 //! interaction, so their ns/op depends on host core count and a baseline
 //! captured on a different machine says nothing about a regression.
 //!
-//! In simulated mode tolerance defaults to 2% — simulated ns are
-//! deterministic, so any drift beyond float-formatting noise is a real
-//! behavior change. Mixing export kinds is an error.
+//! When both inputs are repro `Table` JSON exports (a top-level object
+//! with `headers`/`rows`, e.g. `ext_repl.json`) the tool switches to
+//! **table mode** and diffs per-(app, policy) rows: `dedup rate` must not
+//! shrink and `p99 write (ns)` must not grow beyond the tolerance. Old
+//! exports written before the policy axis existed lack those columns;
+//! every new row is then reported as missing a baseline, which
+//! `--allow-missing` downgrades to warnings.
+//!
+//! In simulated and table modes tolerance defaults to 2% — simulated ns
+//! are deterministic, so any drift beyond float-formatting noise is a
+//! real behavior change. Mixing export kinds is an error.
 //!
 //! An app or (app, scheme) row present in only one of the two files is
 //! reported in both directions (dropped from NEW, or new in NEW with no
@@ -74,6 +82,62 @@ fn is_engine_export(json: &Json) -> bool {
 /// Is this a `hotpath` kernel-benchmark export?
 fn is_hotpath_export(json: &Json) -> bool {
     json.get("bench").and_then(Json::as_str) == Some("hotpath")
+}
+
+/// Is this a repro `Table` JSON export (`{"title","headers","rows"}`,
+/// e.g. `ext_repl.json` from `repro --json ext-repl`)?
+fn is_table_export(json: &Json) -> bool {
+    json.get("headers").is_some() && json.get("rows").is_some()
+}
+
+/// One policy-table comparison row: dedup rate and simulated tail latency.
+struct PolicyRow {
+    dedup_rate: f64,
+    p99_ns: f64,
+}
+
+/// Flatten an `ext_repl`-style table into its per-(app, policy) rows,
+/// keyed by the first column (`app/policy`). Exports written before the
+/// policy axis existed lack the `dedup rate` / `p99 write (ns)` columns;
+/// that returns an empty map (every new row then surfaces as missing a
+/// baseline, which `--allow-missing` downgrades to warnings).
+fn policy_rows(path: &str, json: &Json) -> Result<BTreeMap<String, PolicyRow>, String> {
+    let headers = json
+        .get("headers")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: table export has no `headers` array"))?;
+    let col = |name: &str| headers.iter().position(|h| h.as_str() == Some(name));
+    let (Some(key_col), Some(dedup_col), Some(p99_col)) =
+        (col("app"), col("dedup rate"), col("p99 write (ns)"))
+    else {
+        return Ok(BTreeMap::new());
+    };
+    let rows = json
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: table export has no `rows` array"))?;
+    let mut out = BTreeMap::new();
+    for row in rows {
+        let cells = row
+            .as_arr()
+            .ok_or_else(|| format!("{path}: table row is not an array"))?;
+        let cell = |i: usize| {
+            cells
+                .get(i)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: table row missing column {i}"))
+        };
+        let key = cell(key_col)?.to_string();
+        let dedup_rate = cell(dedup_col)?
+            .trim_end_matches('%')
+            .parse::<f64>()
+            .map_err(|e| format!("{path}: {key}: bad dedup rate: {e}"))?;
+        let p99_ns = cell(p99_col)?
+            .parse::<f64>()
+            .map_err(|e| format!("{path}: {key}: bad p99: {e}"))?;
+        out.insert(key, PolicyRow { dedup_rate, p99_ns });
+    }
+    Ok(out)
 }
 
 /// Flatten a hotpath export into (name, engine) → ns_per_op.
@@ -280,6 +344,12 @@ fn main() -> ExitCode {
         eprintln!("error: --hotpath given but the inputs are not hotpath exports");
         return ExitCode::from(2);
     }
+    let table_mode =
+        !engine_mode && !hotpath_mode && (is_table_export(&old_json) || is_table_export(&new_json));
+    if table_mode && !(is_table_export(&old_json) && is_table_export(&new_json)) {
+        eprintln!("error: {old_path} and {new_path} are different export kinds");
+        return ExitCode::from(2);
+    }
     // Host wall-clock numbers (engine and hotpath modes) are far noisier
     // than deterministic simulated ns; hotpath baselines additionally
     // cross machines and quick/full budgets.
@@ -429,6 +499,56 @@ fn main() -> ExitCode {
                 regressions.push(format!(
                     "net {app}/{connections} conns: host p99 regressed {} -> {} ns",
                     o.host_p99_ns, n.host_p99_ns
+                ));
+            }
+        }
+    } else if table_mode {
+        // Per-(app, policy) diffing for `repro --json ext-repl` exports:
+        // dedup rate must not shrink, simulated p99 must not grow. Both
+        // are deterministic, so the default 2% tolerance applies.
+        let (old_rows, new_rows) = match (
+            policy_rows(old_path, &old_json),
+            policy_rows(new_path, &new_json),
+        ) {
+            (Ok(o), Ok(n)) => (o, n),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if old_rows.is_empty() && !new_rows.is_empty() {
+            missing.push(format!(
+                "{old_path}: export predates the per-policy columns — \
+                 no baselines to compare"
+            ));
+        }
+        for key in new_rows.keys() {
+            if !old_rows.is_empty() && !old_rows.contains_key(key) {
+                missing.push(format!(
+                    "{key}: present only in {new_path} — no {old_path} baseline to compare"
+                ));
+            }
+        }
+        for (key, o) in &old_rows {
+            let Some(n) = new_rows.get(key) else {
+                missing.push(format!("{key}: row missing from {new_path}"));
+                continue;
+            };
+            compared += 1;
+            println!(
+                "{key:<24} dedup {:>5.1}% -> {:>5.1}%   p99 {:>8.0} -> {:>8.0} ns",
+                o.dedup_rate, n.dedup_rate, o.p99_ns, n.p99_ns
+            );
+            if n.dedup_rate < o.dedup_rate * (1.0 - tol) {
+                regressions.push(format!(
+                    "{key}: dedup rate regressed {:.1}% -> {:.1}%",
+                    o.dedup_rate, n.dedup_rate
+                ));
+            }
+            if o.p99_ns > 0.0 && n.p99_ns > o.p99_ns * (1.0 + tol) {
+                regressions.push(format!(
+                    "{key}: p99 write latency regressed {:.0} ns -> {:.0} ns",
+                    o.p99_ns, n.p99_ns
                 ));
             }
         }

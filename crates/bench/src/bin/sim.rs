@@ -12,8 +12,8 @@ use std::process::ExitCode;
 
 use dewrite_bench::runner::{Scale, KEY};
 use dewrite_core::{
-    BitEncoding, CmeBaseline, DeWrite, DeWriteConfig, Json, MetadataPersistence, RunReport,
-    SilentShredder, Simulator, SystemConfig, TraditionalDedup, WriteMode,
+    BitEncoding, CmeBaseline, DeWrite, DeWriteConfig, Json, MetadataPersistence, Replacement,
+    RunReport, SilentShredder, Simulator, SystemConfig, TraditionalDedup, WriteMode,
 };
 use dewrite_hashes::HashAlgorithm;
 use dewrite_nvm::Timing;
@@ -31,6 +31,7 @@ struct Options {
     encoding: BitEncoding,
     persistence: MetadataPersistence,
     stt: bool,
+    cache_policy: Replacement,
     json: bool,
     folded: bool,
 }
@@ -49,6 +50,7 @@ impl Default for Options {
             encoding: BitEncoding::Dcw,
             persistence: MetadataPersistence::BatteryBacked,
             stt: false,
+            cache_policy: Replacement::Lru,
             json: false,
             folded: false,
         }
@@ -68,6 +70,7 @@ fn usage() -> ExitCode {
     eprintln!("  --encoding E        raw | dcw | fnw");
     eprintln!("  --persistence P     battery | write-through | epoch:N");
     eprintln!("  --stt               use STT-RAM timing instead of PCM");
+    eprintln!("  --cache-policy P    metadata-cache eviction: lru | fifo | s3-fifo [lru]");
     eprintln!("  --json              print the full report as JSON instead of text");
     eprintln!(
         "  --folded            print the stage breakdown as collapsed stacks (flamegraph.pl input)"
@@ -123,6 +126,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--stt" => o.stt = true,
+            "--cache-policy" => {
+                o.cache_policy = value()?
+                    .parse()
+                    .map_err(|e| format!("--cache-policy: {e}"))?
+            }
             "--json" => o.json = true,
             "--folded" => o.folded = true,
             "--help" | "-h" => return Err(String::new()),
@@ -252,6 +260,7 @@ fn main() -> ExitCode {
             dw.mode = opts.mode;
             dw.pna = opts.pna;
             dw.persistence = opts.persistence;
+            dw.meta_cache.replacement = opts.cache_policy;
             let mut mem = DeWrite::new(config, dw, KEY);
             let r = sim.run(&mut mem, profile.name, &warmup, trace);
             dewrite_cache = Some(mem.cache_stats().to_json());

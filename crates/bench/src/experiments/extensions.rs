@@ -94,7 +94,9 @@ pub fn ext_hash(ctx: &mut Ctx) {
     ctx.emit(&t, "ext_hash");
 }
 
-/// Replacement-policy ablation: LRU vs FIFO metadata caches.
+/// Replacement-policy ablation: LRU vs FIFO vs scan-resistant S3-FIFO
+/// metadata caches, one row per (app, policy) so `bench_compare` can diff
+/// dedup rate and tail latency per policy across trajectories.
 pub fn ext_repl(ctx: &mut Ctx) {
     let apps = ["mcf", "cactusADM", "vips", "streamcluster"];
     let profiles: Vec<_> = apps
@@ -110,30 +112,39 @@ pub fn ext_repl(ctx: &mut Ctx) {
             dw.meta_cache = dewrite_core::MetaCacheConfig::scaled(16, 256);
             dw.meta_cache.replacement = repl;
             let mut mem = DeWrite::new(config.clone(), dw, KEY);
-            Simulator::new(&config)
+            let report = Simulator::new(&config)
                 .run(&mut mem, profile.name, &w.warmup, w.trace.iter().cloned())
                 .expect("fits");
             let s = mem.cache_stats();
-            mean([
+            let hit = mean([
                 s.hash.hit_rate(),
                 s.addr_map.hit_rate(),
                 s.inverted.hit_rate(),
                 s.fsm.hit_rate(),
-            ])
+            ]);
+            (
+                hit,
+                report.write_reduction(),
+                report.write_latency_hist.p99_ns(),
+            )
         };
-        (
-            profile.name.to_string(),
-            run(Replacement::Lru),
-            run(Replacement::Fifo),
-        )
+        (profile.name.to_string(), Replacement::ALL.map(run))
     });
 
     let mut t = Table::new(
-        "Extension — metadata cache replacement (16 KB partitions)",
-        &["app", "LRU avg hit", "FIFO avg hit"],
+        "Extension — metadata cache replacement (16 KB partitions, per app x policy)",
+        &["app", "policy", "avg hit", "dedup rate", "p99 write (ns)"],
     );
-    for (name, lru, fifo) in &rows {
-        t.row(vec![name.clone(), pct(*lru), pct(*fifo)]);
+    for (name, per_policy) in &rows {
+        for (policy, (hit, dedup, p99)) in Replacement::ALL.iter().zip(per_policy) {
+            t.row(vec![
+                format!("{name}/{policy}"),
+                policy.to_string(),
+                pct(*hit),
+                pct(*dedup),
+                p99.to_string(),
+            ]);
+        }
     }
     ctx.emit(&t, "ext_repl");
 }

@@ -64,6 +64,7 @@ pub use config::{
     BitEncoding, DeWriteConfig, MetaCacheConfig, MetadataPersistence, SystemConfig, WriteMode,
 };
 pub use dedup::{DedupIndex, DupLookup, WriteOutcome};
+pub use dewrite_mem::Replacement;
 pub use journal::MetaOp;
 pub use json::Json;
 pub use metrics::RunReport;

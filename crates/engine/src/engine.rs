@@ -39,7 +39,7 @@ use std::time::Instant;
 use crossbeam_queue::ArrayQueue;
 use dewrite_core::tables::MAX_REFERENCE;
 use dewrite_core::RunReport;
-use dewrite_mem::LatencyHistogram;
+use dewrite_mem::{CacheStats, LatencyHistogram, Replacement};
 use dewrite_trace::{shard_of_line, TraceOp, TraceRecord};
 
 use dewrite_nvm::FsmStats;
@@ -111,6 +111,12 @@ pub struct EngineConfig {
     /// [`FsmPolicy::TreeWear`] trades that identity for reservation-local
     /// claims and wear rotation.
     pub fsm: FsmPolicy,
+    /// Per-shard metadata-cache eviction policy
+    /// ([`ShardController::set_cache_policy`]). The merged simulated
+    /// report is bit-identical across shard/batch/producer counts for any
+    /// fixed policy, but policies differ from each other: they change
+    /// which digest lookups hit and therefore simulated latency.
+    pub cache_policy: Replacement,
 }
 
 impl EngineConfig {
@@ -145,6 +151,7 @@ impl EngineConfig {
             persist_epoch: 64,
             persist_sync: false,
             fsm: FsmPolicy::default(),
+            cache_policy: Replacement::default(),
         }
     }
 
@@ -192,6 +199,10 @@ pub struct ShardSummary {
     /// Allocator counters — claims, reservation refills, steals, scan
     /// steps (all-zero under [`FsmPolicy::Flat`]).
     pub fsm: FsmStats,
+    /// Metadata-cache counters (deterministic: the cache sees the shard's
+    /// digest stream in trace order). The small/main/ghost/scan fields
+    /// stay zero except under [`Replacement::S3Fifo`].
+    pub cache: CacheStats,
     /// Post-run scrub outcome, when requested: resident lines checked.
     pub scrub: Option<Result<u64, String>>,
 }
@@ -354,6 +365,7 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
                     &config.key,
                 );
                 ctrl.set_fsm_policy(config.fsm);
+                ctrl.set_cache_policy(config.cache_policy);
                 ctrl.set_coalesce_window(config.coalesce);
                 if let Some(root) = &config.persist_dir {
                     let opts = dewrite_persist::DurableOptions {
@@ -415,6 +427,7 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
                     ShardSummary {
                         shard: id,
                         fsm: ctrl.fsm_stats(),
+                        cache: ctrl.cache_stats(),
                         ops: ctrl.ops(),
                         dedup_rate: ctrl.dedup_rate(),
                         report: ctrl.report(&app),
@@ -707,6 +720,51 @@ mod tests {
                 flat.shards.iter().all(|s| s.fsm == FsmStats::default()),
                 "the flat oracle reports no allocator stats"
             );
+        }
+    }
+
+    #[test]
+    fn merge_is_bit_identical_per_cache_policy_across_batch_and_producers() {
+        // Determinism is per-policy: for a fixed eviction policy and shard
+        // count the merged simulated report must not depend on batching or
+        // producer scheduling. Policies are allowed to (and do) differ
+        // from each other because they change which metadata lookups hit,
+        // and shard count still moves dedup via digest sharding.
+        let (records, lines) = trace(2_000, 256, 31);
+        for policy in Replacement::ALL {
+            for shards in [1usize, 4] {
+                let mut reference: Option<String> = None;
+                for (batch, producers) in [(1usize, 1usize), (64, 4), (64, 0)] {
+                    let mut config = config_for(shards, lines, records.len());
+                    config.batch = batch;
+                    config.producers = producers;
+                    config.cache_policy = policy;
+                    let run = run(&config, "mcf", records.clone());
+                    let json = run.merged.to_json().to_string();
+                    match &reference {
+                        None => reference = Some(json),
+                        Some(r) => assert_eq!(
+                            r, &json,
+                            "{policy}/{shards} shards: batch {batch} x producers \
+                             {producers} changed the merged report"
+                        ),
+                    }
+                    for s in &run.shards {
+                        if policy == Replacement::S3Fifo {
+                            assert_eq!(
+                                s.cache.hits,
+                                s.cache.small_hits + s.cache.main_hits,
+                                "S3-FIFO queue-hit split must cover all hits"
+                            );
+                        } else {
+                            assert_eq!(s.cache.small_hits, 0, "{policy}");
+                            assert_eq!(s.cache.main_hits, 0, "{policy}");
+                            assert_eq!(s.cache.ghost_hits, 0, "{policy}");
+                            assert_eq!(s.cache.scan_evictions, 0, "{policy}");
+                        }
+                    }
+                }
+            }
         }
     }
 

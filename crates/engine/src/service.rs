@@ -200,6 +200,7 @@ impl EngineService {
                     &config.key,
                 );
                 ctrl.set_fsm_policy(config.fsm);
+                ctrl.set_cache_policy(config.cache_policy);
                 if let Some(root) = &config.persist_dir {
                     let opts = dewrite_persist::DurableOptions {
                         epoch_writes: config.persist_epoch,
@@ -532,6 +533,7 @@ fn worker(
     ShardSummary {
         shard: id,
         fsm: ctrl.fsm_stats(),
+        cache: ctrl.cache_stats(),
         ops: ctrl.ops(),
         dedup_rate: ctrl.dedup_rate(),
         report: ctrl.report(app),

@@ -29,7 +29,9 @@ use dewrite_core::{
 };
 use dewrite_crypto::{aes_line_energy_pj, CounterModeEngine, LineCounter, AES_LINE_LATENCY_NS};
 use dewrite_hashes::{HashAlgorithm, LineHasher};
-use dewrite_mem::{CacheConfig, LatencyHistogram, LatencyStats, MetadataCache};
+use dewrite_mem::{
+    CacheConfig, CacheStats, LatencyHistogram, LatencyStats, MetadataCache, Replacement,
+};
 use dewrite_nvm::{
     AtomicBitmap, EnergyBreakdown, EnergyParams, FsmStats, FsmTree, LineAddr, Reservation,
 };
@@ -341,6 +343,36 @@ impl ShardController {
     /// The shard's free-space-manager policy.
     pub fn fsm_policy(&self) -> FsmPolicy {
         self.fsm.policy()
+    }
+
+    /// Select the metadata-cache eviction policy. The cache is rebuilt
+    /// empty (same geometry), so switch only between runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard has already processed operations.
+    pub fn set_cache_policy(&mut self, policy: Replacement) {
+        assert!(
+            self.ops == 0,
+            "cannot switch the metadata-cache policy after {} operations",
+            self.ops
+        );
+        if self.meta.config().replacement != policy {
+            let mut config = *self.meta.config();
+            config.replacement = policy;
+            self.meta = MetadataCache::new(config);
+        }
+    }
+
+    /// The shard's metadata-cache eviction policy.
+    pub fn cache_policy(&self) -> Replacement {
+        self.meta.config().replacement
+    }
+
+    /// Metadata-cache counters (hits, misses, queue splits, filtered scan
+    /// evictions — the S3-FIFO fields stay zero under LRU/FIFO).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.meta.stats()
     }
 
     /// Allocator counters: claims, reservation refills, steals, scan steps

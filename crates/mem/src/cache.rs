@@ -3,10 +3,10 @@
 //! Secure-NVMM proposals keep a write-back cache of per-line counters in the
 //! memory controller; DeWrite reuses it for all deduplication metadata
 //! (§III-B). This is a set-associative, write-back cache over abstract
-//! 64-bit entry keys — callers namespace keys per table — with LRU or FIFO
-//! replacement and support for the sequential-prefetch insertions the
-//! address-mapping / inverted-hash / FSM tables rely on (Fig. 21 sweeps both
-//! capacity and prefetch granularity).
+//! 64-bit entry keys — callers namespace keys per table — with LRU, FIFO,
+//! or scan-resistant S3-FIFO replacement and support for the
+//! sequential-prefetch insertions the address-mapping / inverted-hash / FSM
+//! tables rely on (Fig. 21 sweeps both capacity and prefetch granularity).
 //!
 //! # Memory layout
 //!
@@ -24,10 +24,28 @@
 //! the scan is exact on every platform — no portable fallback is needed
 //! (the few SWAR lines are duplicated from the core table scan; this crate
 //! is dependency-free, like the portable switch duplicated between
-//! `dewrite-hashes` and `dewrite-crypto`). Replacement is behaviorally
-//! identical to the seed per-set-`Vec` implementation (kept as an oracle in
-//! [`crate::seed`]): victims are chosen by unique minimum stamp, so
-//! set-internal storage order was never observable.
+//! `dewrite-hashes` and `dewrite-crypto`). LRU/FIFO replacement is
+//! behaviorally identical to the seed per-set-`Vec` implementation (kept as
+//! an oracle in [`crate::seed`]): victims are chosen by unique minimum
+//! stamp, so set-internal storage order was never observable.
+//!
+//! # S3-FIFO over the same flat arrays
+//!
+//! [`Replacement::S3Fifo`] adds scan resistance without a second layout.
+//! The small/main queues are **per set** and virtual: queue membership is
+//! one flag bit and the 2-bit hit frequency lives in the same flag byte,
+//! while FIFO order within each queue reuses the monotonic `stamp` that LRU
+//! already maintains (minimum stamp = queue head, re-stamping = move to
+//! tail). The ghost queue is a per-set ring of 16-bit key fingerprints —
+//! no payload, one `u16` per way — consulted only on the insert (miss-fill)
+//! path, so the hit path stays the same few loads as LRU. Eviction prefers
+//! the small queue while it exceeds ~assoc/8 ways: an entry that was hit
+//! while in small is promoted to the main tail, an unhit one is evicted and
+//! only its fingerprint is remembered; a key whose fingerprint is still in
+//! the ghost ring re-inserts directly into main. Main evicts its head too,
+//! but re-queues entries whose frequency is nonzero (decrementing it), so
+//! repeatedly-hit entries survive long sequential sweeps that flush an LRU
+//! set end to end.
 
 /// Replacement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,6 +55,56 @@ pub enum Replacement {
     Lru,
     /// First-in-first-out (ablation alternative).
     Fifo,
+    /// Scan-resistant S3-FIFO (small/main/ghost queues, frequency-capped
+    /// promotion) per set, over the same flat arrays.
+    S3Fifo,
+}
+
+impl Replacement {
+    /// All policies, in presentation order (useful for sweeps).
+    pub const ALL: [Replacement; 3] = [Replacement::Lru, Replacement::Fifo, Replacement::S3Fifo];
+
+    /// Stable one-byte wire/JSON encoding.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            Replacement::Lru => 0,
+            Replacement::Fifo => 1,
+            Replacement::S3Fifo => 2,
+        }
+    }
+
+    /// Decode [`Self::to_wire`]'s byte; `None` for unknown values.
+    pub fn from_wire(v: u8) -> Option<Replacement> {
+        Some(match v {
+            0 => Replacement::Lru,
+            1 => Replacement::Fifo,
+            2 => Replacement::S3Fifo,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Replacement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Replacement::Lru => "lru",
+            Replacement::Fifo => "fifo",
+            Replacement::S3Fifo => "s3-fifo",
+        })
+    }
+}
+
+impl std::str::FromStr for Replacement {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "lru" => Replacement::Lru,
+            "fifo" => Replacement::Fifo,
+            "s3-fifo" | "s3fifo" => Replacement::S3Fifo,
+            other => return Err(format!("unknown cache policy {other:?}")),
+        })
+    }
 }
 
 /// Cache geometry and policy.
@@ -67,6 +135,11 @@ impl CacheConfig {
 }
 
 /// Hit/miss accounting.
+///
+/// The `small_hits`/`main_hits`/`ghost_hits`/`scan_evictions` fields are
+/// only nonzero under [`Replacement::S3Fifo`]; under that policy
+/// `hits == small_hits + main_hits` always holds, so `hit_rate` means the
+/// same thing for every policy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand lookups that hit.
@@ -79,6 +152,16 @@ pub struct CacheStats {
     pub prefetch_inserts: u64,
     /// Dirty entries evicted (these become NVM metadata writes).
     pub dirty_evictions: u64,
+    /// S3-FIFO: demand hits on entries in the small (probation) queue.
+    pub small_hits: u64,
+    /// S3-FIFO: demand hits on entries in the main queue.
+    pub main_hits: u64,
+    /// S3-FIFO: inserts whose fingerprint was found in the ghost ring
+    /// (re-admitted straight to main).
+    pub ghost_hits: u64,
+    /// S3-FIFO: evictions from the small queue without promotion — the
+    /// one-hit-wonder scan traffic the policy filtered out of main.
+    pub scan_evictions: u64,
 }
 
 impl CacheStats {
@@ -106,6 +189,29 @@ pub struct Evicted {
 const FLAG_VALID: u8 = 1 << 0;
 /// Way flag bit: entry differs from NVM (write-back pending).
 const FLAG_DIRTY: u8 = 1 << 1;
+/// Way flag bit (S3-FIFO only): entry is in the small (probation) queue.
+const FLAG_SMALL: u8 = 1 << 2;
+/// S3-FIFO hit-frequency counter: 2 bits of the same flag byte.
+const FREQ_SHIFT: u32 = 3;
+const FREQ_MASK: u8 = 0b11 << FREQ_SHIFT;
+const FREQ_MAX: u8 = 3;
+
+/// The frequency counter packed into a flag byte.
+#[inline]
+fn freq_of(flag: u8) -> u8 {
+    (flag & FREQ_MASK) >> FREQ_SHIFT
+}
+
+/// `flag` with its frequency counter incremented, saturating at
+/// [`FREQ_MAX`].
+#[inline]
+fn freq_bumped(flag: u8) -> u8 {
+    if freq_of(flag) < FREQ_MAX {
+        flag + (1 << FREQ_SHIFT)
+    } else {
+        flag
+    }
+}
 
 const SWAR_LO: u64 = 0x0101_0101_0101_0101;
 const SWAR_HI: u64 = 0x8080_8080_8080_8080;
@@ -159,6 +265,15 @@ pub struct MetadataCache {
     /// Tag words per set: `associativity.div_ceil(8)`.
     tag_words: usize,
     num_sets: usize,
+    /// S3-FIFO only (empty otherwise): per-set rings of ghost-queue key
+    /// fingerprints, `associativity` lanes per set, `0` = empty lane.
+    /// Fingerprints only — the ghost never holds a payload.
+    ghosts: Box<[u16]>,
+    /// S3-FIFO only: per-set ghost ring write cursors.
+    ghost_cursor: Box<[u16]>,
+    /// S3-FIFO only: ways per set the small queue may occupy before
+    /// eviction drains it (~1/8 of the set, at least one way).
+    small_target: usize,
     len: usize,
     clock: u64,
     stats: CacheStats,
@@ -176,6 +291,7 @@ impl MetadataCache {
         let num_sets = config.num_sets();
         let slots = num_sets * config.associativity;
         let tag_words = config.associativity.div_ceil(8);
+        let s3 = config.replacement == Replacement::S3Fifo;
         MetadataCache {
             config,
             ways: vec![Way { key: 0, stamp: 0 }; slots].into_boxed_slice(),
@@ -183,6 +299,9 @@ impl MetadataCache {
             tags: vec![TAG_EMPTY_WORD; num_sets * tag_words].into_boxed_slice(),
             tag_words,
             num_sets,
+            ghosts: vec![0u16; if s3 { slots } else { 0 }].into_boxed_slice(),
+            ghost_cursor: vec![0u16; if s3 { num_sets } else { 0 }].into_boxed_slice(),
+            small_target: (config.associativity / 8).max(1),
             len: 0,
             clock: 0,
             stats: CacheStats::default(),
@@ -252,14 +371,26 @@ impl MetadataCache {
         *word = (*word & !(0xFF_u64 << shift)) | (u64::from(tag) << shift);
     }
 
-    /// Demand lookup. On a hit, refreshes recency (LRU) and ORs in the
-    /// `write` dirty bit. Returns whether it hit.
+    /// Demand lookup. On a hit, refreshes the policy's reuse signal —
+    /// recency under LRU, the capped frequency counter under S3-FIFO,
+    /// nothing under FIFO — and ORs in the `write` dirty bit. Returns
+    /// whether it hit.
     #[inline]
     pub fn access(&mut self, key: u64, write: bool) -> bool {
         self.clock += 1;
         if let Some(slot) = self.find(key) {
-            if self.config.replacement == Replacement::Lru {
-                self.ways[slot].stamp = self.clock;
+            match self.config.replacement {
+                Replacement::Lru => self.ways[slot].stamp = self.clock,
+                Replacement::Fifo => {}
+                Replacement::S3Fifo => {
+                    let flag = self.flags[slot];
+                    if flag & FLAG_SMALL != 0 {
+                        self.stats.small_hits += 1;
+                    } else {
+                        self.stats.main_hits += 1;
+                    }
+                    self.flags[slot] = freq_bumped(flag);
+                }
             }
             if write {
                 self.flags[slot] |= FLAG_DIRTY;
@@ -287,7 +418,10 @@ impl MetadataCache {
 
     /// Insert a run of `count` sequential keys starting at `start`
     /// (prefetch fill; entries arrive clean). The run stops at the top of
-    /// the key space instead of wrapping. Returns the number of dirty
+    /// the key space instead of wrapping. Keys already resident get a
+    /// policy-aware touch (LRU re-stamp / S3-FIFO frequency bump) with no
+    /// hit/miss accounting, so a prefetch over a warm run refreshes the
+    /// same reuse signal under every policy. Returns the number of dirty
     /// victims evicted.
     pub fn prefetch_run(&mut self, start: u64, count: usize) -> u64 {
         let mut dirty_victims = 0;
@@ -295,7 +429,16 @@ impl MetadataCache {
             let Some(key) = start.checked_add(k) else {
                 break;
             };
-            if !self.contains(key) {
+            if let Some(slot) = self.find(key) {
+                match self.config.replacement {
+                    Replacement::Lru => {
+                        self.clock += 1;
+                        self.ways[slot].stamp = self.clock;
+                    }
+                    Replacement::Fifo => {}
+                    Replacement::S3Fifo => self.flags[slot] = freq_bumped(self.flags[slot]),
+                }
+            } else {
                 self.stats.prefetch_inserts += 1;
                 if let Some(ev) = self.insert_inner(key, false) {
                     if ev.dirty {
@@ -315,14 +458,31 @@ impl MetadataCache {
         let tag = (h >> 57) as u8;
         let assoc = self.config.associativity;
         let base = set * assoc;
+        let s3 = self.config.replacement == Replacement::S3Fifo;
 
         if let Some(slot) = self.find(key) {
-            // Already resident: update in place.
+            // Already resident: update in place, refreshing the policy's
+            // reuse signal like a hit would.
             if dirty {
                 self.flags[slot] |= FLAG_DIRTY;
             }
-            self.ways[slot].stamp = clock;
+            if s3 {
+                self.flags[slot] = freq_bumped(self.flags[slot]);
+            } else {
+                self.ways[slot].stamp = clock;
+            }
             return None;
+        }
+
+        // S3-FIFO routes a fill whose fingerprint is still remembered in
+        // the ghost ring straight to main; everything else starts in small.
+        let mut new_flag = FLAG_VALID | if dirty { FLAG_DIRTY } else { 0 };
+        if s3 {
+            if self.ghost_take(set, Self::fingerprint(h)) {
+                self.stats.ghost_hits += 1;
+            } else {
+                new_flag |= FLAG_SMALL;
+            }
         }
 
         // First never-used way, if any (high tag-lane bit). Padding lanes
@@ -347,15 +507,21 @@ impl MetadataCache {
                 (way, None)
             }
             None => {
-                // Evict the way with the (unique) smallest stamp — LRU: last
-                // touch; FIFO: insertion time (stamps are only refreshed
-                // under LRU). No empty way means every way is valid.
-                let mut victim = base;
-                for slot in base + 1..base + assoc {
-                    if self.ways[slot].stamp < self.ways[victim].stamp {
-                        victim = slot;
+                // No empty way means every way is valid; pick the victim by
+                // policy. LRU/FIFO: the (unique) smallest stamp — last touch
+                // under LRU, insertion time under FIFO (stamps are only
+                // refreshed under LRU). S3-FIFO: drain the queues.
+                let victim = if s3 {
+                    self.s3_evict(set)
+                } else {
+                    let mut victim = base;
+                    for slot in base + 1..base + assoc {
+                        if self.ways[slot].stamp < self.ways[victim].stamp {
+                            victim = slot;
+                        }
                     }
-                }
+                    victim
+                };
                 let was_dirty = self.flags[victim] & FLAG_DIRTY != 0;
                 if was_dirty {
                     self.stats.dirty_evictions += 1;
@@ -370,10 +536,107 @@ impl MetadataCache {
             }
         };
         let slot = base + way;
-        self.ways[slot] = Way { key, stamp: clock };
-        self.flags[slot] = FLAG_VALID | if dirty { FLAG_DIRTY } else { 0 };
+        // The new entry joins the tail of its queue: promotions inside
+        // `s3_evict` may have advanced the clock past `clock`, so take a
+        // fresh stamp (still strictly monotonic).
+        self.clock += 1;
+        self.ways[slot] = Way {
+            key,
+            stamp: self.clock,
+        };
+        self.flags[slot] = new_flag;
         self.set_tag(set, way, tag);
         evicted
+    }
+
+    /// Pick the S3-FIFO victim slot in a full `set`, promoting and
+    /// re-queueing along the way.
+    ///
+    /// Terminates: every iteration either returns, moves a way out of the
+    /// small queue, or decrements a (bounded) frequency counter — at most
+    /// `assoc * (FREQ_MAX + 1)` iterations before a zero-frequency head is
+    /// found.
+    fn s3_evict(&mut self, set: usize) -> usize {
+        let assoc = self.config.associativity;
+        let base = set * assoc;
+        loop {
+            // One pass over the set: small occupancy plus each queue's
+            // head (minimum stamp). Eviction is the rare path; the scan is
+            // at most `assoc` flag bytes and stamps.
+            let mut small_count = 0usize;
+            let mut small_head: Option<usize> = None;
+            let mut main_head: Option<usize> = None;
+            for slot in base..base + assoc {
+                if self.flags[slot] & FLAG_SMALL != 0 {
+                    small_count += 1;
+                    if small_head.is_none_or(|m| self.ways[slot].stamp < self.ways[m].stamp) {
+                        small_head = Some(slot);
+                    }
+                } else if main_head.is_none_or(|m| self.ways[slot].stamp < self.ways[m].stamp) {
+                    main_head = Some(slot);
+                }
+            }
+            if small_count > self.small_target || main_head.is_none() {
+                let slot = small_head.expect("full set has a small way here");
+                if freq_of(self.flags[slot]) >= 1 {
+                    // Hit while on probation: promote to the main tail.
+                    // Frequency restarts at zero so one early burst does
+                    // not grant immortality in main.
+                    self.flags[slot] &= !(FLAG_SMALL | FREQ_MASK);
+                    self.clock += 1;
+                    self.ways[slot].stamp = self.clock;
+                    continue;
+                }
+                // One-hit wonder: evict, remembering only the fingerprint.
+                let fp = Self::fingerprint(Self::hash(self.ways[slot].key));
+                self.ghost_push(set, fp);
+                self.stats.scan_evictions += 1;
+                return slot;
+            }
+            let slot = main_head.expect("full set has a main way here");
+            if freq_of(self.flags[slot]) > 0 {
+                // Still hot: spend one frequency unit for another lap.
+                self.flags[slot] -= 1 << FREQ_SHIFT;
+                self.clock += 1;
+                self.ways[slot].stamp = self.clock;
+                continue;
+            }
+            return slot;
+        }
+    }
+
+    /// 16-bit ghost fingerprint of a key hash. `0` marks an empty ghost
+    /// lane, so the zero fingerprint is folded to 1 (a 2⁻¹⁶ bias, far below
+    /// the ring's ambient false-positive rate).
+    #[inline]
+    fn fingerprint(h: u64) -> u16 {
+        let fp = (h >> 48) as u16;
+        if fp == 0 {
+            1
+        } else {
+            fp
+        }
+    }
+
+    /// Remove `fp` from `set`'s ghost ring if present.
+    fn ghost_take(&mut self, set: usize, fp: u16) -> bool {
+        let assoc = self.config.associativity;
+        let base = set * assoc;
+        for lane in &mut self.ghosts[base..base + assoc] {
+            if *lane == fp {
+                *lane = 0;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Append `fp` to `set`'s ghost ring, displacing the oldest entry.
+    fn ghost_push(&mut self, set: usize, fp: u16) {
+        let assoc = self.config.associativity;
+        let cur = usize::from(self.ghost_cursor[set]);
+        self.ghosts[set * assoc + cur] = fp;
+        self.ghost_cursor[set] = ((cur + 1) % assoc) as u16;
     }
 
     /// Clear every dirty bit, returning how many entries were dirty —
@@ -572,6 +835,159 @@ mod tests {
         assert!(run(1024) > 0.7, "loop fits: expect high hit rate");
     }
 
+    fn s3(assoc: usize, capacity: usize) -> MetadataCache {
+        MetadataCache::new(CacheConfig {
+            capacity,
+            associativity: assoc,
+            replacement: Replacement::S3Fifo,
+        })
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in Replacement::ALL {
+            assert_eq!(p.to_string().parse::<Replacement>(), Ok(p));
+            assert_eq!(Replacement::from_wire(p.to_wire()), Some(p));
+        }
+        assert_eq!("s3fifo".parse::<Replacement>(), Ok(Replacement::S3Fifo));
+        assert!("clock".parse::<Replacement>().is_err());
+        assert_eq!(Replacement::from_wire(9), None);
+    }
+
+    #[test]
+    fn s3fifo_scan_does_not_evict_hot_main_entries() {
+        // One 8-way set. Four hot keys, each hit once while on probation,
+        // then a 100-key one-shot sweep. S3-FIFO promotes the hot keys and
+        // filters the sweep through small; LRU loses them.
+        let hot: Vec<u64> = (1000..1004).collect();
+        let run = |mut c: MetadataCache| {
+            for &k in &hot {
+                c.insert(k, false);
+            }
+            for &k in &hot {
+                assert!(c.access(k, false));
+            }
+            for k in 0..100u64 {
+                if !c.access(k, false) {
+                    c.insert(k, false);
+                }
+            }
+            c
+        };
+        let s3c = run(s3(8, 8));
+        assert!(hot.iter().all(|&k| s3c.contains(k)), "hot set survives");
+        assert!(s3c.stats().scan_evictions > 50, "sweep filtered via small");
+        assert_eq!(s3c.stats().small_hits, 4);
+        let lru = run(small(8, 8));
+        assert!(
+            hot.iter().all(|&k| !lru.contains(k)),
+            "LRU loses the hot set"
+        );
+    }
+
+    #[test]
+    fn s3fifo_ghost_readmits_to_main() {
+        let mut c = s3(8, 8);
+        c.insert(42, false);
+        // Fill the set and push one more: 42 (small head, never hit) is
+        // evicted and only its fingerprint is remembered.
+        for k in 0..8u64 {
+            c.insert(k, false);
+        }
+        assert!(!c.contains(42));
+        assert_eq!(c.stats().scan_evictions, 1);
+        // Re-inserting while the fingerprint is live lands in main…
+        c.insert(42, false);
+        assert_eq!(c.stats().ghost_hits, 1);
+        // …where a long sweep cannot dislodge it, even with zero hits.
+        for k in 100..200u64 {
+            c.insert(k, false);
+        }
+        assert!(c.contains(42), "ghost-readmitted entry rides out the sweep");
+    }
+
+    #[test]
+    fn s3fifo_hits_split_by_queue() {
+        let mut c = s3(8, 8);
+        c.insert(7, false);
+        assert!(c.access(7, false)); // probation hit
+        assert_eq!(c.stats().small_hits, 1);
+        assert_eq!(c.stats().main_hits, 0);
+        // Promote 7 by sweeping, then hit it again in main.
+        for k in 100..132u64 {
+            c.insert(k, false);
+        }
+        assert!(c.contains(7));
+        assert!(c.access(7, false));
+        assert_eq!(c.stats().main_hits, 1);
+        assert_eq!(c.stats().hits, c.stats().small_hits + c.stats().main_hits);
+    }
+
+    #[test]
+    fn s3fifo_dirty_eviction_still_reported() {
+        let mut c = s3(2, 2);
+        c.insert(1, true);
+        let mut dirty_victims = 0;
+        for k in 2..50u64 {
+            if let Some(v) = c.insert(k, false) {
+                if v.dirty {
+                    dirty_victims += 1;
+                    assert_eq!(v.key, 1);
+                }
+            }
+        }
+        assert_eq!(dirty_victims, 1);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    // ---- satellite: policy-aware prefetch touch boundary tests ---------
+
+    #[test]
+    fn prefetch_touch_refreshes_lru_residents() {
+        let mut c = small(2, 2);
+        c.insert(1, false);
+        c.insert(2, false);
+        // The touch is not an insert (no stats) but must refresh recency.
+        c.prefetch_run(1, 1);
+        assert_eq!(c.stats().prefetch_inserts, 0);
+        let v = c.insert(3, false).expect("full set evicts");
+        assert_eq!(v.key, 2, "prefetch touch made 1 the MRU");
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn prefetch_touch_bumps_s3fifo_frequency() {
+        let mut c = s3(4, 4);
+        c.insert(77, false);
+        c.prefetch_run(77, 1); // resident: frequency bump, no insert
+        assert_eq!(c.stats().prefetch_inserts, 0);
+        for k in 0..40u64 {
+            c.insert(k, false);
+        }
+        assert!(c.contains(77), "touched entry was promoted, not swept");
+        // The same script without the touch loses the entry.
+        let mut c = s3(4, 4);
+        c.insert(77, false);
+        for k in 0..40u64 {
+            c.insert(k, false);
+        }
+        assert!(!c.contains(77));
+    }
+
+    #[test]
+    fn prefetch_touch_ignores_fifo() {
+        let mut c = MetadataCache::new(CacheConfig {
+            capacity: 2,
+            associativity: 2,
+            replacement: Replacement::Fifo,
+        });
+        c.insert(1, false);
+        c.insert(2, false);
+        c.prefetch_run(1, 1);
+        let v = c.insert(3, false).expect("full set evicts");
+        assert_eq!(v.key, 1, "FIFO order is insertion order, touch or not");
+    }
+
     // ---- differential proptests vs the seed per-set-Vec oracle ---------
 
     /// One randomized cache op.
@@ -666,6 +1082,103 @@ mod tests {
             c.insert(key, false);
             prop_assert!(c.contains(key));
             prop_assert!(c.access(key, false));
+        }
+    }
+
+    // ---- S3-FIFO invariant proptests (no oracle: structural checks) ----
+
+    /// Count (small, main) queue occupancy from the flag bytes.
+    fn s3_queue_counts(c: &MetadataCache) -> (usize, usize) {
+        let mut small = 0;
+        let mut main = 0;
+        for &f in c.flags.iter() {
+            if f & FLAG_VALID != 0 {
+                if f & FLAG_SMALL != 0 {
+                    small += 1;
+                } else {
+                    main += 1;
+                }
+            }
+        }
+        (small, main)
+    }
+
+    fn assert_s3_invariants(c: &MetadataCache, accesses: u64) {
+        let s = c.stats();
+        // Queue-size conservation: every valid way is in exactly one
+        // queue, and together they are exactly the resident population.
+        let (small, main) = s3_queue_counts(c);
+        assert_eq!(small + main, c.len(), "queues partition the residents");
+        assert!(c.len() <= c.config().capacity + c.config().associativity);
+        // Hit accounting is queue-exact and policy-uniform.
+        assert_eq!(s.hits, s.small_hits + s.main_hits);
+        assert_eq!(s.hits + s.misses, accesses);
+        // Dirty accounting never exceeds the population.
+        assert!(c.dirty_count() <= c.len() as u64);
+        // The ghost holds fingerprints only (one u16 lane per way, ring
+        // cursor in range) — never a payload slot.
+        assert_eq!(c.ghosts.len(), c.num_sets * c.config().associativity);
+        for &cur in c.ghost_cursor.iter() {
+            assert!((cur as usize) < c.config().associativity);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn s3fifo_invariants_hold_under_random_scripts(
+            ops in proptest::collection::vec(cache_op_strategy(), 0..300)
+        ) {
+            let mut c = s3(4, 16);
+            let mut accesses = 0u64;
+            for op in ops {
+                match op {
+                    CacheOp::Access(k, w) => {
+                        accesses += 1;
+                        let hit = c.access(k, w);
+                        prop_assert_eq!(hit, c.contains(k));
+                    }
+                    CacheOp::Insert(k, d) => {
+                        c.insert(k, d);
+                        prop_assert!(c.contains(k));
+                    }
+                    CacheOp::Prefetch(k, n) => {
+                        let _ = c.prefetch_run(k, n);
+                    }
+                    CacheOp::Flush => {
+                        c.flush_dirty();
+                        prop_assert_eq!(c.dirty_count(), 0);
+                    }
+                }
+                assert_s3_invariants(&c, accesses);
+            }
+        }
+
+        #[test]
+        fn s3fifo_single_way_sets_still_work(
+            ops in proptest::collection::vec(cache_op_strategy(), 0..150)
+        ) {
+            // Degenerate geometry: assoc 1 means small_target == assoc, so
+            // promotion and main re-queueing must still terminate.
+            let mut c = s3(1, 4);
+            let mut accesses = 0u64;
+            for op in ops {
+                match op {
+                    CacheOp::Access(k, w) => {
+                        accesses += 1;
+                        c.access(k, w);
+                    }
+                    CacheOp::Insert(k, d) => {
+                        c.insert(k, d);
+                    }
+                    CacheOp::Prefetch(k, n) => {
+                        let _ = c.prefetch_run(k, n);
+                    }
+                    CacheOp::Flush => {
+                        c.flush_dirty();
+                    }
+                }
+                assert_s3_invariants(&c, accesses);
+            }
         }
     }
 }

@@ -86,14 +86,23 @@ impl SeedMetadataCache {
     }
 
     /// Insert a run of `count` sequential keys starting at `start`.
-    /// Returns the number of dirty victims evicted.
+    /// Resident keys get the same policy-aware touch as the flat cache
+    /// (LRU re-stamp, no accounting). Returns the number of dirty victims
+    /// evicted.
     pub fn prefetch_run(&mut self, start: u64, count: usize) -> u64 {
         let mut dirty_victims = 0;
+        let is_lru = self.config.replacement == Replacement::Lru;
         for k in 0..count as u64 {
             let Some(key) = start.checked_add(k) else {
                 break;
             };
-            if !self.contains(key) {
+            let set = self.set_of(key);
+            if let Some(way) = self.sets[set].iter_mut().find(|w| w.key == key) {
+                if is_lru {
+                    self.clock += 1;
+                    way.stamp = self.clock;
+                }
+            } else {
                 self.stats.prefetch_inserts += 1;
                 if let Some(ev) = self.insert_inner(key, false) {
                     if ev.dirty {

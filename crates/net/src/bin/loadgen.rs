@@ -28,7 +28,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use dewrite_core::Json;
-use dewrite_engine::{run, EngineConfig, EngineRun, FsmPolicy, Pacing};
+use dewrite_engine::{run, EngineConfig, EngineRun, FsmPolicy, Pacing, Replacement};
 use dewrite_net::proto::{Hello, NET_VERSION};
 use dewrite_net::{client, drive, Control, DriveOptions, HelloInfo};
 use dewrite_nvm::{AtomicBitmap, FsmTree, Reservation};
@@ -53,6 +53,7 @@ struct Options {
     producers: usize,
     persist_dir: Option<String>,
     fsm: FsmPolicy,
+    cache_policy: Replacement,
     fsm_churn: Vec<usize>,
     net: Option<String>,
     connections: Vec<usize>,
@@ -80,6 +81,7 @@ impl Default for Options {
             producers: 0,
             persist_dir: None,
             fsm: FsmPolicy::default(),
+            cache_policy: Replacement::default(),
             fsm_churn: Vec::new(),
             net: None,
             connections: vec![64],
@@ -109,6 +111,8 @@ fn usage() -> ExitCode {
     eprintln!("  --out PATH        JSON output path [BENCH_engine.json]");
     eprintln!("  --persist-dir P   per-shard metadata WAL + checkpoints under P/<app>-s<N>/");
     eprintln!("  --fsm P           free-space manager: flat | tree | tree-wear [tree]");
+    eprintln!("  --cache-policy P  metadata-cache eviction: lru | fifo | s3-fifo [lru];");
+    eprintln!("                    in net mode the policy rides in the Hello handshake");
     eprintln!("  --fsm-churn T,..  standalone allocator contention sweep over thread");
     eprintln!("                    counts (no app runs): flat vs tree claims/s");
     eprintln!("  --net ADDR        socket-client mode against a running dewrite-serve;");
@@ -183,6 +187,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     "tree-wear" => FsmPolicy::TreeWear,
                     other => return Err(format!("--fsm: unknown policy {other:?}")),
                 }
+            }
+            "--cache-policy" => {
+                o.cache_policy = value()?
+                    .parse::<Replacement>()
+                    .map_err(|e| format!("--cache-policy: {e}"))?
             }
             "--fsm-churn" => {
                 o.fsm_churn = value()?
@@ -312,6 +321,13 @@ fn run_json(engine_run: &EngineRun, global_rate: f64, producers: usize) -> Json 
                     "fsm_scan_steps_per_claim",
                     flt(s.fsm.scan_steps_per_claim()),
                 ),
+                ("cache_hits", num(s.cache.hits)),
+                ("cache_misses", num(s.cache.misses)),
+                ("cache_hit_rate", flt(s.cache.hit_rate())),
+                ("cache_small_hits", num(s.cache.small_hits)),
+                ("cache_main_hits", num(s.cache.main_hits)),
+                ("cache_ghost_hits", num(s.cache.ghost_hits)),
+                ("cache_scan_evictions", num(s.cache.scan_evictions)),
             ];
             if let Some(Ok(checked)) = &s.scrub {
                 fields.push(("scrub_lines", num(*checked)));
@@ -530,6 +546,7 @@ fn net_main(o: &Options, addr: &str, parallelism: usize) -> ExitCode {
             line_size: 256,
             lines: trace.lines,
             expected_writes: trace.writes,
+            cache_policy: o.cache_policy.to_wire(),
             app: app.clone(),
         };
         let mut expected_report: Option<String> = None;
@@ -551,8 +568,9 @@ fn net_main(o: &Options, addr: &str, parallelism: usize) -> ExitCode {
                     // The local shadow run: same geometry the server
                     // derived, same trace — its per-shard reports are the
                     // bit-identity oracle.
-                    let config =
+                    let mut config =
                         EngineConfig::for_workload(info.shards, 256, trace.lines, trace.writes);
+                    config.cache_policy = o.cache_policy;
                     if config.slots_per_shard != info.slots_per_shard {
                         return Err(std::io::Error::other(format!(
                             "server sized {} slots/shard where the local config \
@@ -661,6 +679,7 @@ fn net_main(o: &Options, addr: &str, parallelism: usize) -> ExitCode {
                 ("ops", num(o.ops as u64)),
                 ("working_set_lines", num(o.ws_lines)),
                 ("content_pool", num(o.pool as u64)),
+                ("cache_policy", Json::Str(o.cache_policy.to_string())),
                 ("mode", Json::Str(o.mode.clone())),
                 ("rate_ops_per_sec", flt(o.rate)),
                 ("seed", num(o.seed)),
@@ -813,6 +832,7 @@ fn main() -> ExitCode {
             config.coalesce = o.coalesce;
             config.producers = o.producers;
             config.fsm = o.fsm;
+            config.cache_policy = o.cache_policy;
             if let Some(root) = &o.persist_dir {
                 // One store per (app, shard count) run so sweeps don't
                 // overwrite each other's recovery state.
@@ -899,6 +919,7 @@ fn main() -> ExitCode {
                         .into(),
                     ),
                 ),
+                ("cache_policy", Json::Str(o.cache_policy.to_string())),
                 ("mode", Json::Str(o.mode.clone())),
                 (
                     "persist_dir",

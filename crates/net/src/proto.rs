@@ -27,7 +27,8 @@ use dewrite_hashes::Crc32;
 /// Protocol magic, leading the [`Request::Hello`] body.
 pub const NET_MAGIC: [u8; 4] = *b"DWNP";
 /// Protocol version (bumped on any frame- or body-layout change).
-pub const NET_VERSION: u16 = 1;
+/// v2 added the metadata-cache eviction policy to [`Hello`].
+pub const NET_VERSION: u16 = 2;
 /// Hard cap on a frame payload; larger length prefixes are a framing
 /// violation and are never allocated.
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
@@ -137,6 +138,11 @@ pub struct Hello {
     /// Expected data writes (sizes the per-shard arenas exactly like the
     /// in-process `EngineConfig::for_workload`).
     pub expected_writes: u64,
+    /// Metadata-cache eviction policy, as `Replacement::to_wire` (0 LRU,
+    /// 1 FIFO, 2 S3-FIFO). Carried in the handshake — not a server flag —
+    /// so the server's shards and the client's local shadow run always
+    /// agree and the bit-identity check stays meaningful per policy.
+    pub cache_policy: u8,
     /// Application name stamped on reports.
     pub app: String,
 }
@@ -400,6 +406,7 @@ pub fn encode_request(r: &Request) -> Vec<u8> {
             p.extend_from_slice(&h.line_size.to_le_bytes());
             p.extend_from_slice(&h.lines.to_le_bytes());
             p.extend_from_slice(&h.expected_writes.to_le_bytes());
+            p.push(h.cache_policy);
             let app = h.app.as_bytes();
             assert!(app.len() <= MAX_APP_BYTES, "app name too long");
             p.extend_from_slice(&(app.len() as u16).to_le_bytes());
@@ -463,12 +470,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
             let line_size = c.u32()?;
             let lines = c.u64()?;
             let expected_writes = c.u64()?;
+            let cache_policy = c.u8()?;
             let app = utf8(c.bytes_u16(MAX_APP_BYTES, "app name")?, "app name")?;
             Request::Hello(Hello {
                 version,
                 line_size,
                 lines,
                 expected_writes,
+                cache_policy,
                 app,
             })
         }
@@ -635,6 +644,7 @@ mod tests {
             line_size: 256,
             lines: 4096,
             expected_writes: 10_000,
+            cache_policy: 2,
             app: "mcf".into(),
         })
     }

@@ -48,8 +48,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam_queue::ArrayQueue;
 use dewrite_engine::{
-    Backoff, Completion, CompletionBody, EngineConfig, EngineRun, EngineService, ServiceOp,
-    ServiceRequest, CONTROL_SEQ,
+    Backoff, Completion, CompletionBody, EngineConfig, EngineRun, EngineService, Replacement,
+    ServiceOp, ServiceRequest, CONTROL_SEQ,
 };
 use dewrite_nvm::LineAddr;
 use dewrite_trace::shard_of_line;
@@ -124,6 +124,7 @@ struct Geometry {
     line_size: u32,
     lines: u64,
     expected_writes: u64,
+    cache_policy: Replacement,
     app: String,
     slots_per_shard: u64,
 }
@@ -419,12 +420,25 @@ impl Lane {
             );
             return;
         }
+        let Some(cache_policy) = Replacement::from_wire(h.cache_policy) else {
+            push_response(
+                &self.shared,
+                conn,
+                conn_seq,
+                &err(
+                    ErrorCode::BadPayload,
+                    format!("unknown cache policy {}", h.cache_policy),
+                ),
+            );
+            return;
+        };
         let mut geo = self.shared.geometry.lock().expect("geometry lock");
         let resp = match geo.as_ref() {
             Some(g) => {
                 if g.line_size == h.line_size
                     && g.lines == h.lines
                     && g.expected_writes == h.expected_writes
+                    && g.cache_policy == cache_policy
                     && g.app == h.app
                 {
                     Ok(g.slots_per_shard)
@@ -432,9 +446,9 @@ impl Lane {
                     Err(err(
                         ErrorCode::ConfigMismatch,
                         format!(
-                            "engine serves app '{}' ({} lines of {}B, {} expected writes); \
-                             reset before changing the workload",
-                            g.app, g.lines, g.line_size, g.expected_writes
+                            "engine serves app '{}' ({} lines of {}B, {} expected writes, \
+                             {} cache); reset before changing the workload",
+                            g.app, g.lines, g.line_size, g.expected_writes, g.cache_policy
                         ),
                     ))
                 }
@@ -449,6 +463,7 @@ impl Lane {
                 );
                 config.queue_depth = opts.queue_depth;
                 config.batch = opts.batch;
+                config.cache_policy = cache_policy;
                 config.persist_epoch = opts.persist_epoch;
                 config.persist_sync = opts.persist_sync;
                 config.persist_dir = opts.persist_dir.as_ref().map(|root| {
@@ -464,6 +479,7 @@ impl Lane {
                     line_size: h.line_size,
                     lines: h.lines,
                     expected_writes: h.expected_writes,
+                    cache_policy,
                     app: h.app.clone(),
                     slots_per_shard: config.slots_per_shard,
                 });

@@ -41,6 +41,7 @@ fn hello(t: &Trace) -> Hello {
         line_size: 256,
         lines: t.lines,
         expected_writes: t.writes,
+        cache_policy: 0,
         app: "mcf".into(),
     }
 }

@@ -22,12 +22,14 @@ fn arb_request() -> impl Strategy<Value = Request> {
             proptest::collection::vec(any::<u8>(), 0..64),
         )
             .prop_map(|(line_size, lines, expected_writes, app)| {
+                let cache_policy = (expected_writes % 3) as u8;
                 let app: String = app.into_iter().map(|b| (b'a' + b % 26) as char).collect();
                 Request::Hello(Hello {
                     version: NET_VERSION,
                     line_size,
                     lines,
                     expected_writes,
+                    cache_policy,
                     app,
                 })
             }),
@@ -284,6 +286,7 @@ fn wrong_version_hello_is_rejected() {
         line_size: 256,
         lines: 64,
         expected_writes: 32,
+        cache_policy: 0,
         app: "mcf".into(),
     }));
     let payload = sole_payload(&good);

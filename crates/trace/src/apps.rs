@@ -71,9 +71,16 @@ pub fn all_apps() -> Vec<AppProfile> {
         .collect()
 }
 
-/// Look up an application profile by name.
+/// Look up an application profile by name. The synthetic profiles
+/// (`worst-case`, `scan`) resolve here too — they are reachable from
+/// every driver (`sim`, `loadgen`, `repro`) without being counted in
+/// [`all_apps`] and the paper's 20-app aggregates.
 pub fn app_by_name(name: &str) -> Option<AppProfile> {
-    all_apps().into_iter().find(|a| a.name == name)
+    match name {
+        "worst-case" => Some(worst_case()),
+        "scan" => Some(scan_adversary()),
+        _ => all_apps().into_iter().find(|a| a.name == name),
+    }
 }
 
 /// The worst-case synthetic benchmark of Fig. 18: random values inserted
@@ -89,6 +96,28 @@ pub fn worst_case() -> AppProfile {
         writes_per_kilo_instr: 30.0,
         working_set_lines: 1 << 16,
         content_pool_size: 1,
+    }
+}
+
+/// A scan-adversarial synthetic: a large sequential sweep (working set
+/// far beyond any metadata-cache footprint) interleaved with a small,
+/// hot, duplicate-heavy content pool. Every sweep line is a
+/// one-hit-wonder in the digest-keyed metadata cache while the pool
+/// keys stay hot — exactly the access pattern that defeats LRU (the
+/// sweep evicts the hot entries) and that S3-FIFO's small-queue filter
+/// absorbs. Low state persistence keeps the duplicate predictor off
+/// balance so cache hits, not prediction, carry the workload.
+pub fn scan_adversary() -> AppProfile {
+    AppProfile {
+        name: "scan",
+        suite: Suite::Synthetic,
+        dup_ratio: 0.5,
+        zero_share: 0.05,
+        state_persistence: 0.6,
+        reads_per_write: 1.0,
+        writes_per_kilo_instr: 40.0,
+        working_set_lines: 1 << 17,
+        content_pool_size: 1 << 9,
     }
 }
 
@@ -170,5 +199,29 @@ mod tests {
         let w = worst_case();
         assert_eq!(w.dup_ratio, 0.0);
         assert_eq!(w.zero_share, 0.0);
+    }
+
+    #[test]
+    fn synthetics_resolve_by_name_but_stay_out_of_the_aggregates() {
+        for name in ["worst-case", "scan"] {
+            let p = app_by_name(name).unwrap_or_else(|| panic!("{name} resolves"));
+            assert_eq!(p.name, name);
+            assert_eq!(p.suite, Suite::Synthetic);
+            p.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                !all_apps().iter().any(|a| a.name == name),
+                "{name} must not join the paper's 20-app averages"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_profile_is_sweep_dominated_with_a_hot_pool() {
+        let s = scan_adversary();
+        // The sweep footprint must dwarf the duplicate pool: that ratio is
+        // what makes the workload scan-adversarial for a digest-keyed
+        // metadata cache.
+        assert!(s.working_set_lines >= 64 * s.content_pool_size as u64);
+        assert!(s.dup_ratio >= 0.4, "pool keys must recur enough to be hot");
     }
 }

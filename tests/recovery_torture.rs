@@ -455,6 +455,7 @@ fn socket_kill_mid_stream_recovers_every_shard_to_an_epoch_boundary() {
         line_size: 256,
         lines,
         expected_writes: writes,
+        cache_policy: 0,
         app: "mcf".into(),
     };
     let (_control, info) = Control::connect(&addr, &hello).expect("control connect");
