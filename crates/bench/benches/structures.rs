@@ -12,7 +12,7 @@ fn bench_dedup_index(c: &mut Criterion) {
         let mut idx = DedupIndex::new(1 << 16);
         let mut i = 0u64;
         b.iter(|| {
-            let digest = (i % 4096) as u32;
+            let digest = i % 4096;
             let addr = LineAddr::new(i % (1 << 16));
             let hit = idx
                 .candidates(digest)

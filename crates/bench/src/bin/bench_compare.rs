@@ -37,12 +37,17 @@
 //! captured on a different machine says nothing about a regression.
 //!
 //! When both inputs are repro `Table` JSON exports (a top-level object
-//! with `headers`/`rows`, e.g. `ext_repl.json`) the tool switches to
-//! **table mode** and diffs per-(app, policy) rows: `dedup rate` must not
-//! shrink and `p99 write (ns)` must not grow beyond the tolerance. Old
-//! exports written before the policy axis existed lack those columns;
-//! every new row is then reported as missing a baseline, which
-//! `--allow-missing` downgrades to warnings.
+//! with `headers`/`rows`, e.g. `ext_repl.json` or `ext_digest.json`) the
+//! tool switches to **table mode** and diffs per-(app, policy) rows:
+//! `dedup rate` must not shrink and `p99 write (ns)` must not grow
+//! beyond the tolerance. When the export carries a `digest mode` column
+//! (the `ext-digest` sweep), that column joins the row key, so
+//! crc32-verify and strong-keyed rows for the same app are compared
+//! independently. Old exports written before the policy axis existed
+//! lack the metric columns, and exports written before the digest-mode
+//! axis lack the `digest mode` column; either way the affected new rows
+//! are reported as missing a baseline, which `--allow-missing`
+//! downgrades to warnings.
 //!
 //! In simulated and table modes tolerance defaults to 2% — simulated ns
 //! are deterministic, so any drift beyond float-formatting noise is a
@@ -96,12 +101,15 @@ struct PolicyRow {
     p99_ns: f64,
 }
 
-/// Flatten an `ext_repl`-style table into its per-(app, policy) rows,
-/// keyed by the first column (`app/policy`). Exports written before the
-/// policy axis existed lack the `dedup rate` / `p99 write (ns)` columns;
-/// that returns an empty map (every new row then surfaces as missing a
-/// baseline, which `--allow-missing` downgrades to warnings).
-fn policy_rows(path: &str, json: &Json) -> Result<BTreeMap<String, PolicyRow>, String> {
+/// Flatten an `ext_repl`/`ext_digest`-style table into its comparison
+/// rows, keyed by the first column (`app/policy` or `app/mode`) plus the
+/// `digest mode` column when the export carries one. Exports written
+/// before the policy axis existed lack the `dedup rate` /
+/// `p99 write (ns)` columns, and exports written before the digest-mode
+/// axis lack the `digest mode` column; either way the old rows cannot
+/// match the new keys, so every new row surfaces as missing a baseline,
+/// which `--allow-missing` downgrades to warnings.
+fn policy_rows(path: &str, json: &Json) -> Result<BTreeMap<(String, String), PolicyRow>, String> {
     let headers = json
         .get("headers")
         .and_then(Json::as_arr)
@@ -112,6 +120,7 @@ fn policy_rows(path: &str, json: &Json) -> Result<BTreeMap<String, PolicyRow>, S
     else {
         return Ok(BTreeMap::new());
     };
+    let mode_col = col("digest mode");
     let rows = json
         .get("rows")
         .and_then(Json::as_arr)
@@ -128,6 +137,10 @@ fn policy_rows(path: &str, json: &Json) -> Result<BTreeMap<String, PolicyRow>, S
                 .ok_or_else(|| format!("{path}: table row missing column {i}"))
         };
         let key = cell(key_col)?.to_string();
+        let mode = match mode_col {
+            Some(i) => cell(i)?.to_string(),
+            None => String::new(),
+        };
         let dedup_rate = cell(dedup_col)?
             .trim_end_matches('%')
             .parse::<f64>()
@@ -135,7 +148,7 @@ fn policy_rows(path: &str, json: &Json) -> Result<BTreeMap<String, PolicyRow>, S
         let p99_ns = cell(p99_col)?
             .parse::<f64>()
             .map_err(|e| format!("{path}: {key}: bad p99: {e}"))?;
-        out.insert(key, PolicyRow { dedup_rate, p99_ns });
+        out.insert((key, mode), PolicyRow { dedup_rate, p99_ns });
     }
     Ok(out)
 }
@@ -503,9 +516,10 @@ fn main() -> ExitCode {
             }
         }
     } else if table_mode {
-        // Per-(app, policy) diffing for `repro --json ext-repl` exports:
-        // dedup rate must not shrink, simulated p99 must not grow. Both
-        // are deterministic, so the default 2% tolerance applies.
+        // Per-(app, policy) or per-(app, digest-mode) diffing for
+        // `repro --json ext-repl` / `ext-digest` exports: dedup rate must
+        // not shrink, simulated p99 must not grow. Both are
+        // deterministic, so the default 2% tolerance applies.
         let (old_rows, new_rows) = match (
             policy_rows(old_path, &old_json),
             policy_rows(new_path, &new_json),
@@ -514,6 +528,16 @@ fn main() -> ExitCode {
             (Err(e), _) | (_, Err(e)) => {
                 eprintln!("error: {e}");
                 return ExitCode::from(2);
+            }
+        };
+        // The `app` cell already embeds the digest mode when the export
+        // carries that column; only spell the mode out when it doesn't.
+        let label = |key: &(String, String)| -> String {
+            let (app, mode) = key;
+            if mode.is_empty() || app.ends_with(mode.as_str()) {
+                app.clone()
+            } else {
+                format!("{app} [{mode}]")
             }
         };
         if old_rows.is_empty() && !new_rows.is_empty() {
@@ -525,30 +549,39 @@ fn main() -> ExitCode {
         for key in new_rows.keys() {
             if !old_rows.is_empty() && !old_rows.contains_key(key) {
                 missing.push(format!(
-                    "{key}: present only in {new_path} — no {old_path} baseline to compare"
+                    "{}: present only in {new_path} — no {old_path} baseline to compare",
+                    label(key)
                 ));
             }
         }
         for (key, o) in &old_rows {
             let Some(n) = new_rows.get(key) else {
-                missing.push(format!("{key}: row missing from {new_path}"));
+                missing.push(format!("{}: row missing from {new_path}", label(key)));
                 continue;
             };
             compared += 1;
             println!(
-                "{key:<24} dedup {:>5.1}% -> {:>5.1}%   p99 {:>8.0} -> {:>8.0} ns",
-                o.dedup_rate, n.dedup_rate, o.p99_ns, n.p99_ns
+                "{:<24} dedup {:>5.1}% -> {:>5.1}%   p99 {:>8.0} -> {:>8.0} ns",
+                label(key),
+                o.dedup_rate,
+                n.dedup_rate,
+                o.p99_ns,
+                n.p99_ns
             );
             if n.dedup_rate < o.dedup_rate * (1.0 - tol) {
                 regressions.push(format!(
-                    "{key}: dedup rate regressed {:.1}% -> {:.1}%",
-                    o.dedup_rate, n.dedup_rate
+                    "{}: dedup rate regressed {:.1}% -> {:.1}%",
+                    label(key),
+                    o.dedup_rate,
+                    n.dedup_rate
                 ));
             }
             if o.p99_ns > 0.0 && n.p99_ns > o.p99_ns * (1.0 + tol) {
                 regressions.push(format!(
-                    "{key}: p99 write latency regressed {:.0} ns -> {:.0} ns",
-                    o.p99_ns, n.p99_ns
+                    "{}: p99 write latency regressed {:.0} ns -> {:.0} ns",
+                    label(key),
+                    o.p99_ns,
+                    n.p99_ns
                 ));
             }
         }

@@ -140,7 +140,7 @@ impl DedupIndex {
     /// "highly referenced" and further duplicates are not deduplicated).
     pub fn lookup(
         &mut self,
-        digest: u32,
+        digest: u64,
         data: &[u8],
         mut content_of: impl FnMut(LineAddr) -> Vec<u8>,
     ) -> DupLookup {
@@ -171,14 +171,14 @@ impl DedupIndex {
     /// Resident candidate entries for `digest`, for callers that drive the
     /// byte comparison themselves (the scheme layer, which must charge a
     /// timed NVM read per comparison).
-    pub fn candidates(&self, digest: u32) -> Vec<crate::tables::HashEntry> {
+    pub fn candidates(&self, digest: u64) -> Vec<crate::tables::HashEntry> {
         self.hash_table.candidates(digest).to_vec()
     }
 
     /// Like [`candidates`](Self::candidates), filtered to `init`'s dedup
     /// domain — with multiple domains, content never matches across a
     /// boundary.
-    pub fn candidates_for(&self, digest: u32, init: LineAddr) -> Vec<crate::tables::HashEntry> {
+    pub fn candidates_for(&self, digest: u64, init: LineAddr) -> Vec<crate::tables::HashEntry> {
         let domain = self.domain_of(init);
         self.hash_table
             .candidates(digest)
@@ -193,7 +193,7 @@ impl DedupIndex {
     /// PNA skips).
     pub fn lookup_readonly(
         &self,
-        digest: u32,
+        digest: u64,
         data: &[u8],
         mut content_of: impl FnMut(LineAddr) -> Vec<u8>,
     ) -> Option<LineAddr> {
@@ -217,7 +217,7 @@ impl DedupIndex {
     }
 
     /// Digest of the content resident at `real`, if resident.
-    pub fn digest_of(&self, real: LineAddr) -> Option<u32> {
+    pub fn digest_of(&self, real: LineAddr) -> Option<u64> {
         self.inverted.digest_of(real)
     }
 
@@ -230,7 +230,7 @@ impl DedupIndex {
     /// Recovery: install a resident line with reference 0; references are
     /// re-added as mappings are restored via
     /// [`restore_mapping`](Self::restore_mapping).
-    pub(crate) fn restore_resident(&mut self, real: LineAddr, digest: u32) {
+    pub(crate) fn restore_resident(&mut self, real: LineAddr, digest: u64) {
         self.fsm.occupy(real);
         self.inverted.set(real, digest);
         self.hash_table.insert_with_reference(digest, real, 0);
@@ -318,7 +318,7 @@ impl DedupIndex {
     ///
     /// Panics if memory is exhausted (cannot happen while every initial
     /// address holds at most one reference, which the index guarantees).
-    pub fn apply_store(&mut self, init: LineAddr, digest: u32) -> WriteOutcome {
+    pub fn apply_store(&mut self, init: LineAddr, digest: u64) -> WriteOutcome {
         let old = self.resolve(init);
         let mut freed = None;
         let (target, in_place) = match old {
@@ -490,7 +490,7 @@ mod tests {
         shadow: &mut Shadow,
         init: u64,
         data: &[u8],
-        digest: u32,
+        digest: u64,
     ) -> WriteOutcome {
         let lookup = idx.lookup(digest, data, |real| shadow.content(real));
         let outcome = match lookup.matched {

@@ -37,8 +37,9 @@ pub enum MetaOp {
     ResidentSet {
         /// Physical line address.
         real: u64,
-        /// Folded 32-bit content fingerprint.
-        digest: u32,
+        /// Content fingerprint: the folded 32-bit light hash zero-extended, or
+        /// the 64-bit strong tag, per the digest mode.
+        digest: u64,
     },
     /// Inverted-table clear: `real` lost its last reference and was freed.
     ResidentDel {

@@ -61,7 +61,8 @@ pub use bitlevel::{
 pub use colocate::{ColocatedStore, ColocationStats};
 pub use compare::{lines_equal, lines_equal_chunked, lines_equal_portable};
 pub use config::{
-    BitEncoding, DeWriteConfig, MetaCacheConfig, MetadataPersistence, SystemConfig, WriteMode,
+    BitEncoding, DeWriteConfig, DigestMode, MetaCacheConfig, MetadataPersistence, SystemConfig,
+    WriteMode,
 };
 pub use dedup::{DedupIndex, DupLookup, WriteOutcome};
 pub use dewrite_mem::Replacement;

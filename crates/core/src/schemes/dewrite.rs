@@ -28,12 +28,12 @@ use std::collections::HashMap;
 use dewrite_crypto::{
     aes_line_energy_pj, CounterModeEngine, LineCounter, AES_LINE_LATENCY_NS, OTP_XOR_LATENCY_NS,
 };
-use dewrite_hashes::LineHasher;
+use dewrite_hashes::{HashAlgorithm, LineHasher, StrongKeyed, StrongScratch};
 use dewrite_mem::CacheStats;
 use dewrite_nvm::{LineAddr, NvmDevice, NvmError, Timing};
 
 use crate::compare::lines_equal;
-use crate::config::{DeWriteConfig, MetadataPersistence, SystemConfig, WriteMode};
+use crate::config::{DeWriteConfig, DigestMode, MetadataPersistence, SystemConfig, WriteMode};
 use crate::dedup::{DedupIndex, WriteOutcome};
 use crate::journal::MetaOp;
 use crate::predictor::HistoryPredictor;
@@ -64,6 +64,9 @@ pub struct DeWriteMetrics {
     pub saturated_skips: u64,
     /// Digest matches whose byte comparison failed (CRC collisions).
     pub false_matches: u64,
+    /// Duplicates accepted on a strong-tag match alone, without a
+    /// verify-read (always zero under [`DigestMode::Crc32Verify`]).
+    pub assumed_dups: u64,
     /// Writes taking the parallel path (speculative encryption).
     pub parallel_writes: u64,
     /// Writes taking the direct path (deferred encryption).
@@ -122,6 +125,10 @@ pub struct DeWrite {
     device: NvmDevice,
     engine: CounterModeEngine,
     hasher: Box<dyn LineHasher>,
+    /// Strong keyed digest (per-run key derived from the encryption key)
+    /// plus its per-controller scratch state; `Some` iff the digest mode is
+    /// [`DigestMode::StrongKeyed`].
+    strong: Option<(StrongKeyed, StrongScratch)>,
     index: DedupIndex,
     counters: HashMap<u64, LineCounter>,
     predictor: HistoryPredictor,
@@ -329,6 +336,8 @@ impl DeWrite {
         DeWrite {
             engine: CounterModeEngine::new(key),
             hasher: dw.hasher.hasher(),
+            strong: (dw.digest_mode == DigestMode::StrongKeyed)
+                .then(|| (StrongKeyed::derive(key), StrongScratch::new())),
             index,
             counters,
             predictor: HistoryPredictor::new(dw.history_bits),
@@ -403,7 +412,7 @@ impl DeWrite {
                 }
             }
             if let Some(digest) = self.index.digest_of(line) {
-                store.set_resident_hash(line, Some(digest));
+                store.set_resident_hash(line, Some(Self::fold_digest(digest)));
             }
         }
         for (&line, &counter) in &self.counters {
@@ -439,7 +448,7 @@ impl DeWrite {
                 .digest_of(real)
                 .ok_or_else(|| format!("{init} resolves to non-resident {real}"))?;
             let plaintext = self.plaintext_of(real)?;
-            let actual = Self::fold_digest(self.hasher.digest(&plaintext));
+            let actual = self.compute_digest_readonly(&plaintext);
             if actual != expected_digest {
                 return Err(format!(
                     "line {real}: stored content hashes to {actual:#x}, \
@@ -537,9 +546,39 @@ impl DeWrite {
         &self.index
     }
 
-    /// Fold a 64-bit fingerprint into the 32-bit hash-table key.
+    /// Fold a 64-bit fingerprint into a 32-bit value: the hash-table key in
+    /// CRC mode (zero-extended back to `u64`), and the 4-byte colocated
+    /// inverted-row digest in both modes (§III-C fixes that slot at 32
+    /// bits). For zero-extended CRC digests the fold is the identity.
     fn fold_digest(d: u64) -> u32 {
         (d ^ (d >> 32)) as u32
+    }
+
+    /// The index digest of `data` under the configured digest mode: the
+    /// folded light hash zero-extended, or the 64-bit strong keyed tag.
+    fn compute_digest(&mut self, data: &[u8]) -> u64 {
+        match self.strong.as_mut() {
+            Some((strong, scratch)) => strong.digest_with(data, scratch),
+            None => u64::from(Self::fold_digest(self.hasher.digest(data))),
+        }
+    }
+
+    /// [`compute_digest`](Self::compute_digest) without touching controller
+    /// state (cold paths: scrub uses a throwaway scratch).
+    fn compute_digest_readonly(&self, data: &[u8]) -> u64 {
+        match self.strong.as_ref() {
+            Some((strong, _)) => strong.digest_with(data, &mut StrongScratch::new()),
+            None => u64::from(Self::fold_digest(self.hasher.digest(data))),
+        }
+    }
+
+    /// The hardware cost charged per fingerprint under the configured mode.
+    fn digest_cost(&self) -> dewrite_hashes::HashCost {
+        if self.strong.is_some() {
+            HashAlgorithm::StrongKeyed.cost()
+        } else {
+            self.hasher.cost()
+        }
     }
 
     /// Decrypt the resident line `real` without timing side effects
@@ -559,11 +598,14 @@ impl DeWrite {
         }
     }
 
-    /// Run the candidate comparison loop with timed NVM reads.
+    /// Run the candidate comparison loop with timed NVM reads — or, under
+    /// [`DigestMode::StrongKeyed`], accept the first live candidate on the
+    /// 64-bit tag match alone: no verify-read, no decrypt, no byte compare
+    /// (the verify-free commit path; counted as `assumed_dups`).
     fn confirm_duplicate(
         &mut self,
         init: LineAddr,
-        digest: u32,
+        digest: u64,
         data: &[u8],
         start_ns: u64,
     ) -> ConfirmOutcome {
@@ -590,6 +632,23 @@ impl DeWrite {
             })
             .take(MAX_CANDIDATE_COMPARES)
             .collect();
+        if self.strong.is_some() {
+            // Verify-free: every candidate already matched the full stored
+            // tag, so the first live one *is* the duplicate. Detection
+            // resolves at the hash-store query; the array is never read.
+            let matched = candidates.first().map(|e| e.real);
+            if matched.is_some() {
+                self.dmetrics.assumed_dups += 1;
+            } else if skipped_saturated {
+                self.index.note_saturated_skip();
+            }
+            return ConfirmOutcome {
+                matched,
+                done_ns: t,
+                verify_ns,
+                compare_ns,
+            };
+        }
         for entry in candidates {
             // Hot candidates sit in the dedup logic's verify buffer and
             // confirm without touching the array.
@@ -645,7 +704,7 @@ impl DeWrite {
         &mut self,
         init: LineAddr,
         real: LineAddr,
-        digest: u32,
+        digest: u64,
         freed_probe: Option<LineAddr>,
         now_ns: u64,
     ) -> u64 {
@@ -655,12 +714,7 @@ impl DeWrite {
             .done_ns;
         done = done.max(
             self.hash_meta
-                .write_insert(
-                    u64::from(digest),
-                    &mut self.device,
-                    now_ns,
-                    &mut self.metrics,
-                )
+                .write_insert(digest, &mut self.device, now_ns, &mut self.metrics)
                 .done_ns,
         );
         // §III-C: the dedup target's reference count lives in its colocated
@@ -696,7 +750,7 @@ impl DeWrite {
         &mut self,
         init: LineAddr,
         target: LineAddr,
-        digest: u32,
+        digest: u64,
         freed: Option<LineAddr>,
         now_ns: u64,
     ) -> u64 {
@@ -711,12 +765,7 @@ impl DeWrite {
         );
         done = done.max(
             self.hash_meta
-                .write_insert(
-                    u64::from(digest),
-                    &mut self.device,
-                    now_ns,
-                    &mut self.metrics,
-                )
+                .write_insert(digest, &mut self.device, now_ns, &mut self.metrics)
                 .done_ns,
         );
         done = done.max(
@@ -769,10 +818,11 @@ impl SecureMemory for DeWrite {
         }
         self.metrics.writes += 1;
 
-        // 1. Light-weight fingerprint.
-        let cost = self.hasher.cost();
+        // 1. Fingerprint: the light hash (15 ns), or the strong keyed tag
+        // (40 ns) whose match needs no verification.
+        let cost = self.digest_cost();
         let digest_ns = cost.latency_ns;
-        let digest = Self::fold_digest(self.hasher.digest(data));
+        let digest = self.compute_digest(data);
         let hash_done = now_ns + digest_ns;
         self.metrics.hash_ops += 1;
         self.device.charge_dedup_pj(cost.energy_pj);
@@ -792,26 +842,25 @@ impl SecureMemory for DeWrite {
 
         // 3. Hash-store query with PNA.
         let mut pna_skip = false;
-        let (candidates_known, query_done) =
-            match self.hash_meta.probe(u64::from(digest), false, hash_done) {
-                Some(hit) => (true, hit.done_ns),
-                None if self.dw.pna && !predicted_dup => {
-                    // PNA: decline the in-NVM query; treat as non-duplicate.
-                    self.dmetrics.pna_skips += 1;
-                    pna_skip = true;
-                    (false, hash_done + self.config.meta_cache_hit_ns)
-                }
-                None => {
-                    let acc = self.hash_meta.fetch(
-                        u64::from(digest),
-                        false,
-                        &mut self.device,
-                        hash_done,
-                        &mut self.metrics,
-                    );
-                    (true, acc.done_ns)
-                }
-            };
+        let (candidates_known, query_done) = match self.hash_meta.probe(digest, false, hash_done) {
+            Some(hit) => (true, hit.done_ns),
+            None if self.dw.pna && !predicted_dup => {
+                // PNA: decline the in-NVM query; treat as non-duplicate.
+                self.dmetrics.pna_skips += 1;
+                pna_skip = true;
+                (false, hash_done + self.config.meta_cache_hit_ns)
+            }
+            None => {
+                let acc = self.hash_meta.fetch(
+                    digest,
+                    false,
+                    &mut self.device,
+                    hash_done,
+                    &mut self.metrics,
+                );
+                (true, acc.done_ns)
+            }
+        };
 
         // 4. Detection: candidate reads + byte comparison.
         let mut verify_ns = None;
@@ -1323,6 +1372,101 @@ mod tests {
     }
 
     #[test]
+    fn verify_free_matches_verify_on_for_collision_free_traces() {
+        // The same deterministic workload through both digest modes: on a
+        // trace whose distinct contents collide in neither fingerprint,
+        // the two modes must make identical dedup decisions — the same
+        // per-write eliminations, the same totals, the same read-back
+        // bytes. Only the *accounting* of how duplicates were confirmed
+        // may differ. PNA is off in both legs: its prediction consults
+        // digest-indexed cache state, so with it on, the two modes could
+        // legitimately skip different queries.
+        let cfg = DeWriteConfig {
+            pna: false,
+            ..DeWriteConfig::paper()
+        };
+        let sys = SystemConfig::for_lines(4096);
+        let mut verify = DeWrite::new(sys.clone(), cfg, KEY);
+        let mut free = DeWrite::new(
+            sys,
+            DeWriteConfig {
+                digest_mode: DigestMode::StrongKeyed,
+                ..cfg
+            },
+            KEY,
+        );
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let mut t = 0u64;
+        for i in 0..600u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = LineAddr::new(x % 512);
+            let content = line((x % 24) as u8); // 24 contents: duplicate-heavy
+            let a = verify.write(addr, &content, t).unwrap();
+            let b = free.write(addr, &content, t).unwrap();
+            assert_eq!(a.eliminated, b.eliminated, "write {i} decision diverged");
+            t += 2_000;
+        }
+        assert_eq!(
+            verify.base_metrics().writes_eliminated,
+            free.base_metrics().writes_eliminated
+        );
+        for a in 0..512u64 {
+            t += 1_000;
+            assert_eq!(
+                verify.read(LineAddr::new(a), t).unwrap().data,
+                free.read(LineAddr::new(a), t).unwrap().data,
+                "address {a} read back differently"
+            );
+        }
+        let vm = verify.dewrite_metrics();
+        let fm = free.dewrite_metrics();
+        assert_eq!(vm.dup_eliminated, fm.dup_eliminated);
+        assert_eq!(vm.assumed_dups, 0, "crc32-verify never assumes");
+        assert_eq!(fm.assumed_dups, fm.dup_eliminated);
+        verify.index().check_invariants().unwrap();
+        free.index().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn verify_free_accounting_covers_every_elimination_without_reads() {
+        // Accounting invariant of the verify-free commit path: every
+        // eliminated write was an assumed duplicate, and the confirmation
+        // loop never touched the array — no verify reads, no byte
+        // compares, hence no observable false matches.
+        let drive = |mode: DigestMode| {
+            let mut m = DeWrite::new(
+                SystemConfig::for_lines(2048),
+                DeWriteConfig {
+                    digest_mode: mode,
+                    verify_buffer_entries: 0, // every confirm pays the read
+                    ..DeWriteConfig::paper()
+                },
+                KEY,
+            );
+            let mut t = 0u64;
+            for i in 0..400u64 {
+                t += 5_000;
+                m.write(LineAddr::new(i % 256), &line((i % 8) as u8), t)
+                    .unwrap();
+            }
+            m
+        };
+        let free = drive(DigestMode::StrongKeyed);
+        let fb = free.base_metrics();
+        let fd = free.dewrite_metrics();
+        assert!(fb.writes_eliminated > 0, "stream must contain duplicates");
+        assert_eq!(fd.assumed_dups, fd.dup_eliminated);
+        assert_eq!(fd.assumed_dups, fb.writes_eliminated);
+        assert_eq!(fb.verify_reads, 0, "verify-free must never read to confirm");
+        assert_eq!(fd.false_matches, 0);
+        let verify = drive(DigestMode::Crc32Verify);
+        assert_eq!(verify.dewrite_metrics().assumed_dups, 0);
+        assert!(verify.base_metrics().verify_reads > 0);
+    }
+
+    #[test]
     fn write_through_keeps_no_dirty_metadata() {
         let mut cfg = DeWriteConfig::paper();
         cfg.persistence = crate::config::MetadataPersistence::WriteThrough;
@@ -1472,7 +1616,7 @@ mod tests {
         let mut m = mem();
         m.set_meta_journal(true);
         let mut maps: HashMap<u64, u64> = HashMap::new();
-        let mut residents: HashMap<u64, u32> = HashMap::new();
+        let mut residents: HashMap<u64, u64> = HashMap::new();
         let mut ctrs: HashMap<u64, u32> = HashMap::new();
         let dup = line(1);
         let mut t = 0;

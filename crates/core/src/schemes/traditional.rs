@@ -125,14 +125,17 @@ impl SecureMemory for TraditionalDedup {
         // Cryptographic fingerprint: the expensive step (≥312 ns).
         let cost = self.hasher.cost();
         let fingerprint = self.hasher.digest(data);
-        let digest = Self::fold(fingerprint);
+        // The index key stays the folded 32-bit value (zero-extended) so
+        // probe sequences are identical to the seed; correctness comes from
+        // the full-width fingerprint comparison below.
+        let digest = u64::from(Self::fold(fingerprint));
         let hash_done = now_ns + cost.latency_ns;
         self.metrics.hash_ops += 1;
         self.device.charge_dedup_pj(cost.energy_pj);
 
         // Fingerprint-store query (t_Q of Table I).
         let q = self.meta_table.access(
-            u64::from(digest),
+            digest,
             false,
             &mut self.device,
             hash_done,

@@ -24,7 +24,7 @@ use crate::tables::{HashEntry, MAX_REFERENCE};
 /// digest, `swap_remove` deletes.
 #[derive(Debug, Clone, Default)]
 pub struct SeedHashTable {
-    buckets: HashMap<u32, Vec<HashEntry>>,
+    buckets: HashMap<u64, Vec<HashEntry>>,
     entries: usize,
     collision_buckets: u64,
     saturated_hits: u64,
@@ -37,7 +37,7 @@ impl SeedHashTable {
     }
 
     /// All entries whose content hashes to `digest`, in bucket order.
-    pub fn candidates(&self, digest: u32) -> &[HashEntry] {
+    pub fn candidates(&self, digest: u64) -> &[HashEntry] {
         self.buckets.get(&digest).map_or(&[], Vec::as_slice)
     }
 
@@ -46,7 +46,7 @@ impl SeedHashTable {
     /// # Panics
     ///
     /// Panics if `real` is already present under `digest`.
-    pub fn insert(&mut self, digest: u32, real: LineAddr) {
+    pub fn insert(&mut self, digest: u64, real: LineAddr) {
         self.insert_with_reference(digest, real, 1);
     }
 
@@ -55,7 +55,7 @@ impl SeedHashTable {
     /// # Panics
     ///
     /// Panics if `real` is already present under `digest`.
-    pub fn insert_with_reference(&mut self, digest: u32, real: LineAddr, reference: u8) {
+    pub fn insert_with_reference(&mut self, digest: u64, real: LineAddr, reference: u8) {
         let bucket = self.buckets.entry(digest).or_default();
         assert!(
             !bucket.iter().any(|e| e.real == real),
@@ -74,7 +74,7 @@ impl SeedHashTable {
     /// # Panics
     ///
     /// Panics if the entry does not exist.
-    pub fn add_reference(&mut self, digest: u32, real: LineAddr) -> bool {
+    pub fn add_reference(&mut self, digest: u64, real: LineAddr) -> bool {
         let entry = self
             .buckets
             .get_mut(&digest)
@@ -93,7 +93,7 @@ impl SeedHashTable {
     /// # Panics
     ///
     /// Panics if the entry does not exist.
-    pub fn release_reference(&mut self, digest: u32, real: LineAddr) -> u8 {
+    pub fn release_reference(&mut self, digest: u64, real: LineAddr) -> u8 {
         let bucket = self
             .buckets
             .get_mut(&digest)
@@ -123,7 +123,7 @@ impl SeedHashTable {
     /// # Panics
     ///
     /// Panics if the entry does not exist.
-    pub fn remove(&mut self, digest: u32, real: LineAddr) {
+    pub fn remove(&mut self, digest: u64, real: LineAddr) {
         let bucket = self
             .buckets
             .get_mut(&digest)
@@ -140,7 +140,7 @@ impl SeedHashTable {
     }
 
     /// The reference count of `real` under `digest`, if present.
-    pub fn reference(&self, digest: u32, real: LineAddr) -> Option<u8> {
+    pub fn reference(&self, digest: u64, real: LineAddr) -> Option<u8> {
         self.buckets
             .get(&digest)?
             .iter()
@@ -220,7 +220,7 @@ impl SeedAddrMapTable {
 /// Seed realAddr → digest table (std `HashMap`).
 #[derive(Debug, Clone, Default)]
 pub struct SeedInvertedTable {
-    map: HashMap<u64, u32>,
+    map: HashMap<u64, u64>,
 }
 
 impl SeedInvertedTable {
@@ -230,17 +230,17 @@ impl SeedInvertedTable {
     }
 
     /// The digest of the content resident at `real`, if any.
-    pub fn digest_of(&self, real: LineAddr) -> Option<u32> {
+    pub fn digest_of(&self, real: LineAddr) -> Option<u64> {
         self.map.get(&real.index()).copied()
     }
 
     /// Record that `real` now holds content with `digest`.
-    pub fn set(&mut self, real: LineAddr, digest: u32) {
+    pub fn set(&mut self, real: LineAddr, digest: u64) {
         self.map.insert(real.index(), digest);
     }
 
     /// Clear the record for `real`. Returns the stale digest.
-    pub fn clear(&mut self, real: LineAddr) -> Option<u32> {
+    pub fn clear(&mut self, real: LineAddr) -> Option<u64> {
         self.map.remove(&real.index())
     }
 

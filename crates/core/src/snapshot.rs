@@ -35,15 +35,15 @@ use crate::dedup::DedupIndex;
 /// Magic bytes of a snapshot stream.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"DWSS";
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 2;
+pub const SNAPSHOT_VERSION: u16 = 3;
 /// Hard ceiling on the line count any snapshot may claim: 2^40 lines
 /// (a 256 TB device at 256 B lines) — far beyond any simulated config.
 pub const MAX_SNAPSHOT_LINES: u64 = 1 << 40;
 
 /// Bytes of one mapping record (`init u64`, `real u64`).
 const MAPPING_BYTES: u64 = 16;
-/// Bytes of one resident record (`real u64`, `digest u32`).
-const RESIDENT_BYTES: u64 = 12;
+/// Bytes of one resident record (`real u64`, `digest u64`).
+const RESIDENT_BYTES: u64 = 16;
 /// Bytes of one counter record (`line u64`, `value u32`).
 const COUNTER_BYTES: u64 = 12;
 /// Payload bytes before the variable sections (`config_fp`, `lines`).
@@ -68,7 +68,7 @@ pub struct Snapshot {
     /// included, so residency can be rebuilt).
     pub mappings: Vec<(u64, u64)>,
     /// `realAddr → digest` for every resident line.
-    pub residents: Vec<(u64, u32)>,
+    pub residents: Vec<(u64, u64)>,
     /// `line → counter` for every line ever encrypted.
     pub counters: Vec<(u64, u32)>,
 }
@@ -138,7 +138,7 @@ impl Snapshot {
         domains: u64,
     ) -> Result<(DedupIndex, HashMap<u64, LineCounter>), String> {
         let mut index = DedupIndex::with_domains(self.lines, domains.max(1));
-        let resident: HashMap<u64, u32> = self.residents.iter().copied().collect();
+        let resident: HashMap<u64, u64> = self.residents.iter().copied().collect();
 
         // Install every resident line first (owner stores)…
         for &(line, digest) in &self.residents {
@@ -327,7 +327,7 @@ impl Snapshot {
         let mut residents = Vec::with_capacity(n);
         for _ in 0..n {
             let line = take_u64(&mut cur)?;
-            let digest = take_u32(&mut cur)?;
+            let digest = take_u64(&mut cur)?;
             residents.push((line, digest));
         }
         let n = section(&mut cur, COUNTER_BYTES, "counter")?;

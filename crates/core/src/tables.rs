@@ -213,7 +213,7 @@ pub struct HashTable {
 /// verifying a probe candidate touches one cache line, not four.
 #[derive(Debug, Clone, Copy, Default)]
 struct Slot {
-    digest: u32,
+    digest: u64,
     /// Virtual position in the digest's bucket (seed-order reproduction).
     pos: u32,
     real: u64,
@@ -246,8 +246,8 @@ impl HashTable {
     }
 
     #[inline]
-    fn hash(digest: u32) -> u64 {
-        u64::from(digest).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    fn hash(digest: u64) -> u64 {
+        digest.wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 
     /// 7-bit control tag (high bit clear, so full slots never look
@@ -338,7 +338,7 @@ impl HashTable {
     /// Find the slot holding `(digest, real)`, probing until the chain's
     /// terminating empty group.
     #[inline]
-    fn find_slot(&self, digest: u32, real: u64) -> Option<usize> {
+    fn find_slot(&self, digest: u64, real: u64) -> Option<usize> {
         let portable = portable_scan();
         let h = Self::hash(digest);
         let tag = Self::tag(h);
@@ -373,7 +373,7 @@ impl HashTable {
     /// collisions, saturated residues) fall back to a second walk that
     /// sorts by virtual bucket position.
     #[inline]
-    pub fn candidates(&self, digest: u32) -> Candidates {
+    pub fn candidates(&self, digest: u64) -> Candidates {
         let portable = portable_scan();
         let h = Self::hash(digest);
         let tag = Self::tag(h);
@@ -414,7 +414,7 @@ impl HashTable {
 
     /// [`candidates`](Self::candidates) slow path: re-walk the chain and
     /// place every entry at its virtual bucket position.
-    fn candidates_multi(&self, digest: u32, tag: u8, start: usize, portable: bool) -> Candidates {
+    fn candidates_multi(&self, digest: u64, tag: u8, start: usize, portable: bool) -> Candidates {
         let mut out = Candidates::empty();
         let mut g = start;
         let mut stride = 0usize;
@@ -484,7 +484,7 @@ impl HashTable {
     /// Shared insert: walks `digest`'s whole probe chain once, counting
     /// same-digest entries (the new entry's bucket position), asserting
     /// `real` is absent, and taking the first reusable slot.
-    fn insert_impl(&mut self, digest: u32, real: LineAddr, reference: u8) {
+    fn insert_impl(&mut self, digest: u64, real: LineAddr, reference: u8) {
         // Amortised growth: keep at least 1/8 of slots truly empty so
         // probe chains terminate and stay short.
         if (self.used + 1) * 8 > self.ctrl.len() * 7 {
@@ -550,7 +550,7 @@ impl HashTable {
     ///
     /// Panics if `real` is already present under `digest` — the caller must
     /// clean stale entries first (that is what the inverted table is for).
-    pub fn insert(&mut self, digest: u32, real: LineAddr) {
+    pub fn insert(&mut self, digest: u64, real: LineAddr) {
         self.insert_impl(digest, real, 1);
     }
 
@@ -560,7 +560,7 @@ impl HashTable {
     /// # Panics
     ///
     /// Panics if `real` is already present under `digest`.
-    pub(crate) fn insert_with_reference(&mut self, digest: u32, real: LineAddr, reference: u8) {
+    pub(crate) fn insert_with_reference(&mut self, digest: u64, real: LineAddr, reference: u8) {
         self.insert_impl(digest, real, reference);
     }
 
@@ -570,7 +570,7 @@ impl HashTable {
     /// # Panics
     ///
     /// Panics if the entry does not exist.
-    pub fn add_reference(&mut self, digest: u32, real: LineAddr) -> bool {
+    pub fn add_reference(&mut self, digest: u64, real: LineAddr) -> bool {
         let slot = self
             .find_slot(digest, real.index())
             .expect("add_reference on missing hash entry");
@@ -585,7 +585,7 @@ impl HashTable {
     /// Tombstone `slot` and re-number its digest's bucket exactly as the
     /// seed `Vec::swap_remove` did: the bucket's last entry (highest
     /// position) takes the removed entry's position.
-    fn remove_slot(&mut self, slot: usize, digest: u32) {
+    fn remove_slot(&mut self, slot: usize, digest: u64) {
         let portable = portable_scan();
         let removed_pos = self.slots[slot].pos;
         self.ctrl[slot] = CTRL_DELETED;
@@ -630,7 +630,7 @@ impl HashTable {
     /// # Panics
     ///
     /// Panics if the entry does not exist.
-    pub fn release_reference(&mut self, digest: u32, real: LineAddr) -> u8 {
+    pub fn release_reference(&mut self, digest: u64, real: LineAddr) -> u8 {
         let slot = self
             .find_slot(digest, real.index())
             .expect("release_reference on missing hash entry");
@@ -652,7 +652,7 @@ impl HashTable {
     /// # Panics
     ///
     /// Panics if the entry does not exist.
-    pub fn remove(&mut self, digest: u32, real: LineAddr) {
+    pub fn remove(&mut self, digest: u64, real: LineAddr) {
         let slot = self
             .find_slot(digest, real.index())
             .expect("remove on missing hash entry");
@@ -661,7 +661,7 @@ impl HashTable {
 
     /// The reference count of `real` under `digest`, if present.
     #[inline]
-    pub fn reference(&self, digest: u32, real: LineAddr) -> Option<u8> {
+    pub fn reference(&self, digest: u64, real: LineAddr) -> Option<u8> {
         self.find_slot(digest, real.index())
             .map(|s| self.slots[s].reference)
     }
@@ -695,7 +695,7 @@ impl HashTable {
     /// Iterate over `(digest, entry)` pairs (reference-count distribution,
     /// Fig. 7). Slot order, which is not meaningful — like the seed's map
     /// iteration order was not.
-    pub fn iter(&self) -> impl Iterator<Item = (u32, HashEntry)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (u64, HashEntry)> + '_ {
         self.ctrl
             .iter()
             .enumerate()
@@ -842,7 +842,7 @@ impl AddrMapTable {
 /// [`AddrMapTable`].
 #[derive(Debug, Clone)]
 pub struct InvertedTable {
-    digest: Box<[u32]>,
+    digest: Box<[u64]>,
     present: PresenceBitmap,
     len: usize,
 }
@@ -851,14 +851,14 @@ impl InvertedTable {
     /// An empty table over `lines` physical lines.
     pub fn new(lines: u64) -> Self {
         InvertedTable {
-            digest: vec![0u32; lines as usize].into_boxed_slice(),
+            digest: vec![0u64; lines as usize].into_boxed_slice(),
             present: PresenceBitmap::new(lines),
             len: 0,
         }
     }
 
     /// The digest of the content resident at `real`, if any.
-    pub fn digest_of(&self, real: LineAddr) -> Option<u32> {
+    pub fn digest_of(&self, real: LineAddr) -> Option<u64> {
         let idx = real.index();
         if self.present.get(idx) {
             Some(self.digest[idx as usize])
@@ -868,7 +868,7 @@ impl InvertedTable {
     }
 
     /// Record that `real` now holds content with `digest`.
-    pub fn set(&mut self, real: LineAddr, digest: u32) {
+    pub fn set(&mut self, real: LineAddr, digest: u64) {
         let idx = real.index();
         self.digest[idx as usize] = digest;
         if self.present.set(idx) {
@@ -877,7 +877,7 @@ impl InvertedTable {
     }
 
     /// Clear the record for `real` (line freed). Returns the stale digest.
-    pub fn clear(&mut self, real: LineAddr) -> Option<u32> {
+    pub fn clear(&mut self, real: LineAddr) -> Option<u64> {
         let idx = real.index();
         if self.present.clear(idx) {
             self.len -= 1;
@@ -1076,7 +1076,7 @@ mod tests {
         t.insert(1, l(10));
         t.insert(2, l(20));
         t.insert(2, l(21));
-        let mut seen: Vec<(u32, u64)> = t.iter().map(|(d, e)| (d, e.real.index())).collect();
+        let mut seen: Vec<(u64, u64)> = t.iter().map(|(d, e)| (d, e.real.index())).collect();
         seen.sort_unstable();
         assert_eq!(seen, vec![(1, 10), (2, 20), (2, 21)]);
     }
@@ -1087,13 +1087,17 @@ mod tests {
         // with colliding digests to stress shared probe chains.
         let mut t = HashTable::new();
         for i in 0..2000u64 {
-            t.insert((i % 257) as u32, l(i));
+            t.insert(u64::from(i as u32 % 257), l(i));
         }
         assert_eq!(t.len(), 2000);
         for i in 0..2000u64 {
-            assert_eq!(t.reference((i % 257) as u32, l(i)), Some(1), "i={i}");
+            assert_eq!(
+                t.reference(u64::from(i as u32 % 257), l(i)),
+                Some(1),
+                "i={i}"
+            );
         }
-        for d in 0..257u32 {
+        for d in 0..257u64 {
             let n = t.candidates(d).len();
             assert!((7..=8).contains(&n), "digest {d} has {n} candidates");
         }
@@ -1143,21 +1147,21 @@ mod tests {
         let build = || {
             let mut t = HashTable::new();
             for i in 0..300u64 {
-                t.insert((i % 31) as u32, l(i));
+                t.insert(i % 31, l(i));
             }
             for i in (0..300u64).step_by(3) {
-                t.remove((i % 31) as u32, l(i));
+                t.remove(i % 31, l(i));
             }
             t
         };
         dewrite_hashes::set_portable_only(false);
         let fast = build();
-        let fast_c: Vec<Vec<u64>> = (0..31u32)
+        let fast_c: Vec<Vec<u64>> = (0..31u64)
             .map(|d| fast.candidates(d).iter().map(|e| e.real.index()).collect())
             .collect();
         dewrite_hashes::set_portable_only(true);
         let portable = build();
-        let portable_c: Vec<Vec<u64>> = (0..31u32)
+        let portable_c: Vec<Vec<u64>> = (0..31u64)
             .map(|d| {
                 portable
                     .candidates(d)
@@ -1167,7 +1171,7 @@ mod tests {
             })
             .collect();
         // Either scan path must also read the other's table identically.
-        let cross: Vec<Vec<u64>> = (0..31u32)
+        let cross: Vec<Vec<u64>> = (0..31u64)
             .map(|d| fast.candidates(d).iter().map(|e| e.real.index()).collect())
             .collect();
         dewrite_hashes::set_portable_only(false);
@@ -1180,17 +1184,17 @@ mod tests {
     /// One randomized hash-table op.
     #[derive(Debug, Clone)]
     enum HashOp {
-        Insert(u32, u64),
-        InsertWithRef(u32, u64, u8),
-        AddRef(u32, u64),
-        Release(u32, u64),
-        Remove(u32, u64),
+        Insert(u64, u64),
+        InsertWithRef(u64, u64, u8),
+        AddRef(u64, u64),
+        Release(u64, u64),
+        Remove(u64, u64),
     }
 
     fn hash_op_strategy() -> impl Strategy<Value = HashOp> {
         // Tiny digest/line spaces force collisions, shared chains, and
         // repeated remove/reinsert of the same keys.
-        let d = 0u32..4;
+        let d = 0u64..4;
         let r = 0u64..12;
         prop_oneof![
             (d.clone(), r.clone()).prop_map(|(d, r)| HashOp::Insert(d, r)),
@@ -1213,7 +1217,7 @@ mod tests {
         assert_eq!(seed.is_empty(), flat.is_empty());
         assert_eq!(seed.collision_buckets(), flat.collision_buckets());
         assert_eq!(seed.saturated_hits(), flat.saturated_hits());
-        for d in 0..4u32 {
+        for d in 0..4u64 {
             assert_eq!(
                 seed.candidates(d),
                 flat.candidates(d).as_slice(),
@@ -1310,7 +1314,7 @@ mod tests {
 
         #[test]
         fn inverted_matches_seed_oracle(
-            ops in proptest::collection::vec((0u64..32, 0u32..8, any::<bool>()), 0..200)
+            ops in proptest::collection::vec((0u64..32, 0u64..8, any::<bool>()), 0..200)
         ) {
             let mut seed = crate::seed::SeedInvertedTable::new();
             let mut flat = InvertedTable::new(32);
@@ -1429,7 +1433,7 @@ mod tests {
         }
 
         #[test]
-        fn hash_len_matches_iter(inserts in proptest::collection::vec((0u32..8, 0u64..64), 0..64)) {
+        fn hash_len_matches_iter(inserts in proptest::collection::vec((0u64..8, 0u64..64), 0..64)) {
             let mut t = HashTable::new();
             let mut present = std::collections::HashSet::new();
             for (digest, real) in inserts {

@@ -38,7 +38,7 @@ use std::time::Instant;
 
 use crossbeam_queue::ArrayQueue;
 use dewrite_core::tables::MAX_REFERENCE;
-use dewrite_core::RunReport;
+use dewrite_core::{DigestMode, RunReport};
 use dewrite_mem::{CacheStats, LatencyHistogram, Replacement};
 use dewrite_trace::{shard_of_line, TraceOp, TraceRecord};
 
@@ -117,6 +117,12 @@ pub struct EngineConfig {
     /// fixed policy, but policies differ from each other: they change
     /// which digest lookups hit and therefore simulated latency.
     pub cache_policy: Replacement,
+    /// Per-shard digest mode ([`ShardController::set_digest_mode`]):
+    /// CRC-32 with verify-reads (the default, bit-identical to the seed)
+    /// or the 64-bit strong keyed tag with verify-free commits. The merged
+    /// simulated report is bit-identical across shard/batch/producer counts
+    /// for any fixed mode.
+    pub digest_mode: DigestMode,
 }
 
 impl EngineConfig {
@@ -152,6 +158,7 @@ impl EngineConfig {
             persist_sync: false,
             fsm: FsmPolicy::default(),
             cache_policy: Replacement::default(),
+            digest_mode: DigestMode::default(),
         }
     }
 
@@ -366,6 +373,7 @@ pub fn run(config: &EngineConfig, app: &str, records: Vec<TraceRecord>) -> Engin
                 );
                 ctrl.set_fsm_policy(config.fsm);
                 ctrl.set_cache_policy(config.cache_policy);
+                ctrl.set_digest_mode(config.digest_mode);
                 ctrl.set_coalesce_window(config.coalesce);
                 if let Some(root) = &config.persist_dir {
                     let opts = dewrite_persist::DurableOptions {
@@ -673,6 +681,7 @@ mod tests {
                 2,
                 config.slots_per_shard,
                 config.line_size,
+                config.digest_mode,
             );
             let shard_dir = dir.join(format!("shard-{:02}", s.shard));
             let (snap, stats) = dewrite_persist::recover_state(&shard_dir, fp, max_lines)
@@ -761,6 +770,57 @@ mod tests {
                             assert_eq!(s.cache.main_hits, 0, "{policy}");
                             assert_eq!(s.cache.ghost_hits, 0, "{policy}");
                             assert_eq!(s.cache.scan_evictions, 0, "{policy}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_bit_identical_per_digest_mode_across_batch_and_producers() {
+        // Same determinism contract along the digest-mode axis: for a fixed
+        // mode and shard count the merged simulated report must not depend
+        // on batching or producer scheduling. The two modes legitimately
+        // differ from each other (verify-free commits skip the verify-read,
+        // changing both latency and energy).
+        let (records, lines) = trace(2_000, 256, 31);
+        for mode in DigestMode::ALL {
+            for shards in [1usize, 4] {
+                let mut reference: Option<String> = None;
+                for (batch, producers) in [(1usize, 1usize), (64, 4), (64, 0)] {
+                    let mut config = config_for(shards, lines, records.len());
+                    config.batch = batch;
+                    config.producers = producers;
+                    config.digest_mode = mode;
+                    config.scrub = true;
+                    let run = run(&config, "mcf", records.clone());
+                    for s in &run.shards {
+                        assert!(matches!(s.scrub, Some(Ok(_))), "shard {} scrub", s.shard);
+                    }
+                    let json = run.merged.to_json().to_string();
+                    match &reference {
+                        None => reference = Some(json),
+                        Some(r) => assert_eq!(
+                            r, &json,
+                            "{mode}/{shards} shards: batch {batch} x producers \
+                             {producers} changed the merged report"
+                        ),
+                    }
+                    let dw = run.merged.dewrite.expect("engine reports dewrite metrics");
+                    match mode {
+                        DigestMode::Crc32Verify => {
+                            assert_eq!(dw.assumed_dups, 0, "verify mode never assumes");
+                        }
+                        DigestMode::StrongKeyed => {
+                            assert_eq!(
+                                run.merged.base.verify_reads, 0,
+                                "verify-free mode never issues the verify-read"
+                            );
+                            assert_eq!(
+                                dw.assumed_dups, dw.dup_eliminated,
+                                "every strong-mode elimination is an assumed duplicate"
+                            );
                         }
                     }
                 }

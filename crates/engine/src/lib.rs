@@ -33,6 +33,7 @@ mod engine;
 mod service;
 mod shard;
 
+pub use dewrite_core::DigestMode;
 pub use dewrite_mem::{CacheStats, Replacement};
 pub use engine::{run, Backoff, EngineConfig, EngineRun, Pacing, Request, ShardSummary};
 pub use service::{

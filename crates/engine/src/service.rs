@@ -201,6 +201,7 @@ impl EngineService {
                 );
                 ctrl.set_fsm_policy(config.fsm);
                 ctrl.set_cache_policy(config.cache_policy);
+                ctrl.set_digest_mode(config.digest_mode);
                 if let Some(root) = &config.persist_dir {
                     let opts = dewrite_persist::DurableOptions {
                         epoch_writes: config.persist_epoch,

@@ -24,11 +24,11 @@
 
 use dewrite_core::tables::{HashEntry, HashTable, InvertedTable, MAX_REFERENCE};
 use dewrite_core::{
-    lines_equal, BaseMetrics, DeWriteMetrics, HistoryPredictor, MetaOp, RunReport, Snapshot, Stage,
-    StageBreakdown, WriteEvent, WritePath,
+    lines_equal, BaseMetrics, DeWriteMetrics, DigestMode, HistoryPredictor, MetaOp, RunReport,
+    Snapshot, Stage, StageBreakdown, WriteEvent, WritePath,
 };
 use dewrite_crypto::{aes_line_energy_pj, CounterModeEngine, LineCounter, AES_LINE_LATENCY_NS};
-use dewrite_hashes::{HashAlgorithm, LineHasher};
+use dewrite_hashes::{HashAlgorithm, LineHasher, StrongKeyed, StrongScratch};
 use dewrite_mem::{
     CacheConfig, CacheStats, LatencyHistogram, LatencyStats, MetadataCache, Replacement,
 };
@@ -168,6 +168,15 @@ pub struct ShardController {
 
     hasher: Box<dyn LineHasher>,
     crypt: CounterModeEngine,
+    /// Which digest keys the dedup index — see [`ShardController::set_digest_mode`].
+    digest_mode: DigestMode,
+    /// Strong keyed digest (per-run key derived from the memory-encryption
+    /// key) plus this shard's reusable scratch state, so the hot path never
+    /// allocates; `Some` iff the mode is [`DigestMode::StrongKeyed`].
+    strong: Option<(StrongKeyed, StrongScratch)>,
+    /// The raw encryption key, kept to derive the strong digest key when
+    /// the mode is switched after construction.
+    key: [u8; 16],
 
     hash: HashTable,
     inverted: InvertedTable,
@@ -243,6 +252,9 @@ impl ShardController {
             slots,
             hasher: HashAlgorithm::Crc32.hasher(),
             crypt: CounterModeEngine::new(key),
+            digest_mode: DigestMode::Crc32Verify,
+            strong: None,
+            key: *key,
             hash: HashTable::new(),
             inverted: InvertedTable::new(slots),
             fsm: ShardFsm::new(FsmPolicy::default(), slots),
@@ -369,6 +381,34 @@ impl ShardController {
         self.meta.config().replacement
     }
 
+    /// Select the digest mode keying the dedup index. Under
+    /// [`DigestMode::Crc32Verify`] (the default) digests are the folded
+    /// CRC-32 zero-extended and every candidate match is confirmed by a
+    /// verify-read; under [`DigestMode::StrongKeyed`] the index keys on the
+    /// 64-bit keyed strong tag and a tag match is accepted as a duplicate
+    /// with no verify-read. The strong key is derived from the shard's
+    /// memory-encryption key, so all shards of one engine agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard has already processed operations — the stored
+    /// digests would no longer match the digest function.
+    pub fn set_digest_mode(&mut self, mode: DigestMode) {
+        assert!(
+            self.ops == 0,
+            "cannot switch the digest mode after {} operations",
+            self.ops
+        );
+        self.digest_mode = mode;
+        self.strong = (mode == DigestMode::StrongKeyed)
+            .then(|| (StrongKeyed::derive(&self.key), StrongScratch::new()));
+    }
+
+    /// The shard's digest mode.
+    pub fn digest_mode(&self) -> DigestMode {
+        self.digest_mode
+    }
+
     /// Metadata-cache counters (hits, misses, queue splits, filtered scan
     /// evictions — the S3-FIFO fields stay zero under LRU/FIFO).
     pub fn cache_stats(&self) -> CacheStats {
@@ -459,9 +499,16 @@ impl ShardController {
 
     /// Stable fingerprint of a shard's durable-format-relevant geometry:
     /// two stores agree on it exactly when their persisted metadata is
-    /// mutually interpretable (same interleaving, arena, line size, and
-    /// shard identity).
-    pub fn persist_fingerprint(id: usize, shards: usize, slots: u64, line_size: usize) -> u64 {
+    /// mutually interpretable (same interleaving, arena, line size, shard
+    /// identity, and digest mode — the stored digests are only meaningful
+    /// under the digest function that produced them).
+    pub fn persist_fingerprint(
+        id: usize,
+        shards: usize,
+        slots: u64,
+        line_size: usize,
+        mode: DigestMode,
+    ) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = OFFSET;
@@ -471,11 +518,12 @@ impl ShardController {
                 h = h.wrapping_mul(PRIME);
             }
         };
-        eat(b"dewrite-engine-shard-v1");
+        eat(b"dewrite-engine-shard-v2");
         eat(&(id as u64).to_le_bytes());
         eat(&(shards as u64).to_le_bytes());
         eat(&slots.to_le_bytes());
         eat(&(line_size as u64).to_le_bytes());
+        eat(&[mode.to_wire()]);
         h
     }
 
@@ -492,7 +540,13 @@ impl ShardController {
         let snapshot = self.snapshot();
         let log = EpochLog::create(
             dir,
-            Self::persist_fingerprint(self.id, self.shards, self.slots, self.line_size),
+            Self::persist_fingerprint(
+                self.id,
+                self.shards,
+                self.slots,
+                self.line_size,
+                self.digest_mode,
+            ),
             &snapshot,
             opts,
         )?;
@@ -602,7 +656,13 @@ impl ShardController {
             .map(|(slot, &c)| (self.slot_global(slot as u64), c))
             .collect();
         Snapshot {
-            config_fp: Self::persist_fingerprint(self.id, self.shards, self.slots, self.line_size),
+            config_fp: Self::persist_fingerprint(
+                self.id,
+                self.shards,
+                self.slots,
+                self.line_size,
+                self.digest_mode,
+            ),
             lines,
             mappings,
             residents,
@@ -637,6 +697,34 @@ impl ShardController {
     /// DeWrite's digest fold: XOR the CRC's two 32-bit halves.
     fn fold_digest(d: u64) -> u32 {
         (d ^ (d >> 32)) as u32
+    }
+
+    /// The index digest of `data` under the shard's digest mode: the folded
+    /// CRC-32 zero-extended (so crc32-verify probe sequences are identical
+    /// to the seed), or the 64-bit strong keyed tag.
+    fn compute_digest(&mut self, data: &[u8]) -> u64 {
+        match self.strong.as_mut() {
+            Some((strong, scratch)) => strong.digest_with(data, scratch),
+            None => u64::from(Self::fold_digest(self.hasher.digest(data))),
+        }
+    }
+
+    /// [`ShardController::compute_digest`] without `&mut self` (scrub path;
+    /// uses a throwaway scratch, off the hot path).
+    fn compute_digest_readonly(&self, data: &[u8]) -> u64 {
+        match self.strong.as_ref() {
+            Some((strong, _)) => strong.digest_with(data, &mut StrongScratch::new()),
+            None => u64::from(Self::fold_digest(self.hasher.digest(data))),
+        }
+    }
+
+    /// Modeled hardware cost of one digest under the shard's digest mode.
+    fn digest_cost(&self) -> dewrite_hashes::HashCost {
+        if self.strong.is_some() {
+            HashAlgorithm::StrongKeyed.cost()
+        } else {
+            self.hasher.cost()
+        }
     }
 
     /// Local home slot of a global address this shard owns.
@@ -730,14 +818,14 @@ impl ShardController {
         self.base.writes += 1;
 
         // Stage 1: fingerprint.
-        let digest_ns = self.hasher.cost().latency_ns;
-        let digest = Self::fold_digest(self.hasher.digest(data));
+        let digest_ns = self.digest_cost().latency_ns;
+        let digest = self.compute_digest(data);
         self.base.hash_ops += 1;
-        self.energy.dedup_pj += self.hasher.cost().energy_pj;
+        self.energy.dedup_pj += self.digest_cost().energy_pj;
 
         // Stage 2: predict, then probe the hash-store cache.
         let predicted_dup = self.predictor.predict_duplicate();
-        let cache_hit = self.meta.access(u64::from(digest), false);
+        let cache_hit = self.meta.access(digest, false);
         let probe_ns = if cache_hit {
             META_NS
         } else {
@@ -752,7 +840,7 @@ impl ShardController {
             self.dewrite.pna_skips += 1;
         }
         if !cache_hit {
-            let _ = self.meta.insert(u64::from(digest), false);
+            let _ = self.meta.insert(digest, false);
         }
 
         // Speculative encryption on the parallel path: predicted-non-dup
@@ -770,27 +858,42 @@ impl ShardController {
         let mut dup_slot: Option<u64> = None;
         if !pna_skip {
             let candidates = self.hash.candidates(digest);
-            let mut compared = 0usize;
-            for &HashEntry { real, reference } in &candidates {
-                if compared == MAX_CANDIDATE_COMPARES {
-                    break;
-                }
-                if reference == MAX_REFERENCE {
-                    self.dewrite.saturated_skips += 1;
-                    continue;
-                }
-                compared += 1;
-                self.base.verify_reads += 1;
-                verify_ns += ARRAY_READ_NS;
-                compare_ns += COMPARE_NS;
-                self.energy.nvm_read_pj += self.energy_params.read_line_pj;
-                self.energy.dedup_pj += self.energy_params.compare_pj;
-                self.decrypt_slot(real.index());
-                if lines_equal(&self.scratch, data) {
+            if self.strong.is_some() {
+                // Verify-free: a 64-bit keyed-tag match *is* the duplicate
+                // decision — accept the first unsaturated candidate with no
+                // array read, no decryption, no byte compare.
+                for &HashEntry { real, reference } in &candidates {
+                    if reference == MAX_REFERENCE {
+                        self.dewrite.saturated_skips += 1;
+                        continue;
+                    }
+                    self.dewrite.assumed_dups += 1;
                     dup_slot = Some(real.index());
                     break;
                 }
-                self.dewrite.false_matches += 1;
+            } else {
+                let mut compared = 0usize;
+                for &HashEntry { real, reference } in &candidates {
+                    if compared == MAX_CANDIDATE_COMPARES {
+                        break;
+                    }
+                    if reference == MAX_REFERENCE {
+                        self.dewrite.saturated_skips += 1;
+                        continue;
+                    }
+                    compared += 1;
+                    self.base.verify_reads += 1;
+                    verify_ns += ARRAY_READ_NS;
+                    compare_ns += COMPARE_NS;
+                    self.energy.nvm_read_pj += self.energy_params.read_line_pj;
+                    self.energy.dedup_pj += self.energy_params.compare_pj;
+                    self.decrypt_slot(real.index());
+                    if lines_equal(&self.scratch, data) {
+                        dup_slot = Some(real.index());
+                        break;
+                    }
+                    self.dewrite.false_matches += 1;
+                }
             }
         }
 
@@ -906,7 +1009,7 @@ impl ShardController {
 
         // The write updated dedup metadata either way; dirty the cached
         // hash-store entry so its eventual eviction becomes an NVM write.
-        let _ = self.meta.access(u64::from(digest), true);
+        let _ = self.meta.access(digest, true);
 
         self.predictor.record(eliminated);
         self.stages.observe(&event);
@@ -1066,7 +1169,7 @@ impl ShardController {
                 ));
             };
             self.decrypt_slot(slot);
-            let actual = Self::fold_digest(self.hasher.digest(&self.scratch));
+            let actual = self.compute_digest_readonly(&self.scratch);
             if actual != digest {
                 return Err(format!(
                     "shard {}: slot {slot} content digests to {actual:#x}, inverted row says {digest:#x}",
@@ -1335,7 +1438,7 @@ mod tests {
         assert_eq!(s.unflushed_wal_writes(), 0);
         s.scrub().expect("clean after checkpoint");
 
-        let fp = ShardController::persist_fingerprint(1, 2, 128, LINE);
+        let fp = ShardController::persist_fingerprint(1, 2, 128, LINE, DigestMode::Crc32Verify);
         let (recovered, stats) =
             dewrite_persist::recover_state(&dir, fp, 1 << 20).expect("recover");
         assert_eq!(stats.writes_covered, 30);
@@ -1362,7 +1465,7 @@ mod tests {
         for i in 0..8u64 {
             reference.write(LineAddr::new(i % 6), &line((i % 3) as u8), 0);
         }
-        let fp = ShardController::persist_fingerprint(0, 1, 256, LINE);
+        let fp = ShardController::persist_fingerprint(0, 1, 256, LINE, DigestMode::Crc32Verify);
         let (recovered, stats) =
             dewrite_persist::recover_state(&dir, fp, 1 << 20).expect("recover");
         assert_eq!(stats.writes_covered, 8);

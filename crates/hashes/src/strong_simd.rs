@@ -1,0 +1,678 @@
+//! Explicit 128-bit SIMD legs of the strong keyed kernel (x86-64).
+//!
+//! Two shapes, both bit-identical to the scalar `compress` in `strong.rs`:
+//!
+//! * `compress4_*` — the lane pass. The four lanes' states are
+//!   *transposed*: vector `w` holds state word `w` of every lane, so each
+//!   scalar op of the quarter round becomes exactly one 4-wide vector op
+//!   and four 64 B blocks compress in one pass. The blocks load straight
+//!   from the input bytes (little-endian words, so on x86 an unaligned
+//!   vector load *is* the word load) and transpose in registers — no
+//!   scalar staging buffer anywhere. No shuffles are needed in the round
+//!   loop at all: the precomputed message schedule indexes the transposed
+//!   words directly.
+//! * `compress1_*` — the root pass, where only one state exists and
+//!   lane-transposition has nothing to parallelize. It uses the classic
+//!   row layout instead (BLAKE2s-style): one vector per state *row*, the
+//!   four column Gs computed at once, diagonals reached by rotating rows.
+//!
+//! Each shape comes in two tiers sharing one const-generic body:
+//!
+//! * **SSSE3** — byte-granular rotations (16 and 8) are single `pshufb`s
+//!   (the reason this tier wants SSSE3 rather than bare SSE2); the ragged
+//!   rotations (12 and 7) are shift-shift-or.
+//! * **AVX-512VL** — every rotation is a single `vprold`, and the EVEX
+//!   encoding's 32 XMM registers hold the full 16-vector state plus the
+//!   16-vector transposed message with no spills, which is where most of
+//!   the additional speedup comes from.
+//!
+//! This module and `crc32_hw.rs` are the only `unsafe` code in the crate.
+//! Safety rests on one invariant: these functions are only called after
+//! `is_x86_feature_detected!` has confirmed the matching feature exists
+//! (`StrongKeyed::with_key_on` in `strong.rs` enforces this by resolving
+//! its SIMD tier exactly once, at construction).
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::{
+    __m128i, __m256i, __m512i, _mm256_castsi256_si128, _mm256_loadu_si256,
+    _mm256_permutex2var_epi32, _mm256_set_epi32, _mm256_set_m128i, _mm512_add_epi32,
+    _mm512_castsi256_si512, _mm512_castsi512_si128, _mm512_extracti32x4_epi32, _mm512_loadu_si512,
+    _mm512_mask_blend_epi64, _mm512_permutex2var_epi64, _mm512_permutexvar_epi32, _mm512_ror_epi32,
+    _mm512_set_epi32, _mm512_set_epi64, _mm512_shuffle_i32x4, _mm512_unpackhi_epi32,
+    _mm512_unpackhi_epi64, _mm512_unpacklo_epi32, _mm512_unpacklo_epi64, _mm512_xor_si512,
+    _mm_add_epi32, _mm_loadu_si128, _mm_or_si128, _mm_ror_epi32, _mm_set1_epi32, _mm_set_epi32,
+    _mm_set_epi8, _mm_shuffle_epi32, _mm_shuffle_epi8, _mm_slli_epi32, _mm_srli_epi32,
+    _mm_storeu_si128, _mm_unpackhi_epi32, _mm_unpackhi_epi64, _mm_unpacklo_epi32,
+    _mm_unpacklo_epi64, _mm_xor_si128,
+};
+
+use crate::strong::{FLAG_CHUNK, FLAG_PARENT, FLAG_ROOT, IV, LANES, MSG_SCHEDULE};
+
+/// `rotate_right(16)` of each 32-bit element.
+#[inline(always)]
+unsafe fn rot16<const AVX512: bool>(x: __m128i) -> __m128i {
+    if AVX512 {
+        _mm_ror_epi32::<16>(x)
+    } else {
+        // A half-word swap: one shuffle.
+        let mask = _mm_set_epi8(13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2);
+        _mm_shuffle_epi8(x, mask)
+    }
+}
+
+/// `rotate_right(8)` of each 32-bit element.
+#[inline(always)]
+unsafe fn rot8<const AVX512: bool>(x: __m128i) -> __m128i {
+    if AVX512 {
+        _mm_ror_epi32::<8>(x)
+    } else {
+        // A byte rotate: one shuffle.
+        let mask = _mm_set_epi8(12, 15, 14, 13, 8, 11, 10, 9, 4, 7, 6, 5, 0, 3, 2, 1);
+        _mm_shuffle_epi8(x, mask)
+    }
+}
+
+/// `rotate_right(12)` of each 32-bit element.
+#[inline(always)]
+unsafe fn rot12<const AVX512: bool>(x: __m128i) -> __m128i {
+    if AVX512 {
+        _mm_ror_epi32::<12>(x)
+    } else {
+        _mm_or_si128(_mm_srli_epi32(x, 12), _mm_slli_epi32(x, 20))
+    }
+}
+
+/// `rotate_right(7)` of each 32-bit element.
+#[inline(always)]
+unsafe fn rot7<const AVX512: bool>(x: __m128i) -> __m128i {
+    if AVX512 {
+        _mm_ror_epi32::<7>(x)
+    } else {
+        _mm_or_si128(_mm_srli_epi32(x, 7), _mm_slli_epi32(x, 25))
+    }
+}
+
+/// The quarter round over four independent vector cells.
+#[inline(always)]
+unsafe fn g<const AVX512: bool>(
+    va: &mut __m128i,
+    vb: &mut __m128i,
+    vc: &mut __m128i,
+    vd: &mut __m128i,
+    mx: __m128i,
+    my: __m128i,
+) {
+    *va = _mm_add_epi32(_mm_add_epi32(*va, *vb), mx);
+    *vd = rot16::<AVX512>(_mm_xor_si128(*vd, *va));
+    *vc = _mm_add_epi32(*vc, *vd);
+    *vb = rot12::<AVX512>(_mm_xor_si128(*vb, *vc));
+    *va = _mm_add_epi32(_mm_add_epi32(*va, *vb), my);
+    *vd = rot8::<AVX512>(_mm_xor_si128(*vd, *va));
+    *vc = _mm_add_epi32(*vc, *vd);
+    *vb = rot7::<AVX512>(_mm_xor_si128(*vb, *vc));
+}
+
+/// 4x4 transpose: rows `(a, b, c, d)` become columns.
+#[inline(always)]
+unsafe fn transpose4(
+    a: __m128i,
+    b: __m128i,
+    c: __m128i,
+    d: __m128i,
+) -> (__m128i, __m128i, __m128i, __m128i) {
+    let ab_lo = _mm_unpacklo_epi32(a, b); // a0 b0 a1 b1
+    let ab_hi = _mm_unpackhi_epi32(a, b); // a2 b2 a3 b3
+    let cd_lo = _mm_unpacklo_epi32(c, d); // c0 d0 c1 d1
+    let cd_hi = _mm_unpackhi_epi32(c, d); // c2 d2 c3 d3
+    (
+        _mm_unpacklo_epi64(ab_lo, cd_lo), // a0 b0 c0 d0
+        _mm_unpackhi_epi64(ab_lo, cd_lo), // a1 b1 c1 d1
+        _mm_unpacklo_epi64(ab_hi, cd_hi), // a2 b2 c2 d2
+        _mm_unpackhi_epi64(ab_hi, cd_hi), // a3 b3 c3 d3
+    )
+}
+
+/// The seven unrolled rounds of the lane-transposed compression: `s[w]`
+/// and `m[w]` each hold word `w` of all four lanes.
+#[inline(always)]
+unsafe fn rounds4<const AVX512: bool>(s: &mut [__m128i; 16], m: &[__m128i; 16]) {
+    // The quarter-round index pairs are compile-time constants and never
+    // alias within one call; swap through locals rather than fighting the
+    // borrow checker with split_at_mut.
+    macro_rules! quarter {
+        ($a:expr, $b:expr, $c:expr, $d:expr, $x:expr, $y:expr) => {{
+            let (mut a, mut b, mut c, mut d) = (s[$a], s[$b], s[$c], s[$d]);
+            g::<AVX512>(&mut a, &mut b, &mut c, &mut d, m[$x], m[$y]);
+            s[$a] = a;
+            s[$b] = b;
+            s[$c] = c;
+            s[$d] = d;
+        }};
+    }
+    // The rounds are unrolled by macro with *literal* round numbers so the
+    // schedule indices are compile-time constants: every `m[...]` access
+    // then resolves at compile time and the 16 message vectors stay in
+    // registers for the whole compression (a `for` loop over the schedule
+    // is not unrolled at this body size, which forces `m` onto the stack
+    // and reloads it every round).
+    macro_rules! round {
+        ($r:literal) => {{
+            const S: [usize; 16] = MSG_SCHEDULE[$r];
+            quarter!(0, 4, 8, 12, S[0], S[1]);
+            quarter!(1, 5, 9, 13, S[2], S[3]);
+            quarter!(2, 6, 10, 14, S[4], S[5]);
+            quarter!(3, 7, 11, 15, S[6], S[7]);
+            quarter!(0, 5, 10, 15, S[8], S[9]);
+            quarter!(1, 6, 11, 12, S[10], S[11]);
+            quarter!(2, 7, 8, 13, S[12], S[13]);
+            quarter!(3, 4, 9, 14, S[14], S[15]);
+        }};
+    }
+    round!(0);
+    round!(1);
+    round!(2);
+    round!(3);
+    round!(4);
+    round!(5);
+    round!(6);
+}
+
+/// Load a four-block input group as the lane-transposed message: `m[w]`
+/// holds block word `w` of all four lanes. Words are little-endian, so on
+/// x86 an unaligned vector load of quad `q` of lane `l` *is* the word load,
+/// and a 4x4 transpose per quad finishes the job.
+#[inline(always)]
+unsafe fn load_group(chunk: &[u8; LANES * 64]) -> [__m128i; 16] {
+    let mut m = [_mm_set1_epi32(0); 16];
+    for q in 0..4 {
+        let at = |l: usize| _mm_loadu_si128(chunk.as_ptr().add(l * 64 + q * 16).cast::<__m128i>());
+        let (w0, w1, w2, w3) = transpose4(at(0), at(1), at(2), at(3));
+        m[4 * q] = w0;
+        m[4 * q + 1] = w1;
+        m[4 * q + 2] = w2;
+        m[4 * q + 3] = w3;
+    }
+    m
+}
+
+/// Shared body of the lane pass: compress one *full* 64 B block in each of
+/// the four lanes simultaneously. Bit-identical to four scalar `compress`
+/// calls over the same four blocks.
+#[inline(always)]
+unsafe fn compress4_body<const AVX512: bool>(
+    cvs: &mut [[u32; 8]; LANES],
+    chunk: &[u8; LANES * 64],
+    base_counter: u64,
+    flags: u32,
+) {
+    let m = load_group(chunk);
+
+    // Transposed state: s[w] holds state word w of all four lanes.
+    let mut s = [_mm_set1_epi32(0); 16];
+    {
+        let half =
+            |l: usize, h: usize| _mm_loadu_si128(cvs[l].as_ptr().add(4 * h).cast::<__m128i>());
+        let (s0, s1, s2, s3) = transpose4(half(0, 0), half(1, 0), half(2, 0), half(3, 0));
+        let (s4, s5, s6, s7) = transpose4(half(0, 1), half(1, 1), half(2, 1), half(3, 1));
+        s[0] = s0;
+        s[1] = s1;
+        s[2] = s2;
+        s[3] = s3;
+        s[4] = s4;
+        s[5] = s5;
+        s[6] = s6;
+        s[7] = s7;
+    }
+    for w in 0..4 {
+        s[8 + w] = _mm_set1_epi32(IV[w] as i32);
+    }
+    // Lane counters are base, base+1, base+2, base+3.
+    let counters = [
+        base_counter,
+        base_counter + 1,
+        base_counter + 2,
+        base_counter + 3,
+    ];
+    s[12] = _mm_set_epi32(
+        counters[3] as u32 as i32,
+        counters[2] as u32 as i32,
+        counters[1] as u32 as i32,
+        counters[0] as u32 as i32,
+    );
+    s[13] = _mm_set_epi32(
+        (counters[3] >> 32) as u32 as i32,
+        (counters[2] >> 32) as u32 as i32,
+        (counters[1] >> 32) as u32 as i32,
+        (counters[0] >> 32) as u32 as i32,
+    );
+    s[14] = _mm_set1_epi32(64);
+    s[15] = _mm_set1_epi32(flags as i32);
+
+    rounds4::<AVX512>(&mut s, &m);
+
+    // Feed-forward truncation, transposed back to lane-major CVs.
+    let f = |w: usize| _mm_xor_si128(s[w], s[8 + w]);
+    let (lo0, lo1, lo2, lo3) = transpose4(f(0), f(1), f(2), f(3));
+    let (hi0, hi1, hi2, hi3) = transpose4(f(4), f(5), f(6), f(7));
+    for (l, (lo, hi)) in [(lo0, hi0), (lo1, hi1), (lo2, hi2), (lo3, hi3)]
+        .into_iter()
+        .enumerate()
+    {
+        _mm_storeu_si128(cvs[l].as_mut_ptr().cast::<__m128i>(), lo);
+        _mm_storeu_si128(cvs[l].as_mut_ptr().add(4).cast::<__m128i>(), hi);
+    }
+}
+
+/// Shared body of the whole-line fast path: one full four-block group
+/// (the 256 B cache line) digested in a single call, never leaving
+/// registers between the lane pass and the root. Bit-identical to
+/// `compress4_body` + the fold + `compress1_body`, but skips the
+/// transpose-out/scalar-fold/transpose-in glue of the general path: the
+/// key CV is a broadcast (all lanes start equal), and the 8→4 fold
+/// happens in the transposed domain where it is four XORs.
+#[inline(always)]
+unsafe fn digest_group_body<const AVX512: bool>(
+    key: &[u32; 8],
+    chunk: &[u8; LANES * 64],
+) -> [u32; 8] {
+    let m = load_group(chunk);
+    let mut s = [_mm_set1_epi32(0); 16];
+    for w in 0..8 {
+        s[w] = _mm_set1_epi32(key[w] as i32);
+    }
+    for w in 0..4 {
+        s[8 + w] = _mm_set1_epi32(IV[w] as i32);
+    }
+    s[12] = _mm_set_epi32(3, 2, 1, 0); // lane counters 0..3, low halves
+    s[13] = _mm_set1_epi32(0); // counter high halves
+    s[14] = _mm_set1_epi32(64);
+    s[15] = _mm_set1_epi32(FLAG_CHUNK as i32);
+    rounds4::<AVX512>(&mut s, &m);
+
+    // Lane CVs in the transposed domain are cvT[w] = s[w] ^ s[8+w], so the
+    // 8→4 fold cv[i] ^ cv[i+4] is cvT[i] ^ cvT[4+i]: four XOR vectors,
+    // word-major. One transpose turns them into the root block's rows
+    // (row l = lane l's folded words).
+    let f = |i: usize| {
+        _mm_xor_si128(
+            _mm_xor_si128(s[i], s[8 + i]),
+            _mm_xor_si128(s[4 + i], s[12 + i]),
+        )
+    };
+    let (b0, b1, b2, b3) = transpose4(f(0), f(1), f(2), f(3));
+    let mut block = [0u32; 16];
+    _mm_storeu_si128(block.as_mut_ptr().cast::<__m128i>(), b0);
+    _mm_storeu_si128(block.as_mut_ptr().add(4).cast::<__m128i>(), b1);
+    _mm_storeu_si128(block.as_mut_ptr().add(8).cast::<__m128i>(), b2);
+    _mm_storeu_si128(block.as_mut_ptr().add(12).cast::<__m128i>(), b3);
+    compress1_body::<AVX512>(
+        key,
+        &block,
+        (LANES * 64) as u64,
+        64,
+        FLAG_PARENT | FLAG_ROOT,
+    )
+}
+
+/// Gather four message words into a vector (first index in element 0).
+#[inline(always)]
+unsafe fn gather(block: &[u32; 16], i0: usize, i1: usize, i2: usize, i3: usize) -> __m128i {
+    _mm_set_epi32(
+        block[i3] as i32,
+        block[i2] as i32,
+        block[i1] as i32,
+        block[i0] as i32,
+    )
+}
+
+/// Core of the root pass: one row-vectorized compression, generic over the
+/// message source. The four column Gs run as one vector G, rows rotate to
+/// bring diagonals into columns, and rotate back. Bit-identical to the
+/// scalar `compress`. `pick(i0, i1, i2, i3)` yields the vector
+/// `(block[i0], block[i1], block[i2], block[i3])` — from memory on the
+/// standalone path, from registers on the fused whole-line path (where a
+/// trip through the stack would stall the first round on store-forwarding).
+#[inline(always)]
+unsafe fn compress1_with_pick<const AVX512: bool>(
+    cv: &[u32; 8],
+    counter: u64,
+    block_len: u32,
+    flags: u32,
+    pick: impl Fn(usize, usize, usize, usize) -> __m128i,
+) -> [u32; 8] {
+    let mut r0 = _mm_loadu_si128(cv.as_ptr().cast::<__m128i>()); // s0..s3
+    let mut r1 = _mm_loadu_si128(cv.as_ptr().add(4).cast::<__m128i>()); // s4..s7
+    let mut r2 = _mm_loadu_si128(IV.as_ptr().cast::<__m128i>()); // s8..s11
+    let mut r3 = _mm_set_epi32(
+        flags as i32,
+        block_len as i32,
+        (counter >> 32) as u32 as i32,
+        counter as u32 as i32,
+    ); // s12..s15
+
+    // One double-G round: column step, rotate rows so the diagonals line up
+    // as columns, diagonal step, rotate back.
+    macro_rules! round {
+        ($sched:expr) => {{
+            let sched = $sched;
+            let mx = pick(sched[0], sched[2], sched[4], sched[6]);
+            let my = pick(sched[1], sched[3], sched[5], sched[7]);
+            g::<AVX512>(&mut r0, &mut r1, &mut r2, &mut r3, mx, my);
+            r1 = _mm_shuffle_epi32(r1, 0b00_11_10_01);
+            r2 = _mm_shuffle_epi32(r2, 0b01_00_11_10);
+            r3 = _mm_shuffle_epi32(r3, 0b10_01_00_11);
+            let mx = pick(sched[8], sched[10], sched[12], sched[14]);
+            let my = pick(sched[9], sched[11], sched[13], sched[15]);
+            g::<AVX512>(&mut r0, &mut r1, &mut r2, &mut r3, mx, my);
+            r1 = _mm_shuffle_epi32(r1, 0b10_01_00_11);
+            r2 = _mm_shuffle_epi32(r2, 0b01_00_11_10);
+            r3 = _mm_shuffle_epi32(r3, 0b00_11_10_01);
+        }};
+    }
+    for sched in &MSG_SCHEDULE {
+        round!(sched);
+    }
+
+    let mut out = [0u32; 8];
+    _mm_storeu_si128(out.as_mut_ptr().cast::<__m128i>(), _mm_xor_si128(r0, r2));
+    _mm_storeu_si128(
+        out.as_mut_ptr().add(4).cast::<__m128i>(),
+        _mm_xor_si128(r1, r3),
+    );
+    out
+}
+
+/// Root pass over a message already held in two 256-bit registers: each
+/// 4-word gather is a single `vpermi2d` (index values 0..7 select from the
+/// low half, 8..15 from the high half); the index vectors are compile-time
+/// constants once the round loop unrolls.
+#[inline(always)]
+unsafe fn compress1_vecs_avx512(
+    cv: &[u32; 8],
+    mlo: __m256i,
+    mhi: __m256i,
+    counter: u64,
+    block_len: u32,
+    flags: u32,
+) -> [u32; 8] {
+    // SAFETY (closure body): same feature contract as the enclosing
+    // function; closures inherit its `#[target_feature]` set.
+    compress1_with_pick::<true>(cv, counter, block_len, flags, |i0, i1, i2, i3| unsafe {
+        let idx = _mm256_set_epi32(0, 0, 0, 0, i3 as i32, i2 as i32, i1 as i32, i0 as i32);
+        _mm256_castsi256_si128(_mm256_permutex2var_epi32(mlo, idx, mhi))
+    })
+}
+
+/// Shared body of the standalone root pass: the message comes from memory.
+#[inline(always)]
+unsafe fn compress1_body<const AVX512: bool>(
+    cv: &[u32; 8],
+    block: &[u32; 16],
+    counter: u64,
+    block_len: u32,
+    flags: u32,
+) -> [u32; 8] {
+    if AVX512 {
+        let mlo = _mm256_loadu_si256(block.as_ptr().cast());
+        let mhi = _mm256_loadu_si256(block.as_ptr().add(8).cast());
+        compress1_vecs_avx512(cv, mlo, mhi, counter, block_len, flags)
+    } else {
+        // SAFETY (closure body): same feature contract as the enclosing
+        // function; closures inherit its `#[target_feature]` set.
+        compress1_with_pick::<AVX512>(cv, counter, block_len, flags, |i0, i1, i2, i3| unsafe {
+            gather(block, i0, i1, i2, i3)
+        })
+    }
+}
+
+/// Lane pass, SSSE3 tier.
+///
+/// # Safety
+///
+/// The caller must have verified `is_x86_feature_detected!("ssse3")`.
+#[target_feature(enable = "ssse3")]
+pub(crate) unsafe fn compress4_ssse3(
+    cvs: &mut [[u32; 8]; LANES],
+    chunk: &[u8; LANES * 64],
+    base_counter: u64,
+    flags: u32,
+) {
+    compress4_body::<false>(cvs, chunk, base_counter, flags);
+}
+
+/// Lane pass, AVX-512VL tier.
+///
+/// # Safety
+///
+/// The caller must have verified `is_x86_feature_detected!` for both
+/// `avx512f` and `avx512vl`.
+#[target_feature(enable = "avx512f,avx512vl")]
+pub(crate) unsafe fn compress4_avx512(
+    cvs: &mut [[u32; 8]; LANES],
+    chunk: &[u8; LANES * 64],
+    base_counter: u64,
+    flags: u32,
+) {
+    compress4_body::<true>(cvs, chunk, base_counter, flags);
+}
+
+/// Whole-line fast path, SSSE3 tier.
+///
+/// # Safety
+///
+/// The caller must have verified `is_x86_feature_detected!("ssse3")`.
+#[target_feature(enable = "ssse3")]
+pub(crate) unsafe fn digest_group_ssse3(key: &[u32; 8], chunk: &[u8; LANES * 64]) -> [u32; 8] {
+    digest_group_body::<false>(key, chunk)
+}
+
+/// The quarter round over four 512-bit cells: each register holds four
+/// state words as 128-bit sublanes, so one call executes all four quarter
+/// rounds of a step at once.
+#[inline(always)]
+unsafe fn gz(
+    va: &mut __m512i,
+    vb: &mut __m512i,
+    vc: &mut __m512i,
+    vd: &mut __m512i,
+    mx: __m512i,
+    my: __m512i,
+) {
+    *va = _mm512_add_epi32(_mm512_add_epi32(*va, *vb), mx);
+    *vd = _mm512_ror_epi32::<16>(_mm512_xor_si512(*vd, *va));
+    *vc = _mm512_add_epi32(*vc, *vd);
+    *vb = _mm512_ror_epi32::<12>(_mm512_xor_si512(*vb, *vc));
+    *va = _mm512_add_epi32(_mm512_add_epi32(*va, *vb), my);
+    *vd = _mm512_ror_epi32::<8>(_mm512_xor_si512(*vd, *va));
+    *vc = _mm512_add_epi32(*vc, *vd);
+    *vb = _mm512_ror_epi32::<7>(_mm512_xor_si512(*vb, *vc));
+}
+
+/// Whole-line fast path, AVX-512 tier: the entire lane pass in four
+/// 512-bit state registers.
+///
+/// Layout: `Z0 = (s0..s3)`, `Z1 = (s4..s7)`, `Z2 = (s8..s11)`,
+/// `Z3 = (s12..s15)`, where each 128-bit sublane is one transposed state
+/// word (its four elements are the four lanes). A column step is then a
+/// single [`gz`]; the diagonal step rotates `Z1..Z3`'s sublanes with
+/// `vshufi32x4` exactly like the row form rotates words. The message sits
+/// in four registers `A = m[sched[0,2,4,6]]`, `B = m[sched[1,3,5,7]]`,
+/// `C = m[sched[8,10,12,14]]`, `D = m[sched[9,11,13,15]]` — the operands
+/// the two `gz` calls want directly — and advances to the next round's
+/// schedule through a fixed `vpermt2q`/blend network (the same four
+/// registers always hold all 16 words, so next-round operands are a fixed
+/// 128-bit-sublane permutation of the current four).
+///
+/// # Safety
+///
+/// The caller must have verified `is_x86_feature_detected!` for both
+/// `avx512f` and `avx512vl`.
+#[target_feature(enable = "avx512f,avx512vl")]
+pub(crate) unsafe fn digest_group_avx512(key: &[u32; 8], chunk: &[u8; LANES * 64]) -> [u32; 8] {
+    // Load the four 64 B blocks and transpose at qword granularity:
+    // wj = (m[j], m[4+j], m[8+j], m[12+j]) as sublanes.
+    let l0 = _mm512_loadu_si512(chunk.as_ptr().cast());
+    let l1 = _mm512_loadu_si512(chunk.as_ptr().add(64).cast());
+    let l2 = _mm512_loadu_si512(chunk.as_ptr().add(128).cast());
+    let l3 = _mm512_loadu_si512(chunk.as_ptr().add(192).cast());
+    let t0 = _mm512_unpacklo_epi32(l0, l1);
+    let t1 = _mm512_unpackhi_epi32(l0, l1);
+    let t2 = _mm512_unpacklo_epi32(l2, l3);
+    let t3 = _mm512_unpackhi_epi32(l2, l3);
+    let w0 = _mm512_unpacklo_epi64(t0, t2);
+    let w1 = _mm512_unpackhi_epi64(t0, t2);
+    let w2 = _mm512_unpacklo_epi64(t1, t3);
+    let w3 = _mm512_unpackhi_epi64(t1, t3);
+
+    // Round-0 schedule is the identity: A = (m0,m2,m4,m6) interleaves the
+    // even-word registers w0/w2, C = (m8,m10,m12,m14) their upper halves;
+    // B/D likewise from the odd-word registers. Indices are qword pairs
+    // (one 128-bit sublane = two qwords; 0..7 first operand, 8..15 second).
+    let idx_even = _mm512_set_epi64(11, 10, 3, 2, 9, 8, 1, 0);
+    let idx_odd = _mm512_set_epi64(15, 14, 7, 6, 13, 12, 5, 4);
+    let mut a = _mm512_permutex2var_epi64(w0, idx_even, w2);
+    let mut b = _mm512_permutex2var_epi64(w1, idx_even, w3);
+    let mut c = _mm512_permutex2var_epi64(w0, idx_odd, w2);
+    let mut d = _mm512_permutex2var_epi64(w1, idx_odd, w3);
+
+    // State: broadcast each key word across its sublane (all lanes start
+    // from the key CV), IV third row, (counter, len, flags) fourth row
+    // with per-lane counters 0..3.
+    let kv = _mm512_castsi256_si512(_mm256_loadu_si256(key.as_ptr().cast()));
+    let mut z0 = _mm512_permutexvar_epi32(
+        _mm512_set_epi32(3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1, 0, 0, 0, 0),
+        kv,
+    );
+    let mut z1 = _mm512_permutexvar_epi32(
+        _mm512_set_epi32(7, 7, 7, 7, 6, 6, 6, 6, 5, 5, 5, 5, 4, 4, 4, 4),
+        kv,
+    );
+    let iv = |w: usize| IV[w] as i32;
+    let mut z2 = _mm512_set_epi32(
+        iv(3),
+        iv(3),
+        iv(3),
+        iv(3),
+        iv(2),
+        iv(2),
+        iv(2),
+        iv(2),
+        iv(1),
+        iv(1),
+        iv(1),
+        iv(1),
+        iv(0),
+        iv(0),
+        iv(0),
+        iv(0),
+    );
+    let fc = FLAG_CHUNK as i32;
+    let mut z3 = _mm512_set_epi32(fc, fc, fc, fc, 64, 64, 64, 64, 0, 0, 0, 0, 3, 2, 1, 0);
+
+    // Next-round message network, derived from applying the word
+    // permutation to the (A, B, C, D) sublane layout; the same fixed
+    // permutation every round.
+    let idx_na = _mm512_set_epi64(5, 4, 15, 14, 11, 10, 3, 2); // (A1,B1,B3,A2)
+    let idx_nb1 = _mm512_set_epi64(0, 0, 1, 0, 11, 10, 7, 6); // (A3,C1,A0,__)
+    let idx_nb2 = _mm512_set_epi64(13, 12, 5, 4, 3, 2, 1, 0); // sub3 <- D2
+    let idx_nc1 = _mm512_set_epi64(15, 14, 9, 8, 5, 4, 0, 0); // (__,C2,D0,D3)
+    let idx_nd1 = _mm512_set_epi64(1, 0, 7, 6, 13, 12, 0, 0); // (__,B2,C3,C0)
+    let idx_nd2 = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 11, 10); // sub0 <- D1
+
+    macro_rules! roundz {
+        () => {{
+            gz(&mut z0, &mut z1, &mut z2, &mut z3, a, b);
+            z1 = _mm512_shuffle_i32x4::<0b00_11_10_01>(z1, z1);
+            z2 = _mm512_shuffle_i32x4::<0b01_00_11_10>(z2, z2);
+            z3 = _mm512_shuffle_i32x4::<0b10_01_00_11>(z3, z3);
+            gz(&mut z0, &mut z1, &mut z2, &mut z3, c, d);
+            z1 = _mm512_shuffle_i32x4::<0b10_01_00_11>(z1, z1);
+            z2 = _mm512_shuffle_i32x4::<0b01_00_11_10>(z2, z2);
+            z3 = _mm512_shuffle_i32x4::<0b00_11_10_01>(z3, z3);
+        }};
+    }
+    macro_rules! advance {
+        () => {{
+            let na = _mm512_permutex2var_epi64(a, idx_na, b);
+            let nb =
+                _mm512_permutex2var_epi64(_mm512_permutex2var_epi64(a, idx_nb1, c), idx_nb2, d);
+            let nc =
+                _mm512_mask_blend_epi64(0b0000_0011, _mm512_permutex2var_epi64(c, idx_nc1, d), b);
+            let nd =
+                _mm512_permutex2var_epi64(_mm512_permutex2var_epi64(c, idx_nd1, b), idx_nd2, d);
+            a = na;
+            b = nb;
+            c = nc;
+            d = nd;
+        }};
+    }
+    roundz!();
+    advance!();
+    roundz!();
+    advance!();
+    roundz!();
+    advance!();
+    roundz!();
+    advance!();
+    roundz!();
+    advance!();
+    roundz!();
+    advance!();
+    roundz!();
+
+    // Feed-forward and the 8→4 lane-CV fold collapse to three XORs in this
+    // layout: (Z0^Z2) = cvT[0..4], (Z1^Z3) = cvT[4..8], and their XOR has
+    // fold word i in sublane i. Transposing the four sublanes yields the
+    // root block's rows.
+    let f = _mm512_xor_si512(_mm512_xor_si512(z0, z2), _mm512_xor_si512(z1, z3));
+    let (b0, b1, b2, b3) = transpose4(
+        _mm512_castsi512_si128(f),
+        _mm512_extracti32x4_epi32::<1>(f),
+        _mm512_extracti32x4_epi32::<2>(f),
+        _mm512_extracti32x4_epi32::<3>(f),
+    );
+    // Hand the root block to the root pass in registers: a bounce through
+    // the stack here would put a store-forwarding stall (128-bit stores,
+    // 256-bit reload) on the critical path of the root's first round.
+    compress1_vecs_avx512(
+        key,
+        _mm256_set_m128i(b1, b0),
+        _mm256_set_m128i(b3, b2),
+        (LANES * 64) as u64,
+        64,
+        FLAG_PARENT | FLAG_ROOT,
+    )
+}
+
+/// Root pass, SSSE3 tier.
+///
+/// # Safety
+///
+/// The caller must have verified `is_x86_feature_detected!("ssse3")`.
+#[target_feature(enable = "ssse3")]
+pub(crate) unsafe fn compress1_ssse3(
+    cv: &[u32; 8],
+    block: &[u32; 16],
+    counter: u64,
+    block_len: u32,
+    flags: u32,
+) -> [u32; 8] {
+    compress1_body::<false>(cv, block, counter, block_len, flags)
+}
+
+/// Root pass, AVX-512VL tier.
+///
+/// # Safety
+///
+/// The caller must have verified `is_x86_feature_detected!` for both
+/// `avx512f` and `avx512vl`.
+#[target_feature(enable = "avx512f,avx512vl")]
+pub(crate) unsafe fn compress1_avx512(
+    cv: &[u32; 8],
+    block: &[u32; 16],
+    counter: u64,
+    block_len: u32,
+    flags: u32,
+) -> [u32; 8] {
+    compress1_body::<true>(cv, block, counter, block_len, flags)
+}

@@ -28,7 +28,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use dewrite_core::Json;
-use dewrite_engine::{run, EngineConfig, EngineRun, FsmPolicy, Pacing, Replacement};
+use dewrite_engine::{run, DigestMode, EngineConfig, EngineRun, FsmPolicy, Pacing, Replacement};
 use dewrite_net::proto::{Hello, NET_VERSION};
 use dewrite_net::{client, drive, Control, DriveOptions, HelloInfo};
 use dewrite_nvm::{AtomicBitmap, FsmTree, Reservation};
@@ -54,6 +54,7 @@ struct Options {
     persist_dir: Option<String>,
     fsm: FsmPolicy,
     cache_policy: Replacement,
+    digest_mode: DigestMode,
     fsm_churn: Vec<usize>,
     net: Option<String>,
     connections: Vec<usize>,
@@ -82,6 +83,7 @@ impl Default for Options {
             persist_dir: None,
             fsm: FsmPolicy::default(),
             cache_policy: Replacement::default(),
+            digest_mode: DigestMode::default(),
             fsm_churn: Vec::new(),
             net: None,
             connections: vec![64],
@@ -113,6 +115,8 @@ fn usage() -> ExitCode {
     eprintln!("  --fsm P           free-space manager: flat | tree | tree-wear [tree]");
     eprintln!("  --cache-policy P  metadata-cache eviction: lru | fifo | s3-fifo [lru];");
     eprintln!("                    in net mode the policy rides in the Hello handshake");
+    eprintln!("  --digest-mode M   dedup digest: crc32-verify | strong-keyed [crc32-verify];");
+    eprintln!("                    in net mode the mode rides in the Hello handshake");
     eprintln!("  --fsm-churn T,..  standalone allocator contention sweep over thread");
     eprintln!("                    counts (no app runs): flat vs tree claims/s");
     eprintln!("  --net ADDR        socket-client mode against a running dewrite-serve;");
@@ -192,6 +196,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 o.cache_policy = value()?
                     .parse::<Replacement>()
                     .map_err(|e| format!("--cache-policy: {e}"))?
+            }
+            "--digest-mode" => {
+                o.digest_mode = value()?
+                    .parse::<DigestMode>()
+                    .map_err(|e| format!("--digest-mode: {e}"))?
             }
             "--fsm-churn" => {
                 o.fsm_churn = value()?
@@ -547,6 +556,7 @@ fn net_main(o: &Options, addr: &str, parallelism: usize) -> ExitCode {
             lines: trace.lines,
             expected_writes: trace.writes,
             cache_policy: o.cache_policy.to_wire(),
+            digest_mode: o.digest_mode.to_wire(),
             app: app.clone(),
         };
         let mut expected_report: Option<String> = None;
@@ -571,6 +581,7 @@ fn net_main(o: &Options, addr: &str, parallelism: usize) -> ExitCode {
                     let mut config =
                         EngineConfig::for_workload(info.shards, 256, trace.lines, trace.writes);
                     config.cache_policy = o.cache_policy;
+                    config.digest_mode = o.digest_mode;
                     if config.slots_per_shard != info.slots_per_shard {
                         return Err(std::io::Error::other(format!(
                             "server sized {} slots/shard where the local config \
@@ -680,6 +691,7 @@ fn net_main(o: &Options, addr: &str, parallelism: usize) -> ExitCode {
                 ("working_set_lines", num(o.ws_lines)),
                 ("content_pool", num(o.pool as u64)),
                 ("cache_policy", Json::Str(o.cache_policy.to_string())),
+                ("digest_mode", Json::Str(o.digest_mode.to_string())),
                 ("mode", Json::Str(o.mode.clone())),
                 ("rate_ops_per_sec", flt(o.rate)),
                 ("seed", num(o.seed)),
@@ -833,6 +845,7 @@ fn main() -> ExitCode {
             config.producers = o.producers;
             config.fsm = o.fsm;
             config.cache_policy = o.cache_policy;
+            config.digest_mode = o.digest_mode;
             if let Some(root) = &o.persist_dir {
                 // One store per (app, shard count) run so sweeps don't
                 // overwrite each other's recovery state.
@@ -920,6 +933,7 @@ fn main() -> ExitCode {
                     ),
                 ),
                 ("cache_policy", Json::Str(o.cache_policy.to_string())),
+                ("digest_mode", Json::Str(o.digest_mode.to_string())),
                 ("mode", Json::Str(o.mode.clone())),
                 (
                     "persist_dir",

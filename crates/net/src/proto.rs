@@ -27,8 +27,9 @@ use dewrite_hashes::Crc32;
 /// Protocol magic, leading the [`Request::Hello`] body.
 pub const NET_MAGIC: [u8; 4] = *b"DWNP";
 /// Protocol version (bumped on any frame- or body-layout change).
+/// v3 added the `digest_mode` byte to [`Hello`], after `cache_policy`.
 /// v2 added the metadata-cache eviction policy to [`Hello`].
-pub const NET_VERSION: u16 = 2;
+pub const NET_VERSION: u16 = 3;
 /// Hard cap on a frame payload; larger length prefixes are a framing
 /// violation and are never allocated.
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
@@ -143,6 +144,11 @@ pub struct Hello {
     /// so the server's shards and the client's local shadow run always
     /// agree and the bit-identity check stays meaningful per policy.
     pub cache_policy: u8,
+    /// Dedup digest mode, as `DigestMode::to_wire` (0 crc32-verify,
+    /// 1 strong-keyed). In the handshake for the same reason as
+    /// `cache_policy`: the mode changes the simulated report, so server
+    /// and shadow run must agree per connection.
+    pub digest_mode: u8,
     /// Application name stamped on reports.
     pub app: String,
 }
@@ -407,6 +413,7 @@ pub fn encode_request(r: &Request) -> Vec<u8> {
             p.extend_from_slice(&h.lines.to_le_bytes());
             p.extend_from_slice(&h.expected_writes.to_le_bytes());
             p.push(h.cache_policy);
+            p.push(h.digest_mode);
             let app = h.app.as_bytes();
             assert!(app.len() <= MAX_APP_BYTES, "app name too long");
             p.extend_from_slice(&(app.len() as u16).to_le_bytes());
@@ -471,6 +478,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
             let lines = c.u64()?;
             let expected_writes = c.u64()?;
             let cache_policy = c.u8()?;
+            let digest_mode = c.u8()?;
             let app = utf8(c.bytes_u16(MAX_APP_BYTES, "app name")?, "app name")?;
             Request::Hello(Hello {
                 version,
@@ -478,6 +486,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
                 lines,
                 expected_writes,
                 cache_policy,
+                digest_mode,
                 app,
             })
         }
@@ -645,6 +654,7 @@ mod tests {
             lines: 4096,
             expected_writes: 10_000,
             cache_policy: 2,
+            digest_mode: 1,
             app: "mcf".into(),
         })
     }

@@ -48,8 +48,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam_queue::ArrayQueue;
 use dewrite_engine::{
-    Backoff, Completion, CompletionBody, EngineConfig, EngineRun, EngineService, Replacement,
-    ServiceOp, ServiceRequest, CONTROL_SEQ,
+    Backoff, Completion, CompletionBody, DigestMode, EngineConfig, EngineRun, EngineService,
+    Replacement, ServiceOp, ServiceRequest, CONTROL_SEQ,
 };
 use dewrite_nvm::LineAddr;
 use dewrite_trace::shard_of_line;
@@ -125,6 +125,7 @@ struct Geometry {
     lines: u64,
     expected_writes: u64,
     cache_policy: Replacement,
+    digest_mode: DigestMode,
     app: String,
     slots_per_shard: u64,
 }
@@ -432,6 +433,18 @@ impl Lane {
             );
             return;
         };
+        let Some(digest_mode) = DigestMode::from_wire(h.digest_mode) else {
+            push_response(
+                &self.shared,
+                conn,
+                conn_seq,
+                &err(
+                    ErrorCode::BadPayload,
+                    format!("unknown digest mode {}", h.digest_mode),
+                ),
+            );
+            return;
+        };
         let mut geo = self.shared.geometry.lock().expect("geometry lock");
         let resp = match geo.as_ref() {
             Some(g) => {
@@ -439,6 +452,7 @@ impl Lane {
                     && g.lines == h.lines
                     && g.expected_writes == h.expected_writes
                     && g.cache_policy == cache_policy
+                    && g.digest_mode == digest_mode
                     && g.app == h.app
                 {
                     Ok(g.slots_per_shard)
@@ -447,8 +461,13 @@ impl Lane {
                         ErrorCode::ConfigMismatch,
                         format!(
                             "engine serves app '{}' ({} lines of {}B, {} expected writes, \
-                             {} cache); reset before changing the workload",
-                            g.app, g.lines, g.line_size, g.expected_writes, g.cache_policy
+                             {} cache, {} digest); reset before changing the workload",
+                            g.app,
+                            g.lines,
+                            g.line_size,
+                            g.expected_writes,
+                            g.cache_policy,
+                            g.digest_mode
                         ),
                     ))
                 }
@@ -464,6 +483,7 @@ impl Lane {
                 config.queue_depth = opts.queue_depth;
                 config.batch = opts.batch;
                 config.cache_policy = cache_policy;
+                config.digest_mode = digest_mode;
                 config.persist_epoch = opts.persist_epoch;
                 config.persist_sync = opts.persist_sync;
                 config.persist_dir = opts.persist_dir.as_ref().map(|root| {
@@ -480,6 +500,7 @@ impl Lane {
                     lines: h.lines,
                     expected_writes: h.expected_writes,
                     cache_policy,
+                    digest_mode,
                     app: h.app.clone(),
                     slots_per_shard: config.slots_per_shard,
                 });

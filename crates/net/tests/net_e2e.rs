@@ -42,6 +42,7 @@ fn hello(t: &Trace) -> Hello {
         lines: t.lines,
         expected_writes: t.writes,
         cache_policy: 0,
+        digest_mode: 0,
         app: "mcf".into(),
     }
 }

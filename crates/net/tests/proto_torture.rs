@@ -23,6 +23,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         )
             .prop_map(|(line_size, lines, expected_writes, app)| {
                 let cache_policy = (expected_writes % 3) as u8;
+                let digest_mode = (expected_writes % 2) as u8;
                 let app: String = app.into_iter().map(|b| (b'a' + b % 26) as char).collect();
                 Request::Hello(Hello {
                     version: NET_VERSION,
@@ -30,6 +31,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     lines,
                     expected_writes,
                     cache_policy,
+                    digest_mode,
                     app,
                 })
             }),
@@ -279,16 +281,21 @@ fn unknown_tags_are_typed_errors() {
     assert!(proto::decode_response(&payload).is_err());
 }
 
-#[test]
-fn wrong_version_hello_is_rejected() {
-    let good = proto::encode_request(&Request::Hello(Hello {
+fn v3_hello(digest_mode: u8) -> Hello {
+    Hello {
         version: NET_VERSION,
         line_size: 256,
         lines: 64,
         expected_writes: 32,
         cache_policy: 0,
+        digest_mode,
         app: "mcf".into(),
-    }));
+    }
+}
+
+#[test]
+fn wrong_version_hello_is_rejected() {
+    let good = proto::encode_request(&Request::Hello(v3_hello(0)));
     let payload = sole_payload(&good);
     // The version lives right after tag + magic; forge every other
     // version value's low byte and expect a typed rejection.
@@ -297,4 +304,59 @@ fn wrong_version_hello_is_rejected() {
     let reframed = proto::encode_frame(&forged);
     let err = proto::decode_request(&sole_payload(&reframed)).expect_err("version must gate");
     assert!(err.contains("version"), "unexpected error {err:?}");
+}
+
+#[test]
+fn digest_mode_byte_roundtrips_every_wire_value() {
+    // Both defined modes plus out-of-range values: the codec carries the
+    // byte verbatim (range validation is the server's Hello handler, the
+    // same split as cache_policy), so nothing in the transport layer can
+    // silently remap a mode.
+    for mode in [0u8, 1, 2, 0xFF] {
+        let req = Request::Hello(v3_hello(mode));
+        let frame = proto::encode_request(&req);
+        let back = proto::decode_request(&sole_payload(&frame)).expect("decode");
+        assert_eq!(back, req, "digest mode {mode} must survive the wire");
+    }
+}
+
+#[test]
+fn v2_hello_without_digest_mode_is_a_clean_version_mismatch() {
+    // A v2 client's Hello body is one byte shorter (no digest_mode) and
+    // says version 2. Hand-assemble that exact v2 layout: the decoder
+    // must reject it on the version check — a typed error naming both
+    // versions, never a desync or a misparse of the app bytes as a mode.
+    let mut p = Vec::new();
+    p.push(0x01); // T_HELLO
+    p.extend_from_slice(b"DWNP");
+    p.extend_from_slice(&2u16.to_le_bytes()); // the previous version
+    p.extend_from_slice(&256u32.to_le_bytes()); // line_size
+    p.extend_from_slice(&64u64.to_le_bytes()); // lines
+    p.extend_from_slice(&32u64.to_le_bytes()); // expected_writes
+    p.push(0); // cache_policy — and no digest_mode byte after it
+    let app = b"mcf";
+    p.extend_from_slice(&(app.len() as u16).to_le_bytes());
+    p.extend_from_slice(app);
+    let frame = proto::encode_frame(&p);
+    let err = proto::decode_request(&sole_payload(&frame)).expect_err("v2 must be refused");
+    assert!(
+        err.contains("version 2") && err.contains("3"),
+        "v2 client deserves a version mismatch, got {err:?}"
+    );
+}
+
+#[test]
+fn truncating_the_digest_mode_byte_never_misparses() {
+    // Drop single bytes from a valid v3 Hello payload (shifting the app
+    // bytes into the digest_mode position and so on): every result must
+    // be a typed decode error or a *different* valid message detected as
+    // such by its own checks — never a panic.
+    let frame = proto::encode_request(&Request::Hello(v3_hello(1)));
+    let payload = sole_payload(&frame);
+    for drop_at in 0..payload.len() {
+        let mut cut = payload.clone();
+        cut.remove(drop_at);
+        let reframed = proto::encode_frame(&cut);
+        let _ = proto::decode_request(&sole_payload(&reframed));
+    }
 }

@@ -99,7 +99,7 @@ struct ReplayState {
     lines: u64,
     config_fp: u64,
     mappings: HashMap<u64, u64>,
-    residents: HashMap<u64, u32>,
+    residents: HashMap<u64, u64>,
     counters: HashMap<u64, u32>,
 }
 
@@ -133,7 +133,7 @@ impl ReplayState {
 
     fn into_snapshot(self) -> Snapshot {
         let mut mappings: Vec<(u64, u64)> = self.mappings.into_iter().collect();
-        let mut residents: Vec<(u64, u32)> = self.residents.into_iter().collect();
+        let mut residents: Vec<(u64, u64)> = self.residents.into_iter().collect();
         let mut counters: Vec<(u64, u32)> = self.counters.into_iter().collect();
         mappings.sort_unstable();
         residents.sort_unstable();

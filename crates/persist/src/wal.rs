@@ -27,8 +27,10 @@ use crate::PersistError;
 
 /// Magic bytes opening every WAL segment.
 pub const WAL_MAGIC: [u8; 4] = *b"DWWL";
-/// Current WAL format version.
-pub const WAL_VERSION: u16 = 1;
+/// Current WAL format version. v2 widened `ResidentSet.digest` from u32 to
+/// u64 to carry the strong keyed tag; v1 segments are rejected at open (the
+/// recovery path then falls back to the snapshot alone).
+pub const WAL_VERSION: u16 = 2;
 /// Size of the WAL file header, bytes.
 pub const WAL_HEADER_BYTES: usize = 18;
 /// Hard ceiling on one record's payload: 16 MB is far above any epoch
@@ -140,7 +142,7 @@ fn decode_op(cur: &mut &[u8]) -> Option<MetaOp> {
         }),
         1 => Some(MetaOp::ResidentSet {
             real: take_u64(cur)?,
-            digest: take_u32(cur)?,
+            digest: take_u64(cur)?,
         }),
         2 => Some(MetaOp::ResidentDel {
             real: take_u64(cur)?,

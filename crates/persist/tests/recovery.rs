@@ -161,7 +161,7 @@ fn arb_op() -> impl Strategy<Value = dewrite_core::MetaOp> {
     use dewrite_core::MetaOp;
     prop_oneof![
         (0u64..1024, 0u64..1024).prop_map(|(init, real)| MetaOp::MapSet { init, real }),
-        (0u64..1024, any::<u32>()).prop_map(|(real, digest)| MetaOp::ResidentSet { real, digest }),
+        (0u64..1024, any::<u64>()).prop_map(|(real, digest)| MetaOp::ResidentSet { real, digest }),
         (0u64..1024).prop_map(|real| MetaOp::ResidentDel { real }),
         (0u64..1024, any::<u32>()).prop_map(|(line, value)| MetaOp::CounterSet { line, value }),
     ]
@@ -199,7 +199,7 @@ fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
     (
         any::<u64>(),
         proptest::collection::vec((0u64..64, 0u64..64), 0..10),
-        proptest::collection::vec((0u64..64, any::<u32>()), 0..10),
+        proptest::collection::vec((0u64..64, any::<u64>()), 0..10),
         proptest::collection::vec((0u64..64, any::<u32>()), 0..10),
     )
         .prop_map(|(config_fp, mut mappings, mut residents, mut counters)| {

@@ -79,6 +79,7 @@ pub fn app_by_name(name: &str) -> Option<AppProfile> {
     match name {
         "worst-case" => Some(worst_case()),
         "scan" => Some(scan_adversary()),
+        "dupflood" => Some(dup_flood()),
         _ => all_apps().into_iter().find(|a| a.name == name),
     }
 }
@@ -118,6 +119,29 @@ pub fn scan_adversary() -> AppProfile {
         writes_per_kilo_instr: 40.0,
         working_set_lines: 1 << 17,
         content_pool_size: 1 << 9,
+    }
+}
+
+/// A collision-flood adversary for the verify-free digest path: almost
+/// every write repeats content from a tiny pool, so nearly every commit
+/// rides the duplicate path. Under crc32-verify each of those commits
+/// pays a 75 ns verify-read; under strong-keyed none do — this trace
+/// maximizes the gap between the modes, and its saturated reference
+/// counters (far more than 255 copies per content) exercise the
+/// saturated-skip path that verify-free commits must still honor.
+/// High state persistence keeps the predictor confidently on the
+/// duplicate path, isolating the digest-mode difference.
+pub fn dup_flood() -> AppProfile {
+    AppProfile {
+        name: "dupflood",
+        suite: Suite::Synthetic,
+        dup_ratio: 0.97,
+        zero_share: 0.10,
+        state_persistence: 0.97,
+        reads_per_write: 0.5,
+        writes_per_kilo_instr: 40.0,
+        working_set_lines: 1 << 15,
+        content_pool_size: 1 << 4,
     }
 }
 
@@ -203,7 +227,7 @@ mod tests {
 
     #[test]
     fn synthetics_resolve_by_name_but_stay_out_of_the_aggregates() {
-        for name in ["worst-case", "scan"] {
+        for name in ["worst-case", "scan", "dupflood"] {
             let p = app_by_name(name).unwrap_or_else(|| panic!("{name} resolves"));
             assert_eq!(p.name, name);
             assert_eq!(p.suite, Suite::Synthetic);
@@ -213,6 +237,19 @@ mod tests {
                 "{name} must not join the paper's 20-app averages"
             );
         }
+    }
+
+    #[test]
+    fn dupflood_profile_is_duplicate_saturated() {
+        let d = dup_flood();
+        // Nearly every write must be a pool repeat, and the pool must be
+        // small enough that every content saturates its 255-reference
+        // entry many times over.
+        assert!(d.dup_ratio >= 0.95, "flood must be duplicate-dominated");
+        assert!(
+            d.working_set_lines >= 1024 * d.content_pool_size as u64,
+            "each pool content must accumulate far more than MAX_REFERENCE copies"
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ mod record;
 mod zipf;
 
 pub use analysis::{analyze, DupOracle, DupStats};
-pub use apps::{all_apps, app_by_name, scan_adversary, worst_case, PARSEC_APPS, SPEC_APPS};
+pub use apps::{
+    all_apps, app_by_name, dup_flood, scan_adversary, worst_case, PARSEC_APPS, SPEC_APPS,
+};
 pub use generator::TraceGenerator;
 pub use partition::{partition_records, shard_of_line};
 pub use profile::{AppProfile, Suite};

@@ -456,6 +456,7 @@ fn socket_kill_mid_stream_recovers_every_shard_to_an_epoch_boundary() {
         lines,
         expected_writes: writes,
         cache_policy: 0,
+        digest_mode: 0,
         app: "mcf".into(),
     };
     let (_control, info) = Control::connect(&addr, &hello).expect("control connect");
@@ -496,7 +497,13 @@ fn socket_kill_mid_stream_recovers_every_shard_to_an_epoch_boundary() {
     let mut total_covered = 0u64;
     for id in 0..SHARDS {
         let shard_dir = root.join(format!("gen-0000/shard-{id:02}"));
-        let fp = ShardController::persist_fingerprint(id, SHARDS, config.slots_per_shard, 256);
+        let fp = ShardController::persist_fingerprint(
+            id,
+            SHARDS,
+            config.slots_per_shard,
+            256,
+            dewrite_engine::DigestMode::Crc32Verify,
+        );
         let (snap, stats) = dewrite::persist::recover_state(&shard_dir, fp, max_lines)
             .unwrap_or_else(|e| panic!("shard {id} store must recover: {e}"));
         assert!(!stats.torn_tail, "shard {id}: abort never tears the WAL");
